@@ -1,0 +1,60 @@
+//! Criterion bench: approximate betweenness centrality as a function of the
+//! number of sampled sources (Figure 8 — runtime side).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::tus::{TusConfig, TusGenerator};
+use dn_graph::approx_bc::{approximate_betweenness, ApproxBcConfig, SamplingStrategy};
+use domainnet::pipeline::DomainNetBuilder;
+
+fn bench_bc_sampling(c: &mut Criterion) {
+    let lake = TusGenerator::new(TusConfig::small(5)).generate();
+    let net = DomainNetBuilder::new().build(&lake.catalog);
+    let graph = net.graph().clone();
+    let n = graph.node_count();
+
+    let mut group = c.benchmark_group("approx_bc_samples");
+    group.sample_size(10);
+    for &samples in &[n / 100, n / 20, n / 10, n / 4] {
+        let samples = samples.max(5);
+        group.throughput(Throughput::Elements(samples as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(samples), &samples, |b, &s| {
+            b.iter(|| {
+                approximate_betweenness(
+                    &graph,
+                    ApproxBcConfig {
+                        samples: s,
+                        strategy: SamplingStrategy::Uniform,
+                        seed: 1,
+                        threads: 1,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("approx_bc_strategy");
+    group.sample_size(10);
+    for (name, strategy) in [
+        ("uniform", SamplingStrategy::Uniform),
+        ("degree_proportional", SamplingStrategy::DegreeProportional),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                approximate_betweenness(
+                    &graph,
+                    ApproxBcConfig {
+                        samples: (n / 20).max(5),
+                        strategy,
+                        seed: 1,
+                        threads: 1,
+                    },
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bc_sampling);
+criterion_main!(benches);

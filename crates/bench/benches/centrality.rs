@@ -1,0 +1,34 @@
+//! Criterion bench: exact betweenness centrality and the two LCC variants on
+//! the synthetic benchmark graph (Step 2 of the pipeline; Figures 5 and 6).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use datagen::sb::SbGenerator;
+use dn_graph::bc::{betweenness_centrality, betweenness_centrality_parallel};
+use dn_graph::lcc::{local_clustering_coefficients, LccMethod};
+use domainnet::pipeline::DomainNetBuilder;
+
+fn bench_centrality(c: &mut Criterion) {
+    let sb = SbGenerator::new(1).generate();
+    let net = DomainNetBuilder::new().build(&sb.catalog);
+    let graph = net.graph().clone();
+
+    let mut group = c.benchmark_group("centrality_sb");
+    group.sample_size(10);
+
+    group.bench_function("exact_bc_1_thread", |b| {
+        b.iter(|| betweenness_centrality(&graph))
+    });
+    group.bench_function("exact_bc_4_threads", |b| {
+        b.iter(|| betweenness_centrality_parallel(&graph, 4))
+    });
+    group.bench_function("lcc_value_neighbor_jaccard", |b| {
+        b.iter(|| local_clustering_coefficients(&graph, LccMethod::ValueNeighborJaccard))
+    });
+    group.bench_function("lcc_attribute_jaccard", |b| {
+        b.iter(|| local_clustering_coefficients(&graph, LccMethod::AttributeJaccard))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_centrality);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: DomainNet graph construction from a lake catalog
+//! (Step 1 of the pipeline; §5.4 reports ~1.5 min for the TUS benchmark,
+//! dominated by scanning the tables).
+
+use criterion::{criterion_group, criterion_main, BatchSize, BenchmarkId, Criterion};
+use datagen::sb::SbGenerator;
+use datagen::tus::{TusConfig, TusGenerator};
+use domainnet::pipeline::DomainNetBuilder;
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph_construction");
+    group.sample_size(10);
+
+    let sb = SbGenerator::new(1).generate();
+    group.bench_function("sb", |b| {
+        b.iter(|| DomainNetBuilder::new().build(&sb.catalog))
+    });
+
+    for (name, seed) in [("tus_small", 11u64), ("tus_medium", 12u64)] {
+        let cfg = if name == "tus_small" {
+            TusConfig::small(seed)
+        } else {
+            TusConfig {
+                seed,
+                domain_count: 24,
+                max_domain_vocab: 1200,
+                rows_per_source: 500,
+                ..TusConfig::default()
+            }
+        };
+        let lake = TusGenerator::new(cfg).generate();
+        group.bench_with_input(BenchmarkId::new("tus", name), &lake, |b, lake| {
+            b.iter_batched(
+                || &lake.catalog,
+                |catalog| DomainNetBuilder::new().build(catalog),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph_construction);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench: the full DomainNet pipeline (graph construction + measure
+//! + ranking) on the synthetic benchmark, plus the D4 baseline for
+//! comparison (§5.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use d4::D4Config;
+use datagen::sb::SbGenerator;
+use domainnet::pipeline::DomainNetBuilder;
+use domainnet::Measure;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let sb = SbGenerator::new(1).generate();
+
+    let mut group = c.benchmark_group("pipeline_sb");
+    group.sample_size(10);
+
+    group.bench_function("domainnet_exact_bc", |b| {
+        b.iter(|| {
+            let net = DomainNetBuilder::new().build(&sb.catalog);
+            net.rank(Measure::exact_bc_parallel(4))
+        })
+    });
+
+    group.bench_function("domainnet_approx_bc_1pct", |b| {
+        b.iter(|| {
+            let net = DomainNetBuilder::new().build(&sb.catalog);
+            let samples = (net.graph().node_count() / 100).max(20);
+            net.rank(Measure::approx_bc(samples, 1))
+        })
+    });
+
+    group.bench_function("domainnet_lcc", |b| {
+        b.iter(|| {
+            let net = DomainNetBuilder::new().build(&sb.catalog);
+            net.rank(Measure::lcc())
+        })
+    });
+
+    group.bench_function("d4_baseline", |b| {
+        b.iter(|| d4::discover(&sb.catalog, D4Config::default()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: approximate-BC runtime versus graph size at a fixed 1 %
+//! sampling rate (Figure 9).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use datagen::scale::{ScaleConfig, ScaleGenerator};
+use dn_graph::approx_bc::{approximate_betweenness, ApproxBcConfig, SamplingStrategy};
+use dn_graph::subgraph::random_attribute_subgraph;
+use domainnet::pipeline::DomainNetBuilder;
+
+fn bench_scalability(c: &mut Criterion) {
+    // A moderately sized lake; the Criterion bench demonstrates the linear
+    // trend, the exp_fig9_scalability binary covers larger graphs.
+    let lake = ScaleGenerator::new(ScaleConfig {
+        seed: 1,
+        tables: 30,
+        attrs_per_table: 6,
+        max_cardinality: 800,
+        min_cardinality: 5,
+        vocab_size: 30_000,
+        popularity_skew: 0.6,
+    })
+    .generate();
+    let net = DomainNetBuilder::new().build(&lake);
+    let full = net.graph().clone();
+
+    let mut group = c.benchmark_group("approx_bc_vs_graph_size");
+    group.sample_size(10);
+    for &fraction in &[0.25f64, 0.5, 1.0] {
+        let graph = if fraction >= 1.0 {
+            full.clone()
+        } else {
+            random_attribute_subgraph(&full, (full.edge_count() as f64 * fraction) as usize, 7)
+        };
+        let samples = ((graph.node_count() as f64) * 0.01).ceil() as usize;
+        group.throughput(Throughput::Elements(graph.edge_count() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{}edges", graph.edge_count())),
+            &graph,
+            |b, g| {
+                b.iter(|| {
+                    approximate_betweenness(
+                        g,
+                        ApproxBcConfig {
+                            samples: samples.max(5),
+                            strategy: SamplingStrategy::Uniform,
+                            seed: 1,
+                            threads: 2,
+                        },
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

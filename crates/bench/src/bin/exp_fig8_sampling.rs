@@ -1,0 +1,70 @@
+//! Figure 8 — precision@|H| and runtime of approximate BC as a function of
+//! the number of sampled source nodes.
+//!
+//! Paper: on TUS, precision stabilizes around 0.6 by ~1 000 samples (≈0.5 %
+//! of the nodes, ~40 s) while exact BC takes 150 minutes for 0.631 — the
+//! ranking converges long before the scores do, and runtime grows linearly in
+//! the sample count.
+
+use std::collections::BTreeSet;
+
+use bench::{print_header, print_row, timed, write_report, ExpArgs};
+use datagen::tus::TusGenerator;
+use domainnet::eval::precision_recall_at_k;
+use domainnet::pipeline::DomainNetBuilder;
+use domainnet::Measure;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct SamplePoint {
+    samples: usize,
+    fraction_of_nodes: f64,
+    precision_at_truth: f64,
+    seconds: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("== Figure 8: precision and runtime vs approximate-BC sample size ==\n");
+
+    let generated = TusGenerator::new(bench::tus_config(args)).generate();
+    let truth: BTreeSet<String> = generated.homograph_set();
+    let net = DomainNetBuilder::new().build(&generated.catalog);
+    let n = net.graph().node_count();
+    println!(
+        "Graph: {} nodes, {} edges; {} ground-truth homographs\n",
+        n,
+        net.edge_count(),
+        truth.len()
+    );
+
+    let fractions = [0.001, 0.0025, 0.005, 0.01, 0.02, 0.05, 0.1];
+    let mut points = Vec::new();
+    for &fraction in &fractions {
+        let samples = ((n as f64 * fraction).ceil() as usize).clamp(10, n);
+        let (ranked, seconds) =
+            timed(|| net.rank(Measure::approx_bc(samples, args.seed)));
+        let eval = precision_recall_at_k(&ranked, &truth, truth.len());
+        points.push(SamplePoint {
+            samples,
+            fraction_of_nodes: fraction,
+            precision_at_truth: eval.precision,
+            seconds,
+        });
+    }
+
+    print_header(&["Samples", "% of nodes", "Precision@|H|", "Time (s)"]);
+    for p in &points {
+        print_row(&[
+            p.samples.to_string(),
+            format!("{:.2}%", 100.0 * p.fraction_of_nodes),
+            format!("{:.3}", p.precision_at_truth),
+            format!("{:.2}", p.seconds),
+        ]);
+    }
+
+    println!("\nPaper (Figure 8): precision stabilizes near the exact value by ~0.5-1% of the");
+    println!("nodes sampled; runtime grows roughly linearly with the sample count.");
+
+    write_report("fig8_sampling", &points);
+}

@@ -1,0 +1,96 @@
+//! Table 3 — percentage of the injected homographs appearing in the top-50 BC
+//! results, as a function of the number of meanings per injected homograph.
+//!
+//! Paper: with the cardinality of replaced values held high, recall rises
+//! from 97.5 % at 2 meanings to 100 % at 6–8 meanings; homographs with more
+//! meanings bridge more communities and are easier to spot.
+
+use std::collections::BTreeSet;
+
+use bench::{default_samples, print_header, print_row, write_report, ExpArgs};
+use datagen::inject::{inject_homographs, remove_homographs, InjectionConfig};
+use datagen::tus::TusGenerator;
+use domainnet::eval::recall_of_expected_in_top_k;
+use domainnet::pipeline::DomainNetBuilder;
+use domainnet::Measure;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct MeaningsResult {
+    meanings: usize,
+    runs: usize,
+    injected_per_run: usize,
+    mean_recall_in_top_k: f64,
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let injections = 50usize;
+    let runs = 2usize;
+    println!("== Table 3: injected-homograph recall vs number of meanings ==\n");
+
+    let generated = TusGenerator::new(bench::tus_config(args)).generate();
+    let clean = remove_homographs(&generated);
+
+    // Hold the cardinality of the replaced values high, as in the paper
+    // (attributes in the top half of the cardinality range).
+    let max_card = clean
+        .catalog
+        .attribute_ids()
+        .map(|a| clean.catalog.attribute_cardinality(a))
+        .max()
+        .unwrap_or(0);
+    let threshold = max_card / 2;
+    println!(
+        "Cardinality threshold fixed at {threshold} (half the largest attribute)\n"
+    );
+
+    let mut results = Vec::new();
+    for meanings in 2..=8usize {
+        let mut recalls = Vec::new();
+        for run in 0..runs {
+            let injected = match inject_homographs(
+                &clean,
+                InjectionConfig {
+                    count: injections,
+                    meanings,
+                    min_attr_cardinality: threshold,
+                    seed: args.seed + run as u64 * 977 + meanings as u64,
+                },
+            ) {
+                Some(r) => r,
+                None => continue,
+            };
+            let net = DomainNetBuilder::new().build(&injected.lake.catalog);
+            let samples = default_samples(net.graph().node_count());
+            let ranked = net.rank(Measure::approx_bc(samples, args.seed + run as u64));
+            let expected: BTreeSet<String> = injected.injected.iter().cloned().collect();
+            recalls.push(recall_of_expected_in_top_k(&ranked, &expected, injections));
+        }
+        if recalls.is_empty() {
+            println!("  (meanings {meanings}: not enough eligible classes, skipped)");
+            continue;
+        }
+        let mean = recalls.iter().sum::<f64>() / recalls.len() as f64;
+        results.push(MeaningsResult {
+            meanings,
+            runs: recalls.len(),
+            injected_per_run: injections,
+            mean_recall_in_top_k: mean,
+        });
+    }
+
+    print_header(&["# meanings", "Runs", "% injected in top-50"]);
+    for r in &results {
+        print_row(&[
+            r.meanings.to_string(),
+            r.runs.to_string(),
+            format!("{:.1}%", 100.0 * r.mean_recall_in_top_k),
+        ]);
+    }
+
+    println!("\nPaper (Table 3): 97.5 / 97.5 / 98.5 / 98.5 / 100 / 100 / 100 % for 2..8 meanings.");
+    println!("Expected shape: recall is high throughout and does not degrade as meanings grow.");
+
+    write_report("table3_injection_meanings", &results);
+}

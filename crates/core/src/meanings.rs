@@ -1,0 +1,171 @@
+//! Estimating the *number of meanings* of a detected homograph.
+//!
+//! DomainNet ranks values by how homograph-like they are but does not, by
+//! itself, say how many distinct meanings a homograph has. The paper's
+//! outlook (§6) proposes community detection for this: each community of the
+//! lake graph corresponds to a latent semantic type, so the number of
+//! distinct communities among the attributes containing a value estimates its
+//! number of meanings. This module implements that proposal on top of
+//! [`dn_graph::community::label_propagation`].
+//!
+//! ```
+//! use domainnet::pipeline::DomainNetBuilder;
+//! use domainnet::meanings::MeaningEstimator;
+//!
+//! let lake = lake::fixtures::running_example();
+//! let net = DomainNetBuilder::new().prune_single_attribute_values(false).build(&lake);
+//! let estimator = MeaningEstimator::fit(&net, Default::default());
+//!
+//! // Every candidate value gets a meaning estimate of at least 1.
+//! assert!(estimator.meanings_of("JAGUAR").unwrap() >= 1);
+//! assert!(estimator.community_count() >= 2);
+//! ```
+//!
+//! On the tiny running example the animal/company split is only weakly
+//! supported (four small attributes), so the estimate for `Jaguar` may be 1
+//! or 2; on lakes where each meaning is backed by several attributes the
+//! estimator recovers the exact count (see the unit tests).
+
+use std::collections::HashMap;
+
+use dn_graph::community::{label_propagation, Communities, LabelPropagationConfig};
+use serde::{Deserialize, Serialize};
+
+use crate::pipeline::DomainNet;
+
+/// Configuration for meaning estimation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MeaningConfig {
+    /// Label-propagation parameters.
+    pub label_propagation: LabelPropagationConfig,
+}
+
+impl Default for MeaningConfig {
+    fn default() -> Self {
+        MeaningConfig {
+            label_propagation: LabelPropagationConfig::default(),
+        }
+    }
+}
+
+/// Estimated meaning counts for every candidate value of a [`DomainNet`]
+/// model.
+#[derive(Debug, Clone)]
+pub struct MeaningEstimator {
+    communities: Communities,
+    /// value string -> value node id
+    index: HashMap<String, u32>,
+    /// per value node: number of distinct communities among its attributes
+    meanings: Vec<usize>,
+}
+
+impl MeaningEstimator {
+    /// Detect communities on the DomainNet graph and derive, for every
+    /// candidate value, the number of distinct communities among the
+    /// attributes that contain it.
+    pub fn fit(net: &DomainNet, config: MeaningConfig) -> Self {
+        let graph = net.graph();
+        let communities = label_propagation(graph, config.label_propagation);
+        let mut index = HashMap::with_capacity(graph.value_count());
+        let mut meanings = Vec::with_capacity(graph.value_count());
+        for v in graph.value_nodes() {
+            index.insert(graph.value_label(v).to_owned(), v);
+            let attrs: Vec<u32> = graph.neighbors(v).to_vec();
+            meanings.push(communities.distinct_among(&attrs).max(1));
+        }
+        MeaningEstimator {
+            communities,
+            index,
+            meanings,
+        }
+    }
+
+    /// Number of communities detected in the whole graph.
+    pub fn community_count(&self) -> usize {
+        self.communities.count
+    }
+
+    /// Estimated number of meanings of a (normalized) value, if it is a
+    /// candidate in the graph.
+    pub fn meanings_of(&self, value: &str) -> Option<usize> {
+        self.index.get(value).map(|&v| self.meanings[v as usize])
+    }
+
+    /// Values estimated to have at least `min_meanings` meanings, with their
+    /// estimates, sorted by estimate descending then by value.
+    pub fn multi_meaning_values(&self, min_meanings: usize) -> Vec<(String, usize)> {
+        let mut out: Vec<(String, usize)> = self
+            .index
+            .iter()
+            .map(|(value, &node)| (value.clone(), self.meanings[node as usize]))
+            .filter(|(_, m)| *m >= min_meanings)
+            .collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::DomainNetBuilder;
+    use lake::table::TableBuilder;
+
+    fn estimator_for(lake: &lake::catalog::LakeCatalog, prune: bool) -> MeaningEstimator {
+        let net = DomainNetBuilder::new()
+            .prune_single_attribute_values(prune)
+            .build(lake);
+        MeaningEstimator::fit(&net, MeaningConfig::default())
+    }
+
+    #[test]
+    fn running_example_meanings() {
+        let lake = lake::fixtures::running_example();
+        let estimator = estimator_for(&lake, false);
+        assert!(estimator.community_count() >= 2);
+        // On this tiny graph the animal/company split is only weakly
+        // supported, so estimates are bounded rather than exact.
+        let jaguar = estimator.meanings_of("JAGUAR").unwrap();
+        assert!((1..=4).contains(&jaguar));
+        assert!(estimator.meanings_of("PANDA").unwrap() <= 2);
+        assert!(estimator.meanings_of("GOOGLE").is_some());
+        assert!(estimator.meanings_of("NOT_IN_LAKE").is_none());
+    }
+
+    #[test]
+    fn clearly_separated_communities_give_exact_counts() {
+        // Two well-populated domains (animals across two zoo tables,
+        // companies across two finance tables) sharing only "Jaguar".
+        let animals = ["Panda", "Lemur", "Jaguar", "Otter", "Badger", "Walrus", "Seal"];
+        let firms = ["Google", "Amazon", "Jaguar", "Apple", "Shell", "Nestle", "Bayer"];
+        let t1 = TableBuilder::new("zoo_a").column("animal", animals).build().unwrap();
+        let t2 = TableBuilder::new("zoo_b").column("species", animals).build().unwrap();
+        let t3 = TableBuilder::new("firms_a").column("company", firms).build().unwrap();
+        let t4 = TableBuilder::new("firms_b").column("name", firms).build().unwrap();
+        let lake = lake::catalog::LakeCatalog::from_tables([t1, t2, t3, t4]).unwrap();
+
+        let estimator = estimator_for(&lake, true);
+        assert_eq!(estimator.meanings_of("JAGUAR"), Some(2));
+        assert_eq!(estimator.meanings_of("PANDA"), Some(1));
+        assert_eq!(estimator.meanings_of("GOOGLE"), Some(1));
+
+        let multi = estimator.multi_meaning_values(2);
+        assert_eq!(multi.len(), 1);
+        assert_eq!(multi[0].0, "JAGUAR");
+    }
+
+    #[test]
+    fn multi_meaning_listing_is_sorted_and_filtered() {
+        let lake = lake::fixtures::running_example();
+        let estimator = estimator_for(&lake, false);
+        let multi = estimator.multi_meaning_values(2);
+        for window in multi.windows(2) {
+            assert!(window[0].1 >= window[1].1);
+        }
+        for (_, meanings) in &multi {
+            assert!(*meanings >= 2);
+        }
+        let all = estimator.multi_meaning_values(1);
+        assert!(all.len() >= multi.len());
+    }
+}

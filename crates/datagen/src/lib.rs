@@ -1,0 +1,43 @@
+//! # `datagen` — benchmark generators for the DomainNet reproduction
+//!
+//! Homograph detection in data lakes had no public benchmarks before the
+//! paper; its evaluation rests on four datasets (§4). This crate regenerates
+//! functional equivalents of all four, with exact ground truth:
+//!
+//! | Paper dataset | Module | Notes |
+//! |---|---|---|
+//! | **SB** — 13-table synthetic benchmark with 55 homographs | [`sb`] | regenerated from embedded vocabularies whose overlaps *are* the ground truth |
+//! | **TUS** — real open-data tables with unionability ground truth | [`tus`] | synthetic open-data-style lake preserving the structural properties DomainNet consumes (slicing, cardinality skew, shared tokens, numeric collisions) |
+//! | **TUS-I** — TUS with homographs removed and re-injected | [`inject`] | the paper's §4.3 procedure: removal + controlled injection |
+//! | **NYC-EDU** — 1.5 M-value lake used only for scalability | [`scale`] | parameterized large-lake generator |
+//!
+//! Ground truth is represented by [`truth::LakeTruth`]: a semantic class per
+//! attribute, from which homograph labels follow via the paper's
+//! Definition 2 (a value in two attributes with different classes is a
+//! homograph).
+//!
+//! All generators are deterministic under an explicit seed.
+//!
+//! ```
+//! use datagen::sb::SbGenerator;
+//!
+//! let lake = SbGenerator::new(7).generate();
+//! assert_eq!(lake.catalog.table_count(), 13);
+//! assert!(lake.homographs().contains_key("JAGUAR"));
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod inject;
+pub mod sb;
+pub mod scale;
+pub mod truth;
+pub mod tus;
+pub mod vocab;
+
+pub use inject::{inject_homographs, remove_homographs, InjectionConfig, InjectionResult};
+pub use sb::{SbConfig, SbGenerator};
+pub use scale::{ScaleConfig, ScaleGenerator};
+pub use truth::{GeneratedLake, LakeTruth};
+pub use tus::{TusConfig, TusGenerator};

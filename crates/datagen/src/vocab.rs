@@ -1,0 +1,364 @@
+//! Curated vocabularies used by the synthetic-benchmark generator.
+//!
+//! The paper's synthetic benchmark (SB, §4.1) was authored with Mockaroo and
+//! contains realistic values from several semantic categories whose overlaps
+//! create homographs — `Jaguar` (animal / car maker), `Sydney` (city / first
+//! name), `Jamaica` (city / country), `Lincoln` (car / city), `CA`
+//! (country code / state abbreviation), `Pumpkin` (grocery / movie title),
+//! and so on. This module embeds equivalent vocabularies so the benchmark can
+//! be regenerated deterministically with exact ground truth.
+//!
+//! The lists intentionally overlap; the overlap *is* the ground truth. All
+//! values are stored in their display form — normalization (upper-casing,
+//! trimming) happens in the `lake` crate when tables are ingested.
+
+/// Animal names, including several that double as car models/brands or
+/// company names.
+pub const ANIMALS: &[&str] = &[
+    "Jaguar", "Puma", "Panda", "Lemur", "Pelican", "Panther", "Cougar", "Lynx", "Impala",
+    "Falcon", "Eagle", "Beetle", "Mustang", "Colt", "Ram", "Bronco", "Viper", "Cobra",
+    "Barracuda", "Stingray", "Leopard", "Cheetah", "Tiger", "Lion", "Elephant", "Giraffe",
+    "Zebra", "Hippopotamus", "Rhinoceros", "Gorilla", "Chimpanzee", "Orangutan", "Gibbon",
+    "Koala", "Kangaroo", "Wallaby", "Wombat", "Platypus", "Echidna", "Armadillo", "Anteater",
+    "Sloth", "Otter", "Beaver", "Badger", "Wolverine", "Raccoon", "Skunk", "Opossum",
+    "Hedgehog", "Porcupine", "Chinchilla", "Capybara", "Meerkat", "Mongoose", "Hyena",
+    "Jackal", "Coyote", "Wolf", "Fox", "Bear", "Moose", "Elk", "Caribou", "Reindeer",
+    "Bison", "Buffalo", "Antelope", "Gazelle", "Ibex", "Yak", "Llama", "Alpaca", "Camel",
+    "Dromedary", "Tapir", "Okapi", "Manatee", "Dugong", "Walrus", "Seal", "Dolphin",
+    "Porpoise", "Narwhal", "Beluga", "Orca", "Penguin", "Albatross", "Flamingo", "Heron",
+    "Stork", "Ibis", "Toucan", "Macaw", "Cockatoo", "Kiwi", "Ostrich", "Emu", "Cassowary",
+];
+
+/// Car manufacturers; several double as animals or generic companies.
+pub const CAR_BRANDS: &[&str] = &[
+    "Jaguar", "Lincoln", "Toyota", "Fiat", "Volkswagen", "BMW", "Mercedes-Benz", "Audi",
+    "Porsche", "Ferrari", "Lamborghini", "Maserati", "Alfa Romeo", "Peugeot", "Renault",
+    "Citroen", "Skoda", "Seat", "Volvo", "Saab", "Ford", "Chevrolet", "Dodge", "Chrysler",
+    "Cadillac", "Buick", "Pontiac", "Tesla", "Honda", "Nissan", "Mazda", "Subaru",
+    "Mitsubishi", "Suzuki", "Lexus", "Infiniti", "Acura", "Hyundai", "Kia", "Genesis",
+    "Land Rover", "Mini", "Bentley", "Rolls-Royce", "Aston Martin", "Lotus", "McLaren",
+];
+
+/// Car models; several double as animal names.
+pub const CAR_MODELS: &[&str] = &[
+    "XE", "XF", "XJ", "F-Type", "Prius", "Corolla", "Camry", "500", "Panda", "Punto",
+    "Golf", "Passat", "Beetle", "Mustang", "Colt", "Ram", "Impala", "Barracuda", "Viper",
+    "Bronco", "Cobra", "Stingray", "Falcon", "Eagle", "Civic", "Accord", "Leaf", "Micra",
+    "Altima", "MX-5", "CX-5", "Outback", "Forester", "Impreza", "Lancer", "Swift",
+    "Model S", "Model 3", "Model X", "Model Y", "A4", "A6", "Q5", "E-Class", "S-Class",
+    "3 Series", "5 Series", "X5", "911", "Cayenne", "Panamera", "Huracan", "Aventador",
+    "Ghibli", "Giulia", "Clio", "Megane", "208", "308", "Octavia", "Fabia", "XC90",
+];
+
+/// Companies; several double as animals, fruits, or car brands.
+pub const COMPANIES: &[&str] = &[
+    "Google", "Amazon", "Apple", "Microsoft", "Meta", "Netflix", "Tesla", "Nvidia",
+    "Intel", "AMD", "IBM", "Oracle", "Salesforce", "Adobe", "Spotify", "Uber", "Lyft",
+    "Airbnb", "Puma", "Jaguar", "Shell", "Caterpillar", "Blackberry", "Orange",
+    "Volkswagen", "Toyota", "BMW", "Samsung", "Sony", "Panasonic", "Philips", "Siemens",
+    "Bosch", "General Electric", "Boeing", "Airbus", "Lockheed Martin", "Raytheon",
+    "Pfizer", "Moderna", "Johnson & Johnson", "Novartis", "Roche", "Bayer", "Nestle",
+    "Unilever", "Procter & Gamble", "Coca-Cola", "PepsiCo", "Starbucks", "McDonald's",
+    "Nike", "Adidas", "Zara", "H&M", "Ikea", "Walmart", "Target", "Costco", "FedEx",
+    "UPS", "Visa", "Mastercard", "PayPal", "Goldman Sachs", "Morgan Stanley",
+];
+
+/// Cities; several double as first names, countries, or car brands.
+pub const CITIES: &[&str] = &[
+    "Sydney", "Jamaica", "Lincoln", "Austin", "Charlotte", "Savannah", "Phoenix",
+    "Jackson", "Madison", "Florence", "Paris", "Brooklyn", "Victoria", "Chelsea",
+    "Memphis", "Atlanta", "San Diego", "London", "Berlin", "Tokyo", "Kyoto", "Osaka",
+    "Beijing", "Shanghai", "Mumbai", "Delhi", "Bangalore", "Singapore", "Hong Kong",
+    "Seoul", "Bangkok", "Jakarta", "Manila", "Hanoi", "Kuala Lumpur", "Dubai",
+    "Istanbul", "Athens", "Rome", "Milan", "Naples", "Venice", "Madrid", "Barcelona",
+    "Lisbon", "Porto", "Amsterdam", "Rotterdam", "Brussels", "Vienna", "Prague",
+    "Budapest", "Warsaw", "Krakow", "Stockholm", "Oslo", "Copenhagen", "Helsinki",
+    "Dublin", "Edinburgh", "Glasgow", "Manchester", "Liverpool", "Birmingham",
+    "Toronto", "Vancouver", "Montreal", "Ottawa", "Calgary", "Mexico City",
+    "Guadalajara", "Bogota", "Lima", "Santiago", "Buenos Aires", "Sao Paulo",
+    "Rio de Janeiro", "Brasilia", "Cairo", "Lagos", "Nairobi", "Johannesburg",
+    "Cape Town", "Casablanca", "Accra", "Addis Ababa", "Boston", "Chicago",
+    "Seattle", "Portland", "Denver", "Houston", "Dallas", "Miami", "Orlando",
+    "Nashville", "New Orleans", "Salt Lake City", "Las Vegas", "San Francisco",
+    "Los Angeles", "New York", "Philadelphia", "Baltimore", "Washington",
+    "Cleveland", "Detroit", "Minneapolis", "St. Louis", "Kansas City", "Cuba",
+];
+
+/// Country names (subset of the 193 the paper used; the generator pads the
+/// table to 193 rows with additional real names below).
+pub const COUNTRIES: &[&str] = &[
+    "Jamaica", "Cuba", "Canada", "United States", "Mexico", "Guatemala", "Belize",
+    "Honduras", "El Salvador", "Nicaragua", "Costa Rica", "Panama", "Colombia",
+    "Venezuela", "Guyana", "Suriname", "Ecuador", "Peru", "Brazil", "Bolivia",
+    "Paraguay", "Chile", "Argentina", "Uruguay", "United Kingdom", "Ireland", "France",
+    "Spain", "Portugal", "Germany", "Netherlands", "Belgium", "Luxembourg",
+    "Switzerland", "Austria", "Italy", "Greece", "Malta", "Cyprus", "Denmark", "Norway",
+    "Sweden", "Finland", "Iceland", "Estonia", "Latvia", "Lithuania", "Poland",
+    "Czech Republic", "Slovakia", "Hungary", "Romania", "Bulgaria", "Slovenia",
+    "Croatia", "Bosnia and Herzegovina", "Serbia", "Montenegro", "North Macedonia",
+    "Albania", "Kosovo", "Moldova", "Ukraine", "Belarus", "Russia", "Georgia",
+    "Armenia", "Azerbaijan", "Turkey", "Syria", "Lebanon", "Israel", "Jordan", "Iraq",
+    "Iran", "Kuwait", "Saudi Arabia", "Bahrain", "Qatar", "United Arab Emirates",
+    "Oman", "Yemen", "Egypt", "Libya", "Tunisia", "Algeria", "Morocco", "Mauritania",
+    "Mali", "Niger", "Chad", "Sudan", "South Sudan", "Ethiopia", "Eritrea", "Djibouti",
+    "Somalia", "Kenya", "Uganda", "Tanzania", "Rwanda", "Burundi", "Nigeria", "Ghana",
+    "Ivory Coast", "Senegal", "Guinea", "Guinea-Bissau", "Sierra Leone", "Liberia",
+    "Togo", "Benin", "Cameroon", "Gabon", "Republic of the Congo", "Angola", "Zambia",
+    "Zimbabwe", "Mozambique", "Malawi", "Botswana", "Namibia", "South Africa",
+    "Lesotho", "Swaziland", "Madagascar", "Mauritius", "Seychelles", "Comoros",
+    "Cape Verde", "India", "Pakistan", "Afghanistan", "Bangladesh", "Sri Lanka",
+    "Nepal", "Bhutan", "Maldives", "China", "Mongolia", "North Korea", "South Korea",
+    "Japan", "Taiwan", "Philippines", "Vietnam", "Laos", "Cambodia", "Thailand",
+    "Myanmar", "Malaysia", "Singapore", "Indonesia", "Brunei", "East Timor",
+    "Papua New Guinea", "Australia", "New Zealand", "Fiji", "Samoa", "Tonga",
+    "Tuvalu", "Kiribati", "Vanuatu", "Solomon Islands", "Micronesia",
+    "Marshall Islands", "Palau", "Nauru", "Kazakhstan", "Uzbekistan", "Turkmenistan",
+    "Kyrgyzstan", "Tajikistan", "Haiti", "Dominican Republic", "Trinidad and Tobago",
+    "Barbados", "Saint Lucia", "Grenada", "Dominica", "Bahamas", "Antigua and Barbuda",
+    "Saint Kitts and Nevis", "Saint Vincent and the Grenadines", "Gambia",
+    "Burkina Faso", "Equatorial Guinea", "Sao Tome and Principe",
+    "Central African Republic", "Democratic Republic of the Congo", "Vatican City",
+    "San Marino", "Monaco", "Liechtenstein", "Andorra",
+];
+
+/// ISO-3166-ish two-letter country codes. Many collide with US state
+/// abbreviations (`CA`, `GA`, `DE`, `AL`, `CO`, `MD`, ...), which is one of
+/// the paper's canonical homograph families.
+pub const COUNTRY_CODES: &[&str] = &[
+    "CA", "GA", "DE", "AL", "CO", "MD", "MT", "NE", "PA", "SC", "SD", "IL", "ME", "GT",
+    "ES", "TL", "CT", "US", "GB", "FR", "IT", "JP", "CN", "IN", "BR", "MX", "AR", "CL",
+    "PE", "VE", "RU", "UA", "PL", "CZ", "SK", "HU", "RO", "BG", "GR", "TR", "EG", "MA",
+    "TN", "DZ", "NG", "KE", "ZA", "ET", "TZ", "GH", "SN", "CM", "AO", "MZ", "ZW", "BW",
+    "NA", "AU", "NZ", "FJ", "PG", "ID", "MY", "TH", "VN", "PH", "KR", "KP", "TW", "SG",
+    "LK", "BD", "PK", "AF", "IR", "IQ", "SA", "AE", "QA", "KW", "OM", "YE", "JO", "LB",
+    "SY", "IS", "NO", "SE", "FI", "DK", "NL", "BE", "LU", "CH", "AT", "PT", "IE",
+];
+
+/// US state names.
+pub const US_STATES: &[&str] = &[
+    "Alabama", "Alaska", "Arizona", "Arkansas", "California", "Colorado", "Connecticut",
+    "Delaware", "Florida", "Georgia", "Hawaii", "Idaho", "Illinois", "Indiana", "Iowa",
+    "Kansas", "Kentucky", "Louisiana", "Maine", "Maryland", "Massachusetts", "Michigan",
+    "Minnesota", "Mississippi", "Missouri", "Montana", "Nebraska", "Nevada",
+    "New Hampshire", "New Jersey", "New Mexico", "New York", "North Carolina",
+    "North Dakota", "Ohio", "Oklahoma", "Oregon", "Pennsylvania", "Rhode Island",
+    "South Carolina", "South Dakota", "Tennessee", "Texas", "Utah", "Vermont",
+    "Virginia", "Washington", "West Virginia", "Wisconsin", "Wyoming",
+];
+
+/// US state abbreviations (same order as [`US_STATES`]).
+pub const STATE_ABBREVS: &[&str] = &[
+    "AL", "AK", "AZ", "AR", "CA", "CO", "CT", "DE", "FL", "GA", "HI", "ID", "IL", "IN",
+    "IA", "KS", "KY", "LA", "ME", "MD", "MA", "MI", "MN", "MS", "MO", "MT", "NE", "NV",
+    "NH", "NJ", "NM", "NY", "NC", "ND", "OH", "OK", "OR", "PA", "RI", "SC", "SD", "TN",
+    "TX", "UT", "VT", "VA", "WA", "WV", "WI", "WY",
+];
+
+/// First names; several double as cities or US states.
+pub const FIRST_NAMES: &[&str] = &[
+    "Sydney", "Austin", "Charlotte", "Savannah", "Phoenix", "Jackson", "Madison",
+    "Florence", "Victoria", "Chelsea", "Brooklyn", "Virginia", "Georgia", "Heather",
+    "Leandra", "Nadine", "Quinta", "Elmira", "Charity", "Mace", "Smitty", "Jimmy",
+    "Nadia", "Elena", "Sofia", "Olivia", "Emma", "Ava", "Isabella", "Mia", "Amelia",
+    "Harper", "Evelyn", "Abigail", "Emily", "Elizabeth", "Stella", "Ella", "Scarlett",
+    "Grace", "Chloe", "Lily", "Aria", "Zoe", "Hannah", "Nora", "Layla", "Mila",
+    "James", "Robert", "John", "Michael", "David", "William", "Richard", "Joseph",
+    "Thomas", "Charles", "Christopher", "Daniel", "Matthew", "Anthony", "Mark",
+    "Donald", "Steven", "Paul", "Andrew", "Joshua", "Kenneth", "Kevin", "Brian",
+    "George", "Edward", "Ronald", "Timothy", "Jason", "Jeffrey", "Ryan", "Jacob",
+    "Gary", "Nicholas", "Eric", "Jonathan", "Stephen", "Larry", "Justin", "Scott",
+    "Brandon", "Benjamin", "Samuel", "Gregory", "Frank", "Alexander", "Raymond",
+    "Patrick", "Jack", "Dennis", "Jerry", "Tyler", "Aaron", "Elan", "Christophe",
+    "Else", "Leandro", "Quintin",
+];
+
+/// Last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas", "Taylor", "Moore", "Martin", "Lee", "Perez", "Thompson",
+    "White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
+    "Young", "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill", "Flores",
+    "Green", "Adams", "Nelson", "Baker", "Hall", "Rivera", "Campbell", "Mitchell",
+    "Carter", "Roberts", "Garvey", "Vinson", "Duff", "Reid", "Costanza", "Berkeley",
+    "Conroy", "Lincoln", "Jackson", "Madison", "Washington", "Jefferson", "Monroe",
+];
+
+/// Grocery products; several double as movie titles, companies, or colors.
+pub const GROCERIES: &[&str] = &[
+    "Pumpkin", "Apple", "Orange", "Mango", "Kiwi", "Olive", "Ginger", "Sage", "Basil",
+    "Rosemary", "Thyme", "Oregano", "Cinnamon", "Nutmeg", "Vanilla", "Honey", "Butter",
+    "Milk", "Cheese", "Yogurt", "Bread", "Rice", "Pasta", "Flour", "Sugar", "Salt",
+    "Pepper", "Tomato", "Potato", "Onion", "Garlic", "Carrot", "Celery", "Spinach",
+    "Kale", "Lettuce", "Cabbage", "Broccoli", "Cauliflower", "Zucchini", "Eggplant",
+    "Cucumber", "Avocado", "Banana", "Grape", "Strawberry", "Blueberry", "Raspberry",
+    "Blackberry", "Cherry", "Peach", "Plum", "Pear", "Pineapple", "Watermelon",
+    "Cantaloupe", "Lemon", "Lime", "Grapefruit", "Coconut", "Almond", "Walnut",
+    "Cashew", "Pistachio", "Peanut", "Oats", "Quinoa", "Lentils", "Chickpeas", "Beans",
+];
+
+/// Movie titles; several double as groceries, animals, or first names.
+pub const MOVIES: &[&str] = &[
+    "Pumpkin", "Jaws", "Titanic", "Avatar", "Inception", "Interstellar", "Gladiator",
+    "Casablanca", "Psycho", "Vertigo", "Rocky", "Alien", "Aliens", "Predator",
+    "The Godfather", "Goodfellas", "Scarface", "Heat", "Collateral", "Drive",
+    "Whiplash", "La La Land", "Moonlight", "Parasite", "Amelie", "Chicago",
+    "Philadelphia", "Fargo", "Nebraska", "Lincoln", "Jackie", "Frida", "Ray",
+    "Walk the Line", "The Matrix", "Speed", "Twister", "Volcano", "Dante's Peak",
+    "Armageddon", "Deep Impact", "Contact", "Arrival", "Gravity", "The Martian",
+    "Apollo 13", "First Man", "Dunkirk", "1917", "Platoon", "Full Metal Jacket",
+    "Jarhead", "Black Hawk Down", "Crash", "Babel", "Traffic", "Syriana", "Argo",
+    "Up", "Brave", "Frozen", "Coco", "Luca", "Soul", "Cars", "Planes",
+];
+
+/// Plant common names (echoing the long-tailed plant values visible in the
+/// paper's Figure 6).
+pub const PLANTS: &[&str] = &[
+    "Shieldplant", "Coiled Anther", "Hairy Grama", "Hybrid Oak", "Canyon Liveforever",
+    "Cracked Lichen", "Orange Lichen", "Kidney Lichen", "Coastal Plain Dawnflower",
+    "California Blackberry", "Tarweed", "Dispersed Eggyolk Lichen",
+    "Pale Evening Primrose", "Schaereria Lichen", "Angelica Tree",
+    "Woodland Wild Coffee", "Showy Rattlebox", "White Oak", "Red Maple", "Sugar Maple",
+    "Douglas Fir", "Ponderosa Pine", "Lodgepole Pine", "Blue Spruce", "Quaking Aspen",
+    "Paper Birch", "American Beech", "Black Walnut", "Shagbark Hickory", "Sassafras",
+    "Tulip Poplar", "Sweetgum", "Sycamore", "Cottonwood", "Willow", "Alder", "Hazel",
+    "Dogwood", "Redbud", "Serviceberry", "Mountain Laurel", "Rhododendron", "Azalea",
+    "Huckleberry", "Salal", "Manzanita", "Sagebrush", "Rabbitbrush", "Yucca", "Agave",
+];
+
+/// Scientific-sounding species names for the plant/animal science tables.
+pub const SCIENTIFIC_NAMES: &[&str] = &[
+    "Panthera onca", "Puma concolor", "Ailuropoda melanoleuca", "Lemur catta",
+    "Pelecanus occidentalis", "Panthera pardus", "Acinonyx jubatus", "Panthera leo",
+    "Loxodonta africana", "Giraffa camelopardalis", "Equus quagga", "Gorilla gorilla",
+    "Pan troglodytes", "Pongo abelii", "Phascolarctos cinereus", "Macropus rufus",
+    "Ornithorhynchus anatinus", "Dasypus novemcinctus", "Myrmecophaga tridactyla",
+    "Choloepus didactylus", "Lontra canadensis", "Castor canadensis", "Meles meles",
+    "Gulo gulo", "Procyon lotor", "Mephitis mephitis", "Didelphis virginiana",
+    "Erinaceus europaeus", "Erethizon dorsatum", "Chinchilla lanigera",
+    "Suricata suricatta", "Crocuta crocuta", "Canis aureus", "Canis latrans",
+    "Canis lupus", "Vulpes vulpes", "Ursus arctos", "Alces alces", "Cervus canadensis",
+    "Rangifer tarandus", "Bison bison", "Quercus alba", "Acer rubrum",
+    "Acer saccharum", "Pseudotsuga menziesii", "Pinus ponderosa", "Pinus contorta",
+    "Picea pungens", "Populus tremuloides", "Betula papyrifera",
+];
+
+/// Academic departments / campus locations. `Music Faculty` and `Biomedical
+/// Engineering` echo the paper's §5.3 examples of real-lake homographs.
+pub const DEPARTMENTS: &[&str] = &[
+    "Music Faculty", "Biomedical Engineering", "Computer Science", "Mathematics",
+    "Physics", "Chemistry", "Biology", "Economics", "History", "Philosophy",
+    "Linguistics", "Psychology", "Sociology", "Anthropology", "Political Science",
+    "Mechanical Engineering", "Electrical Engineering", "Civil Engineering",
+    "Chemical Engineering", "Materials Science", "Statistics", "Data Science",
+    "Business Administration", "Accounting", "Finance", "Marketing", "Law",
+    "Medicine", "Nursing", "Public Health", "Architecture", "Urban Planning",
+    "Fine Arts", "Graphic Design", "Journalism", "Education", "Environmental Science",
+];
+
+/// Colors, used as a descriptor column (and as a source of data-entry-error
+/// homographs when a color lands in a habitat column).
+pub const COLORS: &[&str] = &[
+    "Red", "Orange", "Yellow", "Green", "Blue", "Indigo", "Violet", "Purple", "Pink",
+    "Brown", "Black", "White", "Gray", "Silver", "Gold", "Beige", "Ivory", "Teal",
+    "Cyan", "Magenta", "Maroon", "Olive", "Navy", "Coral", "Salmon", "Turquoise",
+];
+
+/// Habitats for the animal tables.
+pub const HABITATS: &[&str] = &[
+    "Rainforest", "Savanna", "Desert", "Tundra", "Taiga", "Grassland", "Wetland",
+    "Mangrove", "Coral Reef", "Deep Sea", "Coastal", "Alpine", "Temperate Forest",
+    "Tropical Forest", "Swamp", "River", "Lake", "Estuary", "Cave", "Urban",
+];
+
+/// Well-known null-equivalent markers that occur across heterogeneous columns
+/// in real lakes (the paper's "." example). Sprinkling a few of these into
+/// generated lakes reproduces the null-marker homograph family.
+pub const NULL_MARKERS: &[&str] = &["NA", "N/A", ".", "-", "Unknown", "Not Available", "None"];
+
+/// All vocabularies with a short semantic-class label, used by tests to check
+/// overlap structure.
+pub fn all_vocabularies() -> Vec<(&'static str, &'static [&'static str])> {
+    vec![
+        ("animal", ANIMALS),
+        ("car_brand", CAR_BRANDS),
+        ("car_model", CAR_MODELS),
+        ("company", COMPANIES),
+        ("city", CITIES),
+        ("country", COUNTRIES),
+        ("country_code", COUNTRY_CODES),
+        ("us_state", US_STATES),
+        ("state_abbrev", STATE_ABBREVS),
+        ("first_name", FIRST_NAMES),
+        ("last_name", LAST_NAMES),
+        ("grocery", GROCERIES),
+        ("movie", MOVIES),
+        ("plant", PLANTS),
+        ("scientific_name", SCIENTIFIC_NAMES),
+        ("department", DEPARTMENTS),
+        ("color", COLORS),
+        ("habitat", HABITATS),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn canonical_homographs_are_present_in_both_vocabularies() {
+        let pairs: &[(&str, &[&str], &[&str])] = &[
+            ("Jaguar", ANIMALS, CAR_BRANDS),
+            ("Jaguar", ANIMALS, COMPANIES),
+            ("Puma", ANIMALS, COMPANIES),
+            ("Lincoln", CAR_BRANDS, CITIES),
+            ("Sydney", CITIES, FIRST_NAMES),
+            ("Jamaica", CITIES, COUNTRIES),
+            ("Pumpkin", GROCERIES, MOVIES),
+            ("Apple", COMPANIES, GROCERIES),
+            ("CA", COUNTRY_CODES, STATE_ABBREVS),
+            ("GA", COUNTRY_CODES, STATE_ABBREVS),
+            ("Beetle", ANIMALS, CAR_MODELS),
+            ("Mustang", ANIMALS, CAR_MODELS),
+            ("Orange", COMPANIES, COLORS),
+        ];
+        for (value, a, b) in pairs {
+            assert!(a.contains(value), "{value} missing from first vocabulary");
+            assert!(b.contains(value), "{value} missing from second vocabulary");
+        }
+    }
+
+    #[test]
+    fn state_abbreviations_parallel_state_names() {
+        assert_eq!(US_STATES.len(), 50);
+        assert_eq!(STATE_ABBREVS.len(), 50);
+        let unique: HashSet<&str> = STATE_ABBREVS.iter().copied().collect();
+        assert_eq!(unique.len(), 50);
+    }
+
+    #[test]
+    fn vocabularies_have_no_internal_duplicates_after_normalization() {
+        for (name, list) in all_vocabularies() {
+            // FIRST_NAMES intentionally repeats "Sofia" in the raw list? No —
+            // normalize and check; duplicates would silently shrink columns.
+            let mut seen = HashSet::new();
+            let mut dups = Vec::new();
+            for value in list {
+                if !seen.insert(lake::normalize(value)) {
+                    dups.push(*value);
+                }
+            }
+            assert!(dups.is_empty(), "duplicates in {name}: {dups:?}");
+        }
+    }
+
+    #[test]
+    fn vocabularies_are_reasonably_sized() {
+        assert!(ANIMALS.len() >= 60);
+        assert!(CITIES.len() >= 80);
+        assert!(COUNTRIES.len() >= 150);
+        assert!(FIRST_NAMES.len() >= 80);
+        assert!(COUNTRY_CODES.len() >= 80);
+    }
+}

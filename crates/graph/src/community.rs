@@ -1,0 +1,269 @@
+//! Community detection via label propagation.
+//!
+//! The paper's outlook (§6) proposes using non-parameterized community
+//! detection to estimate *how many* meanings a detected homograph has: each
+//! community of the lake graph corresponds to one latent semantic type, and a
+//! homograph is a value whose neighborhood spans several communities. This
+//! module provides a deterministic, seedable label-propagation algorithm over
+//! the bipartite graph — parameter-free in the sense that the number of
+//! communities is not specified in advance — which the `domainnet::meanings`
+//! module builds on.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+
+use crate::bipartite::BipartiteGraph;
+
+/// Result of a community-detection run.
+#[derive(Debug, Clone)]
+pub struct Communities {
+    /// Community label per node (dense ids starting at 0).
+    pub labels: Vec<u32>,
+    /// Number of communities.
+    pub count: usize,
+}
+
+impl Communities {
+    /// Community of a node.
+    pub fn community_of(&self, node: u32) -> u32 {
+        self.labels[node as usize]
+    }
+
+    /// Sizes of all communities, indexed by community id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.count];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The number of distinct communities among the given nodes.
+    pub fn distinct_among(&self, nodes: &[u32]) -> usize {
+        let mut seen: Vec<u32> = nodes.iter().map(|&n| self.labels[n as usize]).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        seen.len()
+    }
+}
+
+/// Configuration for label propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LabelPropagationConfig {
+    /// Maximum number of sweeps over all nodes.
+    pub max_iterations: usize,
+    /// RNG seed controlling the node visiting order (label propagation is
+    /// order-dependent; fixing the seed makes runs reproducible).
+    pub seed: u64,
+}
+
+impl Default for LabelPropagationConfig {
+    fn default() -> Self {
+        LabelPropagationConfig {
+            max_iterations: 20,
+            seed: 7,
+        }
+    }
+}
+
+/// Sentinel for value nodes that have not adopted a label yet.
+const UNLABELED: u32 = u32::MAX;
+
+/// Run attribute-seeded label propagation over the bipartite graph.
+///
+/// Every **attribute** node starts in its own community (attributes are the
+/// natural seeds of semantic types: a column is about one thing); value nodes
+/// start unlabeled. Each sweep first lets every value node adopt the most
+/// frequent label among its attributes, then lets every attribute node adopt
+/// the most frequent label among its values. Ties keep the node's current
+/// label when it is among the most frequent, and otherwise resolve to the
+/// smallest label id, so runs are deterministic; the per-sweep visiting order
+/// is shuffled once from the seed. Terminates when a sweep changes nothing or
+/// after `max_iterations` sweeps. Isolated value nodes end up in singleton
+/// communities.
+pub fn label_propagation(graph: &BipartiteGraph, config: LabelPropagationConfig) -> Communities {
+    let n = graph.node_count();
+    if n == 0 {
+        return Communities {
+            labels: Vec::new(),
+            count: 0,
+        };
+    }
+    let mut labels: Vec<u32> = vec![UNLABELED; n];
+    for attr in graph.attribute_nodes() {
+        labels[attr as usize] = attr;
+    }
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut value_order: Vec<u32> = graph.value_nodes().collect();
+    let mut attr_order: Vec<u32> = graph.attribute_nodes().collect();
+    value_order.shuffle(&mut rng);
+    attr_order.shuffle(&mut rng);
+
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    let relabel = |node: u32, labels: &mut Vec<u32>, counts: &mut HashMap<u32, usize>| -> bool {
+        let neighbors = graph.neighbors(node);
+        if neighbors.is_empty() {
+            return false;
+        }
+        counts.clear();
+        for &nb in neighbors {
+            let label = labels[nb as usize];
+            if label != UNLABELED {
+                *counts.entry(label).or_insert(0) += 1;
+            }
+        }
+        if counts.is_empty() {
+            return false;
+        }
+        let best_count = *counts.values().max().expect("non-empty counts");
+        let current = labels[node as usize];
+        if current != UNLABELED && counts.get(&current) == Some(&best_count) {
+            return false; // keep the current label on ties
+        }
+        let best_label = counts
+            .iter()
+            .filter(|(_, &c)| c == best_count)
+            .map(|(&l, _)| l)
+            .min()
+            .expect("non-empty counts");
+        if best_label != current {
+            labels[node as usize] = best_label;
+            true
+        } else {
+            false
+        }
+    };
+
+    for _ in 0..config.max_iterations {
+        let mut changed = false;
+        for &node in &value_order {
+            changed |= relabel(node, &mut labels, &mut counts);
+        }
+        for &node in &attr_order {
+            changed |= relabel(node, &mut labels, &mut counts);
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Unlabeled (isolated) nodes become singleton communities, then labels
+    // are re-mapped to dense community ids.
+    for (i, label) in labels.iter_mut().enumerate() {
+        if *label == UNLABELED {
+            *label = i as u32;
+        }
+    }
+    let mut remap: HashMap<u32, u32> = HashMap::new();
+    for label in &mut labels {
+        let next = remap.len() as u32;
+        let dense = *remap.entry(*label).or_insert(next);
+        *label = dense;
+    }
+    Communities {
+        count: remap.len(),
+        labels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::BipartiteBuilder;
+
+    /// Two cliquish groups of attributes sharing their values, bridged by one
+    /// shared value.
+    fn two_groups(side: usize) -> (BipartiteGraph, u32) {
+        let mut b = BipartiteBuilder::new();
+        let bridge = b.add_value("bridge");
+        for prefix in ["left", "right"] {
+            let a0 = b.add_attribute(format!("{prefix}_a0"));
+            let a1 = b.add_attribute(format!("{prefix}_a1"));
+            for i in 0..side {
+                let v = b.add_value(format!("{prefix}_{i}"));
+                b.add_edge(v, a0);
+                b.add_edge(v, a1);
+            }
+            // The bridge value sits in one attribute of each group.
+            b.add_edge(bridge, a0);
+        }
+        (b.build(), bridge)
+    }
+
+    #[test]
+    fn two_clear_groups_form_two_communities() {
+        let (g, _) = two_groups(8);
+        let communities = label_propagation(&g, LabelPropagationConfig::default());
+        // The two sides collapse into (at most a few) communities, far fewer
+        // than one per node, and left/right values end up separated.
+        assert!(communities.count >= 2);
+        assert!(communities.count <= 6);
+        let left = g
+            .value_nodes()
+            .find(|&v| g.value_label(v) == "left_0")
+            .unwrap();
+        let right = g
+            .value_nodes()
+            .find(|&v| g.value_label(v) == "right_0")
+            .unwrap();
+        assert_ne!(
+            communities.community_of(left),
+            communities.community_of(right),
+            "left and right groups must not merge"
+        );
+    }
+
+    #[test]
+    fn bridge_value_touches_both_communities_through_its_attributes() {
+        let (g, bridge) = two_groups(8);
+        let communities = label_propagation(&g, LabelPropagationConfig::default());
+        let attrs: Vec<u32> = g.neighbors(bridge).to_vec();
+        assert_eq!(attrs.len(), 2);
+        assert_eq!(communities.distinct_among(&attrs), 2);
+    }
+
+    #[test]
+    fn single_attribute_graph_is_one_community() {
+        let mut b = BipartiteBuilder::new();
+        let a = b.add_attribute("a");
+        for i in 0..10 {
+            let v = b.add_value(format!("v{i}"));
+            b.add_edge(v, a);
+        }
+        let g = b.build();
+        let communities = label_propagation(&g, LabelPropagationConfig::default());
+        assert_eq!(communities.count, 1);
+        assert_eq!(communities.sizes(), vec![g.node_count()]);
+    }
+
+    #[test]
+    fn isolated_nodes_keep_singleton_communities() {
+        let mut b = BipartiteBuilder::new();
+        b.add_value("lonely_1");
+        b.add_value("lonely_2");
+        let a = b.add_attribute("a");
+        let v = b.add_value("x");
+        b.add_edge(v, a);
+        let g = b.build();
+        let communities = label_propagation(&g, LabelPropagationConfig::default());
+        assert_eq!(communities.count, 3);
+    }
+
+    #[test]
+    fn deterministic_under_fixed_seed() {
+        let (g, _) = two_groups(6);
+        let a = label_propagation(&g, LabelPropagationConfig::default());
+        let b = label_propagation(&g, LabelPropagationConfig::default());
+        assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteBuilder::new().build();
+        let communities = label_propagation(&g, LabelPropagationConfig::default());
+        assert_eq!(communities.count, 0);
+    }
+}

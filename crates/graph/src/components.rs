@@ -1,0 +1,174 @@
+//! Connected components of the bipartite graph.
+//!
+//! Component structure is useful diagnostics for a lake graph: a value whose
+//! removal would split a component is exactly the kind of "pivotal" node the
+//! paper's Example 3.2 describes, and experiment harnesses use component
+//! sizes to sanity-check generated benchmarks.
+
+use std::collections::VecDeque;
+
+use crate::bipartite::BipartiteGraph;
+
+/// The result of a connected-components computation.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// Component id per node (dense, starting at 0).
+    pub labels: Vec<u32>,
+    /// Number of nodes per component, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Number of connected components.
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Component id of a node.
+    pub fn component_of(&self, node: u32) -> u32 {
+        self.labels[node as usize]
+    }
+
+    /// Whether two nodes are in the same component.
+    pub fn connected(&self, a: u32, b: u32) -> bool {
+        self.labels[a as usize] == self.labels[b as usize]
+    }
+}
+
+/// Compute connected components with BFS.
+pub fn connected_components(graph: &BipartiteGraph) -> Components {
+    let n = graph.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in graph.nodes() {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        let component = sizes.len() as u32;
+        let mut size = 0usize;
+        labels[start as usize] = component;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &w in graph.neighbors(v) {
+                if labels[w as usize] == u32::MAX {
+                    labels[w as usize] = component;
+                    queue.push_back(w);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { labels, sizes }
+}
+
+/// Number of connected components after removing one value node.
+///
+/// Used in tests and diagnostics to verify the "pivotal node" intuition: for
+/// a true bridge value, removing it increases the component count.
+pub fn components_without_value(graph: &BipartiteGraph, removed: u32) -> usize {
+    let n = graph.node_count();
+    let mut labels = vec![u32::MAX; n];
+    let mut count = 0usize;
+    let mut queue = VecDeque::new();
+    for start in graph.nodes() {
+        if start == removed || labels[start as usize] != u32::MAX {
+            continue;
+        }
+        count += 1;
+        labels[start as usize] = count as u32;
+        queue.push_back(start);
+        while let Some(v) = queue.pop_front() {
+            for &w in graph.neighbors(v) {
+                if w != removed && labels[w as usize] == u32::MAX {
+                    labels[w as usize] = count as u32;
+                    queue.push_back(w);
+                }
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::BipartiteBuilder;
+
+    #[test]
+    fn single_component() {
+        let (g, _) = crate::bipartite::tests::figure3b();
+        let comps = connected_components(&g);
+        assert_eq!(comps.count(), 1);
+        assert_eq!(comps.largest(), g.node_count());
+        assert!(comps.connected(0, g.attribute_node(0)));
+    }
+
+    #[test]
+    fn two_disjoint_stars() {
+        let mut b = BipartiteBuilder::new();
+        let a0 = b.add_attribute("a0");
+        let a1 = b.add_attribute("a1");
+        for i in 0..3 {
+            let v = b.add_value(format!("x{i}"));
+            b.add_edge(v, a0);
+        }
+        for i in 0..2 {
+            let v = b.add_value(format!("y{i}"));
+            b.add_edge(v, a1);
+        }
+        let g = b.build();
+        let comps = connected_components(&g);
+        assert_eq!(comps.count(), 2);
+        assert_eq!(comps.largest(), 4);
+        assert!(!comps.connected(0, 3));
+    }
+
+    #[test]
+    fn isolated_nodes_are_their_own_components() {
+        let mut b = BipartiteBuilder::new();
+        b.add_value("v0");
+        b.add_value("v1");
+        b.add_attribute("a0");
+        let g = b.build();
+        let comps = connected_components(&g);
+        assert_eq!(comps.count(), 3);
+        assert_eq!(comps.largest(), 1);
+    }
+
+    #[test]
+    fn removing_bridge_value_splits_graph() {
+        // Two attributes sharing only the value "bridge".
+        let mut b = BipartiteBuilder::new();
+        let bridge = b.add_value("bridge");
+        let a0 = b.add_attribute("a0");
+        let a1 = b.add_attribute("a1");
+        for i in 0..3 {
+            let v = b.add_value(format!("l{i}"));
+            b.add_edge(v, a0);
+            let w = b.add_value(format!("r{i}"));
+            b.add_edge(w, a1);
+        }
+        b.add_edge(bridge, a0);
+        b.add_edge(bridge, a1);
+        let g = b.build();
+        assert_eq!(connected_components(&g).count(), 1);
+        assert_eq!(components_without_value(&g, bridge), 2);
+        // Removing a non-bridge value does not split anything.
+        assert_eq!(components_without_value(&g, 1), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = BipartiteBuilder::new().build();
+        let comps = connected_components(&g);
+        assert_eq!(comps.count(), 0);
+        assert_eq!(comps.largest(), 0);
+    }
+}

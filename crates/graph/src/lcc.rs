@@ -1,0 +1,284 @@
+//! Bipartite local clustering coefficients (Equation 1 of the paper).
+//!
+//! For a value node `u`, let `N(u)` be its *value neighbors* — every other
+//! value that shares at least one attribute with `u`. The pairwise clustering
+//! coefficient of two values is the Jaccard similarity of their neighbor
+//! sets,
+//!
+//! ```text
+//! c_vw = |N(v) ∩ N(w)| / |N(v) ∪ N(w)|
+//! ```
+//!
+//! and the local clustering coefficient of `u` is the mean of `c_uv` over all
+//! `v ∈ N(u)`. Hypothesis 3.4 of the paper: homographs, whose neighbors come
+//! from several unrelated communities, have *lower* LCC than unambiguous
+//! values.
+//!
+//! Two computation methods are offered:
+//!
+//! * [`LccMethod::ValueNeighborJaccard`] — the literal Equation 1. Cost for a
+//!   node `u` is `O(Σ_{v∈N(u)} deg₂(v))` where `deg₂` is the size of the
+//!   2-hop neighborhood, which is fine for benchmark-scale lakes (the SB
+//!   experiments of Figure 5) but quadratic-ish on very large ones.
+//! * [`LccMethod::AttributeJaccard`] — the scalable variant the paper
+//!   alludes to ("no more than the average Jaccard similarity between the
+//!   set of attributes that a value co-occurs with"): the Jaccard is taken
+//!   over the (much smaller) sets of *attributes* containing each value.
+//!   Shares the same bias — it rewards values confined to overlapping
+//!   attribute sets — at a fraction of the cost.
+
+use crate::bipartite::BipartiteGraph;
+
+/// Which formulation of the local clustering coefficient to compute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LccMethod {
+    /// Equation 1: Jaccard over 2-hop value-neighbor sets.
+    ValueNeighborJaccard,
+    /// Scalable variant: Jaccard over attribute (1-hop) sets.
+    AttributeJaccard,
+}
+
+/// Compute the LCC of every **value node**, returned as a vector indexed by
+/// value node id.
+pub fn local_clustering_coefficients(graph: &BipartiteGraph, method: LccMethod) -> Vec<f64> {
+    let targets: Vec<u32> = graph.value_nodes().collect();
+    lcc_for_values(graph, &targets, method)
+}
+
+/// Compute the LCC for an explicit list of value nodes.
+///
+/// The result is parallel to `targets`. Nodes with no value neighbors get an
+/// LCC of 0.
+pub fn lcc_for_values(graph: &BipartiteGraph, targets: &[u32], method: LccMethod) -> Vec<f64> {
+    match method {
+        LccMethod::ValueNeighborJaccard => lcc_value_neighbors(graph, targets),
+        LccMethod::AttributeJaccard => lcc_attribute_jaccard(graph, targets),
+    }
+}
+
+fn lcc_value_neighbors(graph: &BipartiteGraph, targets: &[u32]) -> Vec<f64> {
+    let n_values = graph.value_count();
+    // Stamp arrays avoid clearing O(n) state per target/per neighbor.
+    let mut in_target_neighborhood = vec![0u32; n_values];
+    let mut visited = vec![0u32; n_values];
+    let mut target_epoch = 0u32;
+    let mut visit_epoch = 0u32;
+
+    let mut out = Vec::with_capacity(targets.len());
+    for &u in targets {
+        debug_assert!(graph.is_value_node(u), "LCC is defined for value nodes");
+        target_epoch += 1;
+        // Materialize N(u) and mark it.
+        let nu = graph.value_neighbors(u);
+        for &v in &nu {
+            in_target_neighborhood[v as usize] = target_epoch;
+        }
+        if nu.is_empty() {
+            out.push(0.0);
+            continue;
+        }
+        let nu_len = nu.len() as f64;
+        let mut sum = 0.0;
+        for &v in &nu {
+            // Walk v's 2-hop neighborhood once, deduplicating with a stamp.
+            visit_epoch += 1;
+            let mut nv_len = 0usize;
+            let mut inter = 0usize;
+            for &attr in graph.neighbors(v) {
+                for &w in graph.neighbors(attr) {
+                    if w == v {
+                        continue;
+                    }
+                    let wi = w as usize;
+                    if visited[wi] != visit_epoch {
+                        visited[wi] = visit_epoch;
+                        nv_len += 1;
+                        // u ∈ N(v) but u ∉ N(u), so u itself never counts
+                        // toward the intersection — only marked members of N(u).
+                        if in_target_neighborhood[wi] == target_epoch {
+                            inter += 1;
+                        }
+                    }
+                }
+            }
+            let union = nu.len() + nv_len - inter;
+            if union > 0 {
+                sum += inter as f64 / union as f64;
+            }
+        }
+        out.push(sum / nu_len);
+    }
+    out
+}
+
+fn lcc_attribute_jaccard(graph: &BipartiteGraph, targets: &[u32]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(targets.len());
+    for &u in targets {
+        debug_assert!(graph.is_value_node(u), "LCC is defined for value nodes");
+        let nu = graph.value_neighbors(u);
+        if nu.is_empty() {
+            out.push(0.0);
+            continue;
+        }
+        let au = graph.neighbors(u);
+        let mut sum = 0.0;
+        for &v in &nu {
+            let av = graph.neighbors(v);
+            let inter = sorted_intersection_size(au, av);
+            let union = au.len() + av.len() - inter;
+            if union > 0 {
+                sum += inter as f64 / union as f64;
+            }
+        }
+        out.push(sum / nu.len() as f64);
+    }
+    out
+}
+
+fn sorted_intersection_size(a: &[u32], b: &[u32]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut count = 0;
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::BipartiteBuilder;
+
+    fn star(k: usize) -> BipartiteGraph {
+        let mut b = BipartiteBuilder::new();
+        let a = b.add_attribute("a");
+        for i in 0..k {
+            let v = b.add_value(format!("v{i}"));
+            b.add_edge(v, a);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn single_attribute_closed_form() {
+        // All k values share one attribute: N(u) = k-1 others, and for any
+        // neighbor v, |N(u) ∩ N(v)| = k-2, |N(u) ∪ N(v)| = k, so every value
+        // has LCC = (k-2)/k under Equation 1 and exactly 1 under the
+        // attribute-Jaccard variant.
+        for k in [3usize, 4, 7] {
+            let g = star(k);
+            let eq1 = local_clustering_coefficients(&g, LccMethod::ValueNeighborJaccard);
+            let attr = local_clustering_coefficients(&g, LccMethod::AttributeJaccard);
+            let expected = (k as f64 - 2.0) / k as f64;
+            for v in 0..k {
+                assert!((eq1[v] - expected).abs() < 1e-12, "k={k} got {}", eq1[v]);
+                assert!((attr[v] - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_value_has_zero_lcc() {
+        let mut b = BipartiteBuilder::new();
+        b.add_value("lonely");
+        let a = b.add_attribute("a");
+        let v = b.add_value("x");
+        let w = b.add_value("y");
+        let z = b.add_value("z");
+        b.add_edge(v, a);
+        b.add_edge(w, a);
+        b.add_edge(z, a);
+        let g = b.build();
+        let lcc = local_clustering_coefficients(&g, LccMethod::ValueNeighborJaccard);
+        assert_eq!(lcc[0], 0.0, "value with no neighbors has LCC 0");
+        // Three values sharing one attribute: closed form (k-2)/k = 1/3.
+        assert!((lcc[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    /// Two dense communities bridged by a single value.
+    fn bridged_communities(side: usize) -> (BipartiteGraph, u32) {
+        let mut b = BipartiteBuilder::new();
+        let bridge = b.add_value("bridge");
+        // Each side has two attributes over the same set of values, so inner
+        // values are tightly clustered.
+        let make_side = |prefix: &str, b: &mut BipartiteBuilder| {
+            let a0 = b.add_attribute(format!("{prefix}_a0"));
+            let a1 = b.add_attribute(format!("{prefix}_a1"));
+            for i in 0..side {
+                let v = b.add_value(format!("{prefix}_{i}"));
+                b.add_edge(v, a0);
+                b.add_edge(v, a1);
+            }
+            (a0, a1)
+        };
+        let (l0, _) = make_side("left", &mut b);
+        let (r0, _) = make_side("right", &mut b);
+        b.add_edge(bridge, l0);
+        b.add_edge(bridge, r0);
+        (b.build(), bridge)
+    }
+
+    #[test]
+    fn bridge_value_has_lowest_lcc() {
+        let (g, bridge) = bridged_communities(6);
+        for method in [LccMethod::ValueNeighborJaccard, LccMethod::AttributeJaccard] {
+            let lcc = local_clustering_coefficients(&g, method);
+            let bridge_lcc = lcc[bridge as usize];
+            for v in g.value_nodes() {
+                if v != bridge {
+                    assert!(
+                        bridge_lcc < lcc[v as usize] + 1e-12,
+                        "{method:?}: bridge {bridge_lcc} not below {} ({})",
+                        lcc[v as usize],
+                        g.value_label(v)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn jaguar_has_lowest_lcc_in_running_example() {
+        let (g, ids) = crate::bipartite::tests::figure3b();
+        let lcc = local_clustering_coefficients(&g, LccMethod::ValueNeighborJaccard);
+        let jaguar = lcc[ids["JAGUAR"] as usize];
+        // Jaguar spans all four attributes; any repeated-but-unambiguous
+        // value should cluster at least as tightly.
+        for v in ["PANDA", "TOYOTA"] {
+            assert!(
+                jaguar <= lcc[ids[v] as usize] + 1e-12,
+                "jaguar {jaguar} vs {v} {}",
+                lcc[ids[v] as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn lcc_is_within_unit_interval() {
+        let (g, _) = crate::bipartite::tests::figure3b();
+        for method in [LccMethod::ValueNeighborJaccard, LccMethod::AttributeJaccard] {
+            for &score in &local_clustering_coefficients(&g, method) {
+                assert!((0.0..=1.0).contains(&score), "{method:?} score {score}");
+            }
+        }
+    }
+
+    #[test]
+    fn targeted_computation_matches_full_computation() {
+        let (g, ids) = crate::bipartite::tests::figure3b();
+        let full = local_clustering_coefficients(&g, LccMethod::ValueNeighborJaccard);
+        let targets = vec![ids["JAGUAR"], ids["PANDA"]];
+        let partial = lcc_for_values(&g, &targets, LccMethod::ValueNeighborJaccard);
+        assert!((partial[0] - full[ids["JAGUAR"] as usize]).abs() < 1e-12);
+        assert!((partial[1] - full[ids["PANDA"] as usize]).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,141 @@
+//! Unipartite value co-occurrence projection (Figure 3a of the paper).
+//!
+//! The paper contrasts two representations of the lake: the co-occurrence
+//! graph, whose nodes are values and whose edges join values sharing a
+//! column, and the (much more compact) bipartite graph that DomainNet
+//! actually uses. The projection is still valuable for analysis — e.g.
+//! verifying that removing a homograph disconnects meaning communities — and
+//! for quantifying exactly how much larger it is (the paper's 100-value
+//! column → 4 950 projected edges example).
+
+use std::collections::HashSet;
+
+use crate::bipartite::BipartiteGraph;
+
+/// A unipartite graph over the value nodes of a [`BipartiteGraph`], in CSR
+/// form. Node ids coincide with the bipartite graph's value node ids.
+#[derive(Debug, Clone)]
+pub struct CoOccurrenceGraph {
+    offsets: Vec<u64>,
+    adjacency: Vec<u32>,
+}
+
+impl CoOccurrenceGraph {
+    /// Number of value nodes.
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.len() / 2
+    }
+
+    /// Neighbors of a value node (sorted).
+    pub fn neighbors(&self, node: u32) -> &[u32] {
+        let s = self.offsets[node as usize] as usize;
+        let e = self.offsets[node as usize + 1] as usize;
+        &self.adjacency[s..e]
+    }
+
+    /// Degree of a value node.
+    pub fn degree(&self, node: u32) -> usize {
+        self.neighbors(node).len()
+    }
+
+    /// Whether two values co-occur in at least one attribute.
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+}
+
+/// Project a bipartite lake graph onto its value nodes.
+///
+/// Memory warning: for an attribute with `c` distinct values this creates
+/// `c·(c-1)/2` edges, so the projection grows quadratically in attribute
+/// cardinality — the very reason DomainNet works on the bipartite graph
+/// instead. Intended for benchmark-scale graphs and tests.
+pub fn project_values(graph: &BipartiteGraph) -> CoOccurrenceGraph {
+    let n = graph.value_count();
+    let mut neighbor_sets: Vec<HashSet<u32>> = vec![HashSet::new(); n];
+    for attr in graph.attribute_nodes() {
+        let values = graph.neighbors(attr);
+        for (i, &v) in values.iter().enumerate() {
+            for &w in &values[i + 1..] {
+                neighbor_sets[v as usize].insert(w);
+                neighbor_sets[w as usize].insert(v);
+            }
+        }
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
+    offsets.push(0u64);
+    let mut adjacency = Vec::new();
+    for set in &neighbor_sets {
+        let mut sorted: Vec<u32> = set.iter().copied().collect();
+        sorted.sort_unstable();
+        adjacency.extend_from_slice(&sorted);
+        offsets.push(adjacency.len() as u64);
+    }
+    CoOccurrenceGraph { offsets, adjacency }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bipartite::BipartiteBuilder;
+
+    #[test]
+    fn single_column_projects_to_clique() {
+        let mut b = BipartiteBuilder::new();
+        let a = b.add_attribute("a");
+        let k = 10usize;
+        for i in 0..k {
+            let v = b.add_value(format!("v{i}"));
+            b.add_edge(v, a);
+        }
+        let g = b.build();
+        let proj = project_values(&g);
+        assert_eq!(proj.node_count(), k);
+        assert_eq!(proj.edge_count(), k * (k - 1) / 2);
+        assert!(proj.has_edge(0, 9));
+        assert_eq!(proj.degree(3), k - 1);
+    }
+
+    #[test]
+    fn projection_of_running_example_matches_figure_3a() {
+        let (g, ids) = crate::bipartite::tests::figure3b();
+        let proj = project_values(&g);
+        // Jaguar co-occurs with every other value.
+        assert_eq!(proj.degree(ids["JAGUAR"]), 7);
+        // Fiat only co-occurs with Jaguar and Toyota.
+        assert_eq!(proj.degree(ids["FIAT"]), 2);
+        assert!(proj.has_edge(ids["FIAT"], ids["TOYOTA"]));
+        assert!(!proj.has_edge(ids["FIAT"], ids["PANDA"]));
+        // Symmetry.
+        assert!(proj.has_edge(ids["TOYOTA"], ids["FIAT"]));
+    }
+
+    #[test]
+    fn projection_is_larger_than_bipartite_for_wide_columns() {
+        // The paper's example: one column with 100 values has 100 bipartite
+        // edges but 4 950 projected edges.
+        let mut b = BipartiteBuilder::new();
+        let a = b.add_attribute("a");
+        for i in 0..100 {
+            let v = b.add_value(format!("v{i}"));
+            b.add_edge(v, a);
+        }
+        let g = b.build();
+        assert_eq!(g.edge_count(), 100);
+        let proj = project_values(&g);
+        assert_eq!(proj.edge_count(), 4950);
+    }
+
+    #[test]
+    fn empty_graph_projects_to_empty() {
+        let g = BipartiteBuilder::new().build();
+        let proj = project_values(&g);
+        assert_eq!(proj.node_count(), 0);
+        assert_eq!(proj.edge_count(), 0);
+    }
+}

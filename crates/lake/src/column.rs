@@ -1,0 +1,226 @@
+//! Column-oriented storage for a single attribute of a table.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::value::{normalize, value_kind, ValueKind};
+
+/// One attribute (column) of a [`crate::table::Table`].
+///
+/// A column keeps the raw cells in row order plus a cached set of distinct
+/// *normalized* values. DomainNet only consumes the distinct set — multiple
+/// occurrences of a value inside one column contribute a single edge in the
+/// bipartite graph — but the raw cells are preserved so the lake can be
+/// written back out (e.g. by the benchmark generators) and so row-oriented
+/// baselines remain possible.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Column {
+    name: String,
+    cells: Vec<String>,
+    distinct: BTreeSet<String>,
+}
+
+impl Column {
+    /// Create a column from a name and raw cells.
+    pub fn new(name: impl Into<String>, cells: Vec<String>) -> Self {
+        let mut distinct = BTreeSet::new();
+        for cell in &cells {
+            let norm = normalize(cell);
+            if !norm.is_empty() {
+                distinct.insert(norm);
+            }
+        }
+        Column {
+            name: name.into(),
+            cells,
+            distinct,
+        }
+    }
+
+    /// Create an empty column with just a name.
+    pub fn empty(name: impl Into<String>) -> Self {
+        Column {
+            name: name.into(),
+            cells: Vec::new(),
+            distinct: BTreeSet::new(),
+        }
+    }
+
+    /// Append a raw cell to the column.
+    pub fn push(&mut self, cell: impl Into<String>) {
+        let cell = cell.into();
+        let norm = normalize(&cell);
+        if !norm.is_empty() {
+            self.distinct.insert(norm);
+        }
+        self.cells.push(cell);
+    }
+
+    /// The column (attribute) name. May be empty or meaningless in a lake.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Rename the column.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Number of rows (cells), counting duplicates and missing cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the column has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// The raw cells in row order.
+    pub fn cells(&self) -> &[String] {
+        &self.cells
+    }
+
+    /// The distinct normalized (non-missing) values, in lexicographic order.
+    pub fn distinct_values(&self) -> impl Iterator<Item = &str> {
+        self.distinct.iter().map(String::as_str)
+    }
+
+    /// Number of distinct normalized non-missing values.
+    ///
+    /// This is the *cardinality* of the attribute in the paper's terminology.
+    pub fn distinct_count(&self) -> usize {
+        self.distinct.len()
+    }
+
+    /// Whether the normalized form of `value` occurs in this column.
+    pub fn contains_normalized(&self, normalized: &str) -> bool {
+        self.distinct.contains(normalized)
+    }
+
+    /// Fraction of distinct values that look numeric (integer or float).
+    ///
+    /// Used by the D4 baseline, which only discovers domains over
+    /// string-dominated attributes, and by the statistics module.
+    pub fn numeric_fraction(&self) -> f64 {
+        if self.distinct.is_empty() {
+            return 0.0;
+        }
+        let numeric = self
+            .distinct
+            .iter()
+            .filter(|v| value_kind(v) != ValueKind::Text)
+            .count();
+        numeric as f64 / self.distinct.len() as f64
+    }
+
+    /// Whether the column is predominantly textual (less than half numeric).
+    pub fn is_textual(&self) -> bool {
+        self.numeric_fraction() < 0.5
+    }
+
+    /// Replace every cell whose normalized form equals `target` with
+    /// `replacement`, returning the number of cells rewritten.
+    ///
+    /// This is the primitive behind the TUS-I homograph-injection procedure
+    /// (§4.3): a value is picked in a column and globally rewritten to an
+    /// artificial token such as `InjectedHomograph1`.
+    pub fn replace_value(&mut self, target_normalized: &str, replacement: &str) -> usize {
+        let mut replaced = 0;
+        for cell in &mut self.cells {
+            if normalize(cell) == target_normalized {
+                *cell = replacement.to_owned();
+                replaced += 1;
+            }
+        }
+        if replaced > 0 {
+            self.recompute_distinct();
+        }
+        replaced
+    }
+
+    fn recompute_distinct(&mut self) {
+        self.distinct.clear();
+        for cell in &self.cells {
+            let norm = normalize(cell);
+            if !norm.is_empty() {
+                self.distinct.insert(norm);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(cells: &[&str]) -> Column {
+        Column::new("c", cells.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn distinct_values_are_normalized_and_deduped() {
+        let c = col(&["jaguar", " Jaguar ", "PUMA", "puma", ""]);
+        let distinct: Vec<&str> = c.distinct_values().collect();
+        assert_eq!(distinct, vec!["JAGUAR", "PUMA"]);
+        assert_eq!(c.distinct_count(), 2);
+        assert_eq!(c.len(), 5);
+    }
+
+    #[test]
+    fn push_updates_distinct() {
+        let mut c = Column::empty("animals");
+        c.push("Panda");
+        c.push("panda");
+        c.push("Lemur");
+        assert_eq!(c.distinct_count(), 2);
+        assert!(c.contains_normalized("LEMUR"));
+        assert!(!c.contains_normalized("Lemur"));
+    }
+
+    #[test]
+    fn missing_cells_do_not_count_as_distinct() {
+        let c = col(&["", "  ", "x"]);
+        assert_eq!(c.distinct_count(), 1);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn numeric_fraction_and_textual_flag() {
+        let numeric = col(&["1", "2", "3.5"]);
+        assert!((numeric.numeric_fraction() - 1.0).abs() < 1e-12);
+        assert!(!numeric.is_textual());
+
+        let mixed = col(&["1", "Jaguar", "Puma", "Lemur"]);
+        assert!(mixed.is_textual());
+
+        let empty = Column::empty("e");
+        assert_eq!(empty.numeric_fraction(), 0.0);
+        assert!(empty.is_textual());
+    }
+
+    #[test]
+    fn replace_value_rewrites_all_matching_cells() {
+        let mut c = col(&["Jaguar", "jaguar ", "Puma"]);
+        let n = c.replace_value("JAGUAR", "InjectedHomograph1");
+        assert_eq!(n, 2);
+        assert!(c.contains_normalized("INJECTEDHOMOGRAPH1"));
+        assert!(!c.contains_normalized("JAGUAR"));
+        assert_eq!(c.distinct_count(), 2);
+    }
+
+    #[test]
+    fn replace_value_missing_target_is_noop() {
+        let mut c = col(&["Puma"]);
+        assert_eq!(c.replace_value("JAGUAR", "X"), 0);
+        assert_eq!(c.distinct_count(), 1);
+    }
+
+    #[test]
+    fn rename() {
+        let mut c = Column::empty("a");
+        c.set_name("b");
+        assert_eq!(c.name(), "b");
+    }
+}

@@ -1,0 +1,338 @@
+//! Data-value normalization and interning.
+//!
+//! The DomainNet paper treats every cell of every table as a single opaque
+//! string: "Every data value is treated as a single string, it is capitalized
+//! and has its leading and trailing white-space removed to ensure consistent
+//! comparison of data values across the lake" (§3.2). The same normalized
+//! string occurring in several attributes is represented by *one* value node
+//! in the bipartite graph, so the lake needs a global mapping from normalized
+//! strings to dense integer identifiers. That mapping is the
+//! [`ValueInterner`].
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+/// A dense identifier for a distinct normalized data value in the lake.
+///
+/// `ValueId`s are assigned in insertion order starting from zero, which makes
+/// them directly usable as node indices in the bipartite DomainNet graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ValueId(pub u32);
+
+impl ValueId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for ValueId {
+    fn from(raw: u32) -> Self {
+        ValueId(raw)
+    }
+}
+
+/// Normalize a raw cell into the lake-wide canonical form.
+///
+/// Normalization follows the paper: surrounding ASCII whitespace is trimmed
+/// and the value is upper-cased (Unicode-aware). Interior whitespace is
+/// collapsed to single spaces so that `"San  Diego"` and `"San Diego"`
+/// compare equal — open-data tables are full of such formatting noise and
+/// treating them as distinct values would split what is semantically one
+/// value node into several.
+///
+/// ```
+/// assert_eq!(lake::normalize("  jaguar "), "JAGUAR");
+/// assert_eq!(lake::normalize("San  Diego"), "SAN DIEGO");
+/// assert_eq!(lake::normalize(""), "");
+/// ```
+pub fn normalize(raw: &str) -> String {
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return String::new();
+    }
+    let mut out = String::with_capacity(trimmed.len());
+    let mut last_was_space = false;
+    for ch in trimmed.chars() {
+        if ch.is_whitespace() {
+            if !last_was_space {
+                out.push(' ');
+                last_was_space = true;
+            }
+        } else {
+            for up in ch.to_uppercase() {
+                out.push(up);
+            }
+            last_was_space = false;
+        }
+    }
+    out
+}
+
+/// Returns `true` when a normalized value should be treated as missing.
+///
+/// Empty strings are never interned: an empty cell carries no co-occurrence
+/// signal and would otherwise become an enormous artificial homograph hub.
+/// Note that *textual* null markers such as `"."`, `"NA"`, or
+/// `"NOT AVAILABLE"` are deliberately **kept** — the paper highlights that
+/// these behave as genuine homographs in a lake and DomainNet should surface
+/// them (§5.3 finds `"."` in the top-10).
+#[inline]
+pub fn is_missing(normalized: &str) -> bool {
+    normalized.is_empty()
+}
+
+/// A global mapping between normalized data values and dense [`ValueId`]s.
+///
+/// The interner owns one copy of every distinct normalized string in the lake
+/// and hands out stable ids. Lookups by string and by id are both O(1).
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct ValueInterner {
+    values: Vec<String>,
+    #[serde(skip)]
+    index: HashMap<String, ValueId>,
+}
+
+impl ValueInterner {
+    /// Create an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create an empty interner with space for `capacity` distinct values.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ValueInterner {
+            values: Vec::with_capacity(capacity),
+            index: HashMap::with_capacity(capacity),
+        }
+    }
+
+    /// Intern an **already normalized** value, returning its id.
+    ///
+    /// Calling this with a non-normalized string would create a distinct
+    /// entry; use [`ValueInterner::intern_raw`] when starting from raw cells.
+    pub fn intern(&mut self, normalized: &str) -> ValueId {
+        if let Some(&id) = self.index.get(normalized) {
+            return id;
+        }
+        let id = ValueId(self.values.len() as u32);
+        self.values.push(normalized.to_owned());
+        self.index.insert(normalized.to_owned(), id);
+        id
+    }
+
+    /// Normalize a raw cell and intern the result.
+    ///
+    /// Returns `None` when the cell is missing (empty after normalization).
+    pub fn intern_raw(&mut self, raw: &str) -> Option<ValueId> {
+        let normalized = normalize(raw);
+        if is_missing(&normalized) {
+            None
+        } else {
+            Some(self.intern(&normalized))
+        }
+    }
+
+    /// Look up the id of a normalized value without inserting it.
+    pub fn get(&self, normalized: &str) -> Option<ValueId> {
+        self.index.get(normalized).copied()
+    }
+
+    /// Look up the id of a raw (un-normalized) value without inserting it.
+    pub fn get_raw(&self, raw: &str) -> Option<ValueId> {
+        self.get(&normalize(raw))
+    }
+
+    /// The normalized string behind an id.
+    ///
+    /// # Panics
+    /// Panics if the id was not produced by this interner.
+    pub fn resolve(&self, id: ValueId) -> &str {
+        &self.values[id.index()]
+    }
+
+    /// The normalized string behind an id, if it exists.
+    pub fn try_resolve(&self, id: ValueId) -> Option<&str> {
+        self.values.get(id.index()).map(String::as_str)
+    }
+
+    /// Number of distinct values interned.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the interner is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterate over `(ValueId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ValueId, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (ValueId(i as u32), v.as_str()))
+    }
+
+    /// Rebuild the string→id index, e.g. after deserializing.
+    ///
+    /// The index is skipped during serialization to keep artifacts small; a
+    /// deserialized interner must be re-indexed before lookups by string.
+    pub fn rebuild_index(&mut self) {
+        self.index = self
+            .values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (v.clone(), ValueId(i as u32)))
+            .collect();
+    }
+}
+
+/// Classification of a value's lexical shape.
+///
+/// DomainNet itself is type-agnostic, but the D4 baseline only operates on
+/// string attributes and the benchmark generators need to distinguish numeric
+/// columns, so the substrate offers a lightweight sniffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ValueKind {
+    /// Parses as an integer (optionally signed).
+    Integer,
+    /// Parses as a floating-point number (and not as an integer).
+    Float,
+    /// Anything else.
+    Text,
+}
+
+/// Sniff the lexical kind of a (raw or normalized) value.
+///
+/// ```
+/// use lake::value::{value_kind, ValueKind};
+/// assert_eq!(value_kind("42"), ValueKind::Integer);
+/// assert_eq!(value_kind("-3.25"), ValueKind::Float);
+/// assert_eq!(value_kind("1.5M"), ValueKind::Text);
+/// assert_eq!(value_kind("Jaguar"), ValueKind::Text);
+/// ```
+pub fn value_kind(value: &str) -> ValueKind {
+    let v = value.trim();
+    if v.is_empty() {
+        return ValueKind::Text;
+    }
+    if v.parse::<i64>().is_ok() {
+        ValueKind::Integer
+    } else if v.parse::<f64>().is_ok() {
+        ValueKind::Float
+    } else {
+        ValueKind::Text
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_trims_and_uppercases() {
+        assert_eq!(normalize("  jaguar "), "JAGUAR");
+        assert_eq!(normalize("Puma"), "PUMA");
+        assert_eq!(normalize("tOYOTA"), "TOYOTA");
+    }
+
+    #[test]
+    fn normalize_collapses_interior_whitespace() {
+        assert_eq!(normalize("San  Diego"), "SAN DIEGO");
+        assert_eq!(normalize("a\tb\nc"), "A B C");
+    }
+
+    #[test]
+    fn normalize_handles_unicode() {
+        assert_eq!(normalize("café"), "CAFÉ");
+        assert_eq!(normalize("straße"), "STRASSE");
+    }
+
+    #[test]
+    fn normalize_empty_is_missing() {
+        assert!(is_missing(&normalize("   ")));
+        assert!(is_missing(&normalize("")));
+        assert!(!is_missing(&normalize(".")));
+        assert!(!is_missing(&normalize("NA")));
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut interner = ValueInterner::new();
+        let a = interner.intern("JAGUAR");
+        let b = interner.intern("JAGUAR");
+        assert_eq!(a, b);
+        assert_eq!(interner.len(), 1);
+    }
+
+    #[test]
+    fn intern_raw_normalizes_before_interning() {
+        let mut interner = ValueInterner::new();
+        let a = interner.intern_raw(" jaguar ").unwrap();
+        let b = interner.intern_raw("JAGUAR").unwrap();
+        assert_eq!(a, b);
+        assert_eq!(interner.resolve(a), "JAGUAR");
+    }
+
+    #[test]
+    fn intern_raw_skips_missing() {
+        let mut interner = ValueInterner::new();
+        assert!(interner.intern_raw("   ").is_none());
+        assert!(interner.intern_raw("").is_none());
+        assert_eq!(interner.len(), 0);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let mut interner = ValueInterner::new();
+        let ids: Vec<ValueId> = ["A", "B", "C"].iter().map(|v| interner.intern(v)).collect();
+        assert_eq!(ids, vec![ValueId(0), ValueId(1), ValueId(2)]);
+        assert_eq!(interner.resolve(ValueId(1)), "B");
+    }
+
+    #[test]
+    fn get_does_not_insert() {
+        let mut interner = ValueInterner::new();
+        interner.intern("A");
+        assert!(interner.get("B").is_none());
+        assert_eq!(interner.len(), 1);
+        assert!(interner.get_raw(" a ").is_some());
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut interner = ValueInterner::new();
+        interner.intern("X");
+        interner.intern("Y");
+        let collected: Vec<(ValueId, &str)> = interner.iter().collect();
+        assert_eq!(collected, vec![(ValueId(0), "X"), (ValueId(1), "Y")]);
+    }
+
+    #[test]
+    fn rebuild_index_restores_lookups() {
+        let mut interner = ValueInterner::new();
+        interner.intern("A");
+        interner.intern("B");
+        let json = serde_json::to_string(&interner).unwrap();
+        let mut restored: ValueInterner = serde_json::from_str(&json).unwrap();
+        assert!(restored.get("A").is_none(), "index is skipped in serde");
+        restored.rebuild_index();
+        assert_eq!(restored.get("A"), Some(ValueId(0)));
+        assert_eq!(restored.get("B"), Some(ValueId(1)));
+    }
+
+    #[test]
+    fn value_kind_sniffing() {
+        assert_eq!(value_kind("42"), ValueKind::Integer);
+        assert_eq!(value_kind("-17"), ValueKind::Integer);
+        assert_eq!(value_kind("3.25"), ValueKind::Float);
+        assert_eq!(value_kind("-0.5"), ValueKind::Float);
+        assert_eq!(value_kind("1e6"), ValueKind::Float);
+        assert_eq!(value_kind("0.9M"), ValueKind::Text);
+        assert_eq!(value_kind("Jaguar"), ValueKind::Text);
+        assert_eq!(value_kind(""), ValueKind::Text);
+    }
+}

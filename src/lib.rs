@@ -1,0 +1,43 @@
+//! Umbrella crate for the DomainNet reproduction workspace.
+//!
+//! This crate exists to host the repository-level [examples](../examples) and
+//! [integration tests](../tests). It re-exports the workspace crates so that
+//! examples and tests can use a single, convenient namespace:
+//!
+//! ```
+//! use domainnet_suite::prelude::*;
+//!
+//! let lake = datagen::sb::SbGenerator::new(7).generate();
+//! assert!(lake.catalog.table_count() > 0);
+//! ```
+//!
+//! The actual functionality lives in the member crates:
+//!
+//! * [`lake`] — the data-lake substrate (tables, columns, values, CSV I/O).
+//! * [`dn_graph`] — the bipartite graph engine and centrality measures.
+//! * [`domainnet`] — the DomainNet pipeline (the paper's contribution).
+//! * [`d4`] — the D4 domain-discovery baseline.
+//! * [`datagen`] — benchmark and workload generators.
+
+pub use d4;
+pub use datagen;
+pub use dn_graph;
+pub use domainnet;
+pub use lake;
+
+/// Convenience re-exports used by the examples and integration tests.
+pub mod prelude {
+    pub use d4;
+    pub use datagen;
+    pub use dn_graph;
+    pub use domainnet;
+    pub use lake;
+
+    pub use d4::D4Config;
+    pub use datagen::sb::SbGenerator;
+    pub use datagen::tus::{TusConfig, TusGenerator};
+    pub use dn_graph::bipartite::BipartiteGraph;
+    pub use domainnet::pipeline::{DomainNet, DomainNetBuilder};
+    pub use domainnet::Measure;
+    pub use lake::catalog::LakeCatalog;
+}

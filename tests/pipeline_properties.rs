@@ -1,0 +1,90 @@
+//! Property-based integration tests over randomly generated lakes: whatever
+//! the lake looks like, the pipeline's structural invariants must hold.
+
+use proptest::prelude::*;
+
+use domainnet::pipeline::DomainNetBuilder;
+use domainnet::Measure;
+use lake::catalog::LakeCatalog;
+use lake::table::TableBuilder;
+
+/// Strategy producing a small random lake: a handful of tables, each with a
+/// couple of columns drawing values from a shared pool (so repeats and
+/// homograph-like bridges occur naturally).
+fn arb_lake() -> impl Strategy<Value = LakeCatalog> {
+    let table = (1usize..4, 2usize..12).prop_flat_map(|(cols, rows)| {
+        proptest::collection::vec(
+            proptest::collection::vec(0u32..40, rows),
+            cols,
+        )
+    });
+    proptest::collection::vec(table, 1..5).prop_map(|tables| {
+        let mut catalog = LakeCatalog::new();
+        for (t, columns) in tables.into_iter().enumerate() {
+            let mut builder = TableBuilder::new(format!("t{t}"));
+            for (c, cells) in columns.into_iter().enumerate() {
+                builder = builder.column(
+                    format!("c{c}"),
+                    cells.into_iter().map(|v| format!("val_{v}")),
+                );
+            }
+            catalog
+                .add_table(builder.build().expect("rectangular by construction"))
+                .expect("unique table names");
+        }
+        catalog
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn ranking_covers_exactly_the_candidates(lake in arb_lake()) {
+        let net = DomainNetBuilder::new().build(&lake);
+        let candidates = lake.values_in_at_least(2).len();
+        prop_assert_eq!(net.candidate_count(), candidates);
+
+        for measure in [Measure::exact_bc(), Measure::lcc()] {
+            let ranked = net.rank(measure);
+            prop_assert_eq!(ranked.len(), candidates);
+            // Every ranked value really does occur in >= 2 attributes.
+            for s in &ranked {
+                prop_assert!(s.attribute_count >= 2);
+                let vid = lake.value_id(&s.value).expect("ranked value exists in the lake");
+                prop_assert_eq!(lake.value_attribute_count(vid), s.attribute_count);
+            }
+        }
+    }
+
+    #[test]
+    fn scores_are_finite_and_ordering_is_consistent(lake in arb_lake()) {
+        let net = DomainNetBuilder::new().build(&lake);
+        let ranked = net.rank(Measure::exact_bc());
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].score + 1e-12 >= w[1].score, "BC ranking must be non-increasing");
+        }
+        for s in &ranked {
+            prop_assert!(s.score.is_finite());
+            prop_assert!(s.score >= -1e-9);
+        }
+        let lcc = net.rank(Measure::lcc());
+        for w in lcc.windows(2) {
+            prop_assert!(w[0].score <= w[1].score + 1e-12, "LCC ranking must be non-decreasing");
+        }
+        for s in &lcc {
+            prop_assert!((0.0..=1.0 + 1e-9).contains(&s.score));
+        }
+    }
+
+    #[test]
+    fn unpruned_graph_matches_lake_shape(lake in arb_lake()) {
+        let net = DomainNetBuilder::new()
+            .prune_single_attribute_values(false)
+            .build(&lake);
+        prop_assert_eq!(net.candidate_count(), lake.value_count());
+        prop_assert_eq!(net.attribute_count(), lake.attribute_count());
+        prop_assert_eq!(net.edge_count(), lake.incidence_count());
+        prop_assert!(net.graph().validate().is_ok());
+    }
+}

@@ -1,0 +1,100 @@
+//! End-to-end integration test on the paper's running example (Figure 1 /
+//! Example 3.6), exercising the lake substrate, the graph engine, and the
+//! DomainNet pipeline together.
+
+use domainnet::pipeline::{DomainNet, DomainNetBuilder};
+use domainnet::Measure;
+
+#[test]
+fn bc_separates_homographs_from_unambiguous_repeats() {
+    let lake = lake::fixtures::running_example();
+    let net = DomainNetBuilder::new()
+        .prune_single_attribute_values(false)
+        .build(&lake);
+
+    let ranked = net.rank(Measure::exact_bc());
+    // The two homographs occupy the top of the BC ranking among value nodes
+    // that repeat; Jaguar (4 attributes, 2 meanings) is first overall.
+    assert_eq!(ranked[0].value, "JAGUAR");
+    let jaguar = DomainNet::score_of(&ranked, "JAGUAR").unwrap();
+    let puma = DomainNet::score_of(&ranked, "PUMA").unwrap();
+    let panda = DomainNet::score_of(&ranked, "PANDA").unwrap();
+    let toyota = DomainNet::score_of(&ranked, "TOYOTA").unwrap();
+
+    // Example 3.6 shape: BC(Jaguar) >> BC(Puma) > BC(Panda) ≈ BC(Toyota).
+    assert!(jaguar.score > 3.0 * puma.score);
+    assert!(puma.score >= panda.score);
+    assert!(puma.score >= toyota.score);
+
+    // Metadata carried on the scored values matches the lake.
+    assert_eq!(jaguar.attribute_count, 4);
+    assert_eq!(puma.attribute_count, 2);
+}
+
+#[test]
+fn pruning_reduces_the_graph_but_keeps_all_candidates() {
+    let lake = lake::fixtures::running_example();
+    let pruned = DomainNetBuilder::new().build(&lake);
+    let unpruned = DomainNetBuilder::new()
+        .prune_single_attribute_values(false)
+        .build(&lake);
+
+    assert!(pruned.candidate_count() < unpruned.candidate_count());
+    assert_eq!(pruned.candidate_count(), 4);
+    // Every candidate of the pruned graph is present in the unpruned ranking
+    // too, and the relative order of the candidates is the same.
+    let pruned_rank: Vec<String> = pruned
+        .rank(Measure::exact_bc())
+        .into_iter()
+        .map(|s| s.value)
+        .collect();
+    let unpruned_rank: Vec<String> = unpruned
+        .rank(Measure::exact_bc())
+        .into_iter()
+        .map(|s| s.value)
+        .filter(|v| pruned_rank.contains(v))
+        .collect();
+    assert_eq!(pruned_rank[0], unpruned_rank[0], "Jaguar first in both");
+}
+
+#[test]
+fn lcc_gives_jaguar_the_lowest_score_among_repeats() {
+    // Example 3.6 computes LCC on the full (unpruned) graph of Figure 1.
+    let lake = lake::fixtures::running_example();
+    let net = DomainNetBuilder::new()
+        .prune_single_attribute_values(false)
+        .build(&lake);
+    let ranked = net.rank(Measure::lcc());
+    let score = |v: &str| {
+        ranked
+            .iter()
+            .find(|s| s.value == v)
+            .map(|s| s.score)
+            .expect("value present")
+    };
+    // The 4-attribute homograph has the lowest LCC among the repeated values.
+    assert!(score("JAGUAR") < score("PANDA"));
+    assert!(score("JAGUAR") < score("TOYOTA"));
+    assert!(score("JAGUAR") < score("PUMA"));
+}
+
+#[test]
+fn approx_bc_agrees_with_exact_on_small_graphs() {
+    let lake = lake::fixtures::running_example();
+    let net = DomainNetBuilder::new()
+        .prune_single_attribute_values(false)
+        .build(&lake);
+    let exact: Vec<String> = net
+        .rank(Measure::exact_bc())
+        .into_iter()
+        .take(4)
+        .map(|s| s.value)
+        .collect();
+    let approx: Vec<String> = net
+        .rank(Measure::approx_bc(net.graph().node_count(), 5))
+        .into_iter()
+        .take(4)
+        .map(|s| s.value)
+        .collect();
+    assert_eq!(exact, approx);
+}
