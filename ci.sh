@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# CI gate for the DomainNet reproduction workspace.
+#
+# Runs, in order: rustfmt check, clippy with warnings denied, a release
+# build, and the full test suite. The last two lines are exactly the repo's
+# tier-1 verification command (`cargo build --release && cargo test -q`).
+#
+# Usage: ./ci.sh
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "CI OK"

@@ -1,6 +1,6 @@
-//! Criterion bench: the full DomainNet pipeline (graph construction + measure
-//! + ranking) on the synthetic benchmark, plus the D4 baseline for
-//! comparison (§5.1).
+//! Criterion bench: the full DomainNet pipeline (graph construction, measure,
+//! ranking) on the synthetic benchmark, plus the D4 baseline for comparison
+//! (§5.1).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use d4::D4Config;

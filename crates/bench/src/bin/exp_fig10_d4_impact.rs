@@ -48,7 +48,13 @@ fn main() {
         avg_domains_per_column: base.avg_domains_per_column(),
     }];
 
-    print_header(&["# injected", "# meanings", "# domains", "max dom/col", "avg dom/col"]);
+    print_header(&[
+        "# injected",
+        "# meanings",
+        "# domains",
+        "max dom/col",
+        "avg dom/col",
+    ]);
     print_row(&[
         "0".to_owned(),
         "-".to_owned(),

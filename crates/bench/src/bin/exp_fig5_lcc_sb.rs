@@ -27,7 +27,7 @@ fn main() {
 
     let generated = SbGenerator::new(args.seed).generate();
     let truth = generated.homograph_set();
-    let k = truth.len().min(55).max(1);
+    let k = truth.len().clamp(1, 55);
 
     let net = DomainNetBuilder::new().build(&generated.catalog);
     println!(

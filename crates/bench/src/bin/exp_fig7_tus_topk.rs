@@ -85,8 +85,14 @@ fn main() {
         format!("recall@|H|={}", truth.len()),
         format!("{:.3}", at_truth.recall),
     ]);
-    print_row(&[format!("F1@|H|={}", truth.len()), format!("{:.3}", at_truth.f1)]);
-    print_row(&["best F1".to_owned(), format!("{:.3} (k={})", best.f1, best.k)]);
+    print_row(&[
+        format!("F1@|H|={}", truth.len()),
+        format!("{:.3}", at_truth.f1),
+    ]);
+    print_row(&[
+        "best F1".to_owned(),
+        format!("{:.3} (k={})", best.f1, best.k),
+    ]);
 
     println!("\nPaper (Figure 7): precision@200 = 0.89; P/R/F1 = 0.622 at k = 26,035;");
     println!("best F1 = 0.655 at k = 29,633; all top-10 values are homographs.");

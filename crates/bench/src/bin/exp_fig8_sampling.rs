@@ -42,8 +42,7 @@ fn main() {
     let mut points = Vec::new();
     for &fraction in &fractions {
         let samples = ((n as f64 * fraction).ceil() as usize).clamp(10, n);
-        let (ranked, seconds) =
-            timed(|| net.rank(Measure::approx_bc(samples, args.seed)));
+        let (ranked, seconds) = timed(|| net.rank(Measure::approx_bc(samples, args.seed)));
         let eval = precision_recall_at_k(&ranked, &truth, truth.len());
         points.push(SamplePoint {
             samples,

@@ -41,7 +41,11 @@ fn main() {
     let homographs = lake::fixtures::running_example_homographs();
     let mut rows = Vec::new();
     for value in ["JAGUAR", "PUMA", "PANDA", "TOYOTA"] {
-        let lcc_score = lcc.iter().find(|s| s.value == value).map(|s| s.score).unwrap_or(f64::NAN);
+        let lcc_score = lcc
+            .iter()
+            .find(|s| s.value == value)
+            .map(|s| s.score)
+            .unwrap_or(f64::NAN);
         let bc_entry = bc.iter().find(|s| s.value == value);
         let bc_raw = bc_entry.map(|s| s.score).unwrap_or(f64::NAN);
         let node = net

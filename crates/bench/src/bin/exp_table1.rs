@@ -6,8 +6,8 @@
 
 use bench::{print_header, print_row, write_report, ExpArgs};
 use datagen::inject::{inject_homographs, remove_homographs, InjectionConfig};
-use datagen::scale::{ScaleConfig, ScaleGenerator};
 use datagen::sb::SbGenerator;
+use datagen::scale::{ScaleConfig, ScaleGenerator};
 use datagen::truth::GeneratedLake;
 use datagen::tus::TusGenerator;
 use lake::stats::{HomographStats, LakeStats};
@@ -45,7 +45,10 @@ fn labeled_row(name: &str, lake: &GeneratedLake) -> DatasetRow {
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("== Table 1: dataset statistics (scale {:.2}) ==\n", args.scale);
+    println!(
+        "== Table 1: dataset statistics (scale {:.2}) ==\n",
+        args.scale
+    );
 
     let mut rows = Vec::new();
 

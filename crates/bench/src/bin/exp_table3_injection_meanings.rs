@@ -41,9 +41,7 @@ fn main() {
         .max()
         .unwrap_or(0);
     let threshold = max_card / 2;
-    println!(
-        "Cardinality threshold fixed at {threshold} (half the largest attribute)\n"
-    );
+    println!("Cardinality threshold fixed at {threshold} (half the largest attribute)\n");
 
     let mut results = Vec::new();
     for meanings in 2..=8usize {

@@ -121,7 +121,10 @@ pub fn print_row(cells: &[String]) {
 /// Print a markdown-style table header (with separator line).
 pub fn print_header(cells: &[&str]) {
     println!("| {} |", cells.join(" | "));
-    println!("|{}|", cells.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+    println!(
+        "|{}|",
+        cells.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
 }
 
 /// Build the TUS-like lake configuration for a given scale factor.
@@ -152,9 +155,15 @@ mod tests {
 
     #[test]
     fn scaled_respects_minimum() {
-        let args = ExpArgs { scale: 0.01, seed: 1 };
+        let args = ExpArgs {
+            scale: 0.01,
+            seed: 1,
+        };
         assert_eq!(args.scaled(100, 10), 10);
-        let args = ExpArgs { scale: 2.0, seed: 1 };
+        let args = ExpArgs {
+            scale: 2.0,
+            seed: 1,
+        };
         assert_eq!(args.scaled(100, 10), 200);
     }
 
@@ -166,8 +175,14 @@ mod tests {
 
     #[test]
     fn tus_config_scales_down() {
-        let small = tus_config(ExpArgs { scale: 0.1, seed: 3 });
-        let default = tus_config(ExpArgs { scale: 1.0, seed: 3 });
+        let small = tus_config(ExpArgs {
+            scale: 0.1,
+            seed: 3,
+        });
+        let default = tus_config(ExpArgs {
+            scale: 1.0,
+            seed: 3,
+        });
         assert!(small.domain_count < default.domain_count);
         assert!(small.max_domain_vocab < default.max_domain_vocab);
         assert_eq!(small.seed, 3);

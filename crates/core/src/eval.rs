@@ -136,8 +136,7 @@ impl TopKCurve {
         self.points
             .iter()
             .copied()
-            .filter(|p| p.k <= k)
-            .next_back()
+            .rfind(|p| p.k <= k)
             .or_else(|| self.points.first().copied())
     }
 
@@ -222,7 +221,10 @@ mod tests {
         let expected = truth(&["I1", "I2", "I3"]);
         assert!((recall_of_expected_in_top_k(&ranked, &expected, 3) - 2.0 / 3.0).abs() < 1e-12);
         assert!((recall_of_expected_in_top_k(&ranked, &expected, 5) - 1.0).abs() < 1e-12);
-        assert_eq!(recall_of_expected_in_top_k(&ranked, &BTreeSet::new(), 3), 1.0);
+        assert_eq!(
+            recall_of_expected_in_top_k(&ranked, &BTreeSet::new(), 3),
+            1.0
+        );
     }
 
     #[test]

@@ -34,18 +34,10 @@ use serde::{Deserialize, Serialize};
 use crate::pipeline::DomainNet;
 
 /// Configuration for meaning estimation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct MeaningConfig {
     /// Label-propagation parameters.
     pub label_propagation: LabelPropagationConfig,
-}
-
-impl Default for MeaningConfig {
-    fn default() -> Self {
-        MeaningConfig {
-            label_propagation: LabelPropagationConfig::default(),
-        }
-    }
 }
 
 /// Estimated meaning counts for every candidate value of a [`DomainNet`]
@@ -136,12 +128,28 @@ mod tests {
     fn clearly_separated_communities_give_exact_counts() {
         // Two well-populated domains (animals across two zoo tables,
         // companies across two finance tables) sharing only "Jaguar".
-        let animals = ["Panda", "Lemur", "Jaguar", "Otter", "Badger", "Walrus", "Seal"];
-        let firms = ["Google", "Amazon", "Jaguar", "Apple", "Shell", "Nestle", "Bayer"];
-        let t1 = TableBuilder::new("zoo_a").column("animal", animals).build().unwrap();
-        let t2 = TableBuilder::new("zoo_b").column("species", animals).build().unwrap();
-        let t3 = TableBuilder::new("firms_a").column("company", firms).build().unwrap();
-        let t4 = TableBuilder::new("firms_b").column("name", firms).build().unwrap();
+        let animals = [
+            "Panda", "Lemur", "Jaguar", "Otter", "Badger", "Walrus", "Seal",
+        ];
+        let firms = [
+            "Google", "Amazon", "Jaguar", "Apple", "Shell", "Nestle", "Bayer",
+        ];
+        let t1 = TableBuilder::new("zoo_a")
+            .column("animal", animals)
+            .build()
+            .unwrap();
+        let t2 = TableBuilder::new("zoo_b")
+            .column("species", animals)
+            .build()
+            .unwrap();
+        let t3 = TableBuilder::new("firms_a")
+            .column("company", firms)
+            .build()
+            .unwrap();
+        let t4 = TableBuilder::new("firms_b")
+            .column("name", firms)
+            .build()
+            .unwrap();
         let lake = lake::catalog::LakeCatalog::from_tables([t1, t2, t3, t4]).unwrap();
 
         let estimator = estimator_for(&lake, true);

@@ -198,11 +198,16 @@ pub fn discover(lake: &LakeCatalog, config: D4Config) -> D4Output {
         let mut pairs = 0usize;
         for i in 0..holder_cols.len() {
             for j in i + 1..holder_cols.len() {
-                total += overlap_coefficient(&value_sets[holder_cols[i]], &value_sets[holder_cols[j]]);
+                total +=
+                    overlap_coefficient(&value_sets[holder_cols[i]], &value_sets[holder_cols[j]]);
                 pairs += 1;
             }
         }
-        let context_cohesion = if pairs == 0 { 1.0 } else { total / pairs as f64 };
+        let context_cohesion = if pairs == 0 {
+            1.0
+        } else {
+            total / pairs as f64
+        };
         if context_cohesion < config.ambiguity_context_threshold {
             for &c in &holder_cols {
                 robust[c].remove(&vid);
@@ -341,7 +346,9 @@ mod tests {
     /// by two columns, plus a numeric column D4 must ignore.
     fn two_domain_lake() -> LakeCatalog {
         let animals = ["Panda", "Lemur", "Jaguar", "Otter", "Badger", "Walrus"];
-        let cities = ["Boston", "Memphis", "Atlanta", "Denver", "Seattle", "Austin"];
+        let cities = [
+            "Boston", "Memphis", "Atlanta", "Denver", "Seattle", "Austin",
+        ];
         let t1 = TableBuilder::new("zoo_a")
             .column("animal", animals)
             .column("count", ["1", "2", "3", "4", "5", "6"])
@@ -382,10 +389,22 @@ mod tests {
         // that clusters with another company column.
         let animals = ["Panda", "Lemur", "Jaguar", "Otter", "Badger", "Walrus"];
         let companies = ["Google", "Amazon", "Jaguar", "Apple", "Shell", "Nestle"];
-        let t1 = TableBuilder::new("zoo_a").column("animal", animals).build().unwrap();
-        let t2 = TableBuilder::new("zoo_b").column("species", animals).build().unwrap();
-        let t3 = TableBuilder::new("firms_a").column("company", companies).build().unwrap();
-        let t4 = TableBuilder::new("firms_b").column("name", companies).build().unwrap();
+        let t1 = TableBuilder::new("zoo_a")
+            .column("animal", animals)
+            .build()
+            .unwrap();
+        let t2 = TableBuilder::new("zoo_b")
+            .column("species", animals)
+            .build()
+            .unwrap();
+        let t3 = TableBuilder::new("firms_a")
+            .column("company", companies)
+            .build()
+            .unwrap();
+        let t4 = TableBuilder::new("firms_b")
+            .column("name", companies)
+            .build()
+            .unwrap();
         let lake = LakeCatalog::from_tables([t1, t2, t3, t4]).unwrap();
         let out = discover(&lake, D4Config::default());
         assert_eq!(out.domain_count(), 2);
@@ -440,7 +459,8 @@ mod tests {
     fn injected_homographs_do_not_reduce_domain_count() {
         // Figure 10's direction: more injected homographs → at least as many
         // (typically more) discovered domains, never a cleaner clustering.
-        let generated = datagen::tus::TusGenerator::new(datagen::tus::TusConfig::small(31)).generate();
+        let generated =
+            datagen::tus::TusGenerator::new(datagen::tus::TusConfig::small(31)).generate();
         let clean = datagen::inject::remove_homographs(&generated);
         let base = discover(&clean.catalog, D4Config::default()).domain_count();
         let injected = datagen::inject::inject_homographs(

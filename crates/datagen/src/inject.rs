@@ -106,10 +106,7 @@ pub fn remove_homographs(lake: &GeneratedLake) -> GeneratedLake {
 /// it occurs in the lake.
 ///
 /// Returns `None` if the lake does not contain enough eligible classes.
-pub fn inject_homographs(
-    lake: &GeneratedLake,
-    config: InjectionConfig,
-) -> Option<InjectionResult> {
+pub fn inject_homographs(lake: &GeneratedLake, config: InjectionConfig) -> Option<InjectionResult> {
     let mut rng = StdRng::seed_from_u64(config.seed);
     let truth = lake.truth.clone();
 
@@ -174,10 +171,8 @@ pub fn inject_homographs(
     }
 
     // Apply the plan to the tables.
-    let replacement_of: BTreeMap<&str, &str> = plan
-        .iter()
-        .map(|(v, t)| (v.as_str(), t.as_str()))
-        .collect();
+    let replacement_of: BTreeMap<&str, &str> =
+        plan.iter().map(|(v, t)| (v.as_str(), t.as_str())).collect();
     let mut tables = lake.catalog.tables().to_vec();
     for table in &mut tables {
         for column in table.columns_mut() {
@@ -215,7 +210,10 @@ mod tests {
     #[test]
     fn removal_eliminates_all_homographs() {
         let lake = TusGenerator::new(TusConfig::small(11)).generate();
-        assert!(!lake.homographs().is_empty(), "TUS-like lake starts with homographs");
+        assert!(
+            !lake.homographs().is_empty(),
+            "TUS-like lake starts with homographs"
+        );
         let clean = remove_homographs(&lake);
         assert!(
             clean.homographs().is_empty(),
@@ -224,7 +222,10 @@ mod tests {
         );
         // The lake keeps its shape.
         assert_eq!(clean.catalog.table_count(), lake.catalog.table_count());
-        assert_eq!(clean.catalog.attribute_count(), lake.catalog.attribute_count());
+        assert_eq!(
+            clean.catalog.attribute_count(),
+            lake.catalog.attribute_count()
+        );
     }
 
     #[test]
@@ -262,7 +263,11 @@ mod tests {
         let result = inject_homographs(&clean, config).expect("enough classes");
         let homographs = result.lake.homographs();
         for token in &result.injected {
-            assert_eq!(homographs.get(token), Some(&4), "{token} should span 4 classes");
+            assert_eq!(
+                homographs.get(token),
+                Some(&4),
+                "{token} should span 4 classes"
+            );
         }
     }
 

@@ -70,12 +70,51 @@ impl SbGenerator {
     /// by tests and documentation.
     pub fn canonical_homographs() -> Vec<&'static str> {
         vec![
-            "JAGUAR", "PUMA", "LINCOLN", "SYDNEY", "JAMAICA", "CUBA", "PUMPKIN", "APPLE",
-            "ORANGE", "CA", "GA", "DE", "AL", "CO", "MD", "BEETLE", "MUSTANG", "COLT", "RAM",
-            "IMPALA", "FALCON", "EAGLE", "VIPER", "COBRA", "PANDA", "KIWI", "GEORGIA",
-            "VIRGINIA", "WASHINGTON", "MADISON", "JACKSON", "CHARLOTTE", "AUSTIN", "PHOENIX",
-            "SAVANNAH", "FLORENCE", "VICTORIA", "CHELSEA", "BROOKLYN", "NEBRASKA", "CHICAGO",
-            "PHILADELPHIA", "CASABLANCA", "OLIVE", "BLACKBERRY",
+            "JAGUAR",
+            "PUMA",
+            "LINCOLN",
+            "SYDNEY",
+            "JAMAICA",
+            "CUBA",
+            "PUMPKIN",
+            "APPLE",
+            "ORANGE",
+            "CA",
+            "GA",
+            "DE",
+            "AL",
+            "CO",
+            "MD",
+            "BEETLE",
+            "MUSTANG",
+            "COLT",
+            "RAM",
+            "IMPALA",
+            "FALCON",
+            "EAGLE",
+            "VIPER",
+            "COBRA",
+            "PANDA",
+            "KIWI",
+            "GEORGIA",
+            "VIRGINIA",
+            "WASHINGTON",
+            "MADISON",
+            "JACKSON",
+            "CHARLOTTE",
+            "AUSTIN",
+            "PHOENIX",
+            "SAVANNAH",
+            "FLORENCE",
+            "VICTORIA",
+            "CHELSEA",
+            "BROOKLYN",
+            "NEBRASKA",
+            "CHICAGO",
+            "PHILADELPHIA",
+            "CASABLANCA",
+            "OLIVE",
+            "BLACKBERRY",
         ]
     }
 
@@ -235,8 +274,7 @@ impl SbGenerator {
         // -- T07: US states (50 rows) -----------------------------------------
         {
             let states: Vec<String> = vocab::US_STATES.iter().map(|s| s.to_string()).collect();
-            let abbrevs: Vec<String> =
-                vocab::STATE_ABBREVS.iter().map(|s| s.to_string()).collect();
+            let abbrevs: Vec<String> = vocab::STATE_ABBREVS.iter().map(|s| s.to_string()).collect();
             let capitals = sample_column(&mut rng, vocab::CITIES, states.len());
             tables.push(
                 TableBuilder::new("us_states")
@@ -376,8 +414,7 @@ impl SbGenerator {
             truth.set_class("university_departments", "enrollment", "enrollment");
         }
 
-        let catalog =
-            LakeCatalog::from_tables(tables).expect("generated table names are unique");
+        let catalog = LakeCatalog::from_tables(tables).expect("generated table names are unique");
         GeneratedLake { catalog, truth }
     }
 }

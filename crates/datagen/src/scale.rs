@@ -69,8 +69,8 @@ impl ScaleConfig {
         let f = factor.max(0.01);
         self.tables = ((self.tables as f64 * f).round() as usize).max(1);
         self.vocab_size = ((self.vocab_size as f64 * f).round() as usize).max(100);
-        self.max_cardinality = ((self.max_cardinality as f64 * f).round() as usize)
-            .max(self.min_cardinality + 1);
+        self.max_cardinality =
+            ((self.max_cardinality as f64 * f).round() as usize).max(self.min_cardinality + 1);
         self
     }
 }

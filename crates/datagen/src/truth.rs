@@ -150,8 +150,14 @@ mod tests {
         let homographs = lake.homographs();
         assert_eq!(homographs.get("JAGUAR"), Some(&2), "animal vs company");
         assert_eq!(homographs.get("PUMA"), Some(&2), "animal vs company");
-        assert!(!homographs.contains_key("PANDA"), "animal in both attributes");
-        assert!(!homographs.contains_key("TOYOTA"), "company in both attributes");
+        assert!(
+            !homographs.contains_key("PANDA"),
+            "animal in both attributes"
+        );
+        assert!(
+            !homographs.contains_key("TOYOTA"),
+            "company in both attributes"
+        );
         assert!(!homographs.contains_key("GOOGLE"), "appears once");
     }
 

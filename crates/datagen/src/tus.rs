@@ -144,7 +144,14 @@ impl TusGenerator {
 
         for (domain_id, domain_vocab) in domains.iter().enumerate() {
             for source_idx in 0..cfg.source_tables_per_domain {
-                let source = SourceTable::generate(cfg, domain_id, source_idx, &domains, domain_vocab, &mut rng);
+                let source = SourceTable::generate(
+                    cfg,
+                    domain_id,
+                    source_idx,
+                    &domains,
+                    domain_vocab,
+                    &mut rng,
+                );
                 source.slice_into(cfg, &mut tables, &mut truth, &mut rng);
             }
         }

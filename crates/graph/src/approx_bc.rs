@@ -140,23 +140,22 @@ fn accumulate_weighted_sources(
         return acc;
     }
     let chunk_size = weighted_sources.len().div_ceil(threads);
-    let partials = parking_lot::Mutex::new(Vec::<Vec<f64>>::with_capacity(threads));
-    crossbeam::thread::scope(|scope| {
+    let partials = std::sync::Mutex::new(Vec::<Vec<f64>>::with_capacity(threads));
+    std::thread::scope(|scope| {
         for chunk in weighted_sources.chunks(chunk_size) {
             let partials = &partials;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut acc = vec![0.0; n];
                 let mut workspace = BrandesWorkspace::new(n);
                 for &(s, w) in chunk {
                     accumulate_source(graph, s, &mut workspace, &mut acc, w);
                 }
-                partials.lock().push(acc);
+                partials.lock().expect("partials mutex poisoned").push(acc);
             });
         }
-    })
-    .expect("approximate-BC worker thread panicked");
+    });
     let mut total = vec![0.0; n];
-    for partial in partials.into_inner() {
+    for partial in partials.into_inner().expect("partials mutex poisoned") {
         for (t, p) in total.iter_mut().zip(partial) {
             *t += p;
         }
@@ -195,7 +194,12 @@ mod tests {
     use crate::bipartite::BipartiteBuilder;
 
     /// A lake-shaped random bipartite graph for estimator tests.
-    fn random_lake_graph(values: usize, attrs: usize, avg_attr_size: usize, seed: u64) -> BipartiteGraph {
+    fn random_lake_graph(
+        values: usize,
+        attrs: usize,
+        avg_attr_size: usize,
+        seed: u64,
+    ) -> BipartiteGraph {
         use rand::Rng;
         let mut rng = StdRng::seed_from_u64(seed);
         let mut b = BipartiteBuilder::new();

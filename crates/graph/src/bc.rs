@@ -174,24 +174,23 @@ pub(crate) fn accumulate_sources_parallel(
     }
 
     let chunk_size = sources.len().div_ceil(threads);
-    let partials = parking_lot::Mutex::new(Vec::<Vec<f64>>::with_capacity(threads));
-    crossbeam::thread::scope(|scope| {
+    let partials = std::sync::Mutex::new(Vec::<Vec<f64>>::with_capacity(threads));
+    std::thread::scope(|scope| {
         for chunk in sources.chunks(chunk_size) {
             let partials = &partials;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let mut acc = vec![0.0; n];
                 let mut workspace = BrandesWorkspace::new(n);
                 for &s in chunk {
                     accumulate_source(graph, s, &mut workspace, &mut acc, 1.0);
                 }
-                partials.lock().push(acc);
+                partials.lock().expect("partials mutex poisoned").push(acc);
             });
         }
-    })
-    .expect("betweenness worker thread panicked");
+    });
 
     let mut total = vec![0.0; n];
-    for partial in partials.into_inner() {
+    for partial in partials.into_inner().expect("partials mutex poisoned") {
         for (t, p) in total.iter_mut().zip(partial) {
             *t += p;
         }
@@ -248,9 +247,15 @@ mod tests {
         // Path order is v0(0) - a0(3) - v1(1) - a1(4) - v2(2).
         assert_eq!(bc[0], 0.0);
         assert_eq!(bc[2], 0.0);
-        assert!((bc[3] - 3.0).abs() < 1e-9, "a0 separates {{v0}} from {{v1,a1,v2}}");
+        assert!(
+            (bc[3] - 3.0).abs() < 1e-9,
+            "a0 separates {{v0}} from {{v1,a1,v2}}"
+        );
         assert!((bc[4] - 3.0).abs() < 1e-9);
-        assert!((bc[1] - 4.0).abs() < 1e-9, "v1 separates {{v0,a0}} from {{a1,v2}}");
+        assert!(
+            (bc[1] - 4.0).abs() < 1e-9,
+            "v1 separates {{v0,a0}} from {{a1,v2}}"
+        );
     }
 
     #[test]
@@ -295,7 +300,11 @@ mod tests {
             assert!((bc[node] - 1.5).abs() < 1e-9, "attr bc = {}", bc[node]);
         }
         for &v in &values {
-            assert!((bc[v as usize] - 1.0 / 3.0).abs() < 1e-9, "value bc = {}", bc[v as usize]);
+            assert!(
+                (bc[v as usize] - 1.0 / 3.0).abs() < 1e-9,
+                "value bc = {}",
+                bc[v as usize]
+            );
         }
     }
 
@@ -368,11 +377,20 @@ mod tests {
         let toyota = bc[ids["TOYOTA"] as usize];
         let panda = bc[ids["PANDA"] as usize];
         assert!(jaguar > puma, "jaguar {jaguar} should beat puma {puma}");
-        assert!(jaguar > toyota, "jaguar {jaguar} should beat toyota {toyota}");
+        assert!(
+            jaguar > toyota,
+            "jaguar {jaguar} should beat toyota {toyota}"
+        );
         assert!(jaguar > panda, "jaguar {jaguar} should beat panda {panda}");
-        assert!(puma > 0.0, "puma bridges two attributes and must have positive BC");
+        assert!(
+            puma > 0.0,
+            "puma bridges two attributes and must have positive BC"
+        );
         for v in ["FIAT", "APPLE", "PELICAN", "LEMUR"] {
-            assert_eq!(bc[ids[v] as usize], 0.0, "{v} has degree 1 and lies on no shortest path");
+            assert_eq!(
+                bc[ids[v] as usize], 0.0,
+                "{v} has degree 1 and lies on no shortest path"
+            );
         }
     }
 
@@ -382,7 +400,10 @@ mod tests {
         let mut bc = betweenness_centrality(&g);
         normalize_scores(&mut bc);
         for &s in &bc {
-            assert!((0.0..=1.0).contains(&s), "normalized score {s} out of bounds");
+            assert!(
+                (0.0..=1.0).contains(&s),
+                "normalized score {s} out of bounds"
+            );
         }
     }
 

@@ -183,7 +183,10 @@ impl BipartiteGraph {
     /// # Panics
     /// Panics if `node` is out of range.
     pub fn node_kind(&self, node: u32) -> NodeKind {
-        assert!((node as usize) < self.node_count(), "node {node} out of range");
+        assert!(
+            (node as usize) < self.node_count(),
+            "node {node} out of range"
+        );
         if (node as usize) < self.n_values {
             NodeKind::Value
         } else {

@@ -198,7 +198,10 @@ mod tests {
         let full = betweenness_centrality(&g);
         let restricted = betweenness_centrality_value_endpoints(&g);
         for (f, r) in full.iter().zip(&restricted) {
-            assert!(r <= &(f + 1e-9), "restricted {r} should not exceed full {f}");
+            assert!(
+                r <= &(f + 1e-9),
+                "restricted {r} should not exceed full {f}"
+            );
             assert!(*r >= -1e-12);
         }
     }

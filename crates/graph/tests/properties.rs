@@ -1,137 +1,175 @@
-//! Property-based tests for the graph engine.
+//! Property-style tests for the graph engine.
 //!
 //! These exercise the CSR construction, betweenness centrality, and LCC on
 //! arbitrary randomly-shaped bipartite graphs and check structural invariants
 //! that must hold regardless of topology.
+//!
+//! Originally written with `proptest`; offline they run the same invariants
+//! over a fixed number of seeded random graphs instead, so failures reproduce
+//! exactly (the failing seed is in the assertion message).
 
 use dn_graph::approx_bc::{approximate_betweenness, ApproxBcConfig, SamplingStrategy};
 use dn_graph::bc::{betweenness_centrality, betweenness_centrality_parallel, normalize_scores};
 use dn_graph::bipartite::{BipartiteBuilder, BipartiteGraph};
-use dn_graph::components::{connected_components, components_without_value};
+use dn_graph::components::{components_without_value, connected_components};
 use dn_graph::lcc::{local_clustering_coefficients, LccMethod};
 use dn_graph::projection::project_values;
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
-/// Strategy: a random edge list over up to `max_values` values and
-/// `max_attrs` attributes (some nodes may end up isolated).
-fn arb_graph(max_values: usize, max_attrs: usize) -> impl Strategy<Value = BipartiteGraph> {
-    let values = 1..=max_values;
-    let attrs = 1..=max_attrs;
-    (values, attrs).prop_flat_map(|(nv, na)| {
-        let edges = proptest::collection::vec((0..nv, 0..na), 0..(nv * na).min(200));
-        edges.prop_map(move |edges| {
-            let mut b = BipartiteBuilder::new();
-            for i in 0..nv {
-                b.add_value(format!("v{i}"));
-            }
-            for a in 0..na {
-                b.add_attribute(format!("a{a}"));
-            }
-            for (v, a) in edges {
-                b.add_edge(v as u32, a as u32);
-            }
-            b.build()
-        })
-    })
+const CASES: u64 = 64;
+
+/// Generate a random edge list over up to `max_values` values and `max_attrs`
+/// attributes (some nodes may end up isolated).
+fn random_graph(max_values: usize, max_attrs: usize, seed: u64) -> BipartiteGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let nv = rng.gen_range(1..=max_values);
+    let na = rng.gen_range(1..=max_attrs);
+    let edge_count = rng.gen_range(0..(nv * na).clamp(1, 200));
+    let mut b = BipartiteBuilder::new();
+    for i in 0..nv {
+        b.add_value(format!("v{i}"));
+    }
+    for a in 0..na {
+        b.add_attribute(format!("a{a}"));
+    }
+    for _ in 0..edge_count {
+        let v = rng.gen_range(0..nv);
+        let a = rng.gen_range(0..na);
+        b.add_edge(v as u32, a as u32);
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn csr_invariants_hold(g in arb_graph(30, 8)) {
-        prop_assert!(g.validate().is_ok());
+#[test]
+fn csr_invariants_hold() {
+    for seed in 0..CASES {
+        let g = random_graph(30, 8, seed);
+        assert!(g.validate().is_ok(), "seed {seed}");
         // Handshake lemma: sum of degrees equals twice the edge count.
         let degree_sum: usize = g.nodes().map(|n| g.degree(n)).sum();
-        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+        assert_eq!(degree_sum, 2 * g.edge_count(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn bc_is_non_negative_and_symmetric_across_threads(g in arb_graph(25, 6)) {
+#[test]
+fn bc_is_non_negative_and_symmetric_across_threads() {
+    for seed in 0..CASES {
+        let g = random_graph(25, 6, seed);
         let seq = betweenness_centrality(&g);
         let par = betweenness_centrality_parallel(&g, 4);
-        prop_assert_eq!(seq.len(), g.node_count());
+        assert_eq!(seq.len(), g.node_count(), "seed {seed}");
         for (s, p) in seq.iter().zip(&par) {
-            prop_assert!(*s >= -1e-12);
-            prop_assert!((s - p).abs() < 1e-9);
+            assert!(*s >= -1e-12, "seed {seed}");
+            assert!((s - p).abs() < 1e-9, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn degree_one_values_have_zero_bc(g in arb_graph(25, 6)) {
+#[test]
+fn degree_one_values_have_zero_bc() {
+    for seed in 0..CASES {
+        let g = random_graph(25, 6, seed);
         let bc = betweenness_centrality(&g);
         for v in g.value_nodes() {
             if g.degree(v) <= 1 {
-                prop_assert!(bc[v as usize].abs() < 1e-12,
-                    "degree-{} value has BC {}", g.degree(v), bc[v as usize]);
+                assert!(
+                    bc[v as usize].abs() < 1e-12,
+                    "degree-{} value has BC {} (seed {seed})",
+                    g.degree(v),
+                    bc[v as usize]
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn normalized_bc_is_in_unit_interval(g in arb_graph(20, 6)) {
+#[test]
+fn normalized_bc_is_in_unit_interval() {
+    for seed in 0..CASES {
+        let g = random_graph(20, 6, seed);
         let mut bc = betweenness_centrality(&g);
         normalize_scores(&mut bc);
         for s in bc {
-            prop_assert!((0.0..=1.0 + 1e-12).contains(&s));
+            assert!((0.0..=1.0 + 1e-12).contains(&s), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn full_sampling_equals_exact(g in arb_graph(18, 5)) {
+#[test]
+fn full_sampling_equals_exact() {
+    for seed in 0..CASES {
+        let g = random_graph(18, 5, seed);
+        if g.node_count() == 0 {
+            continue;
+        }
         let exact = betweenness_centrality(&g);
-        if g.node_count() == 0 { return Ok(()); }
-        let approx = approximate_betweenness(&g, ApproxBcConfig {
-            samples: g.node_count(),
-            strategy: SamplingStrategy::Uniform,
-            seed: 1,
-            threads: 2,
-        });
+        let approx = approximate_betweenness(
+            &g,
+            ApproxBcConfig {
+                samples: g.node_count(),
+                strategy: SamplingStrategy::Uniform,
+                seed: 1,
+                threads: 2,
+            },
+        );
         for (e, a) in exact.iter().zip(&approx) {
-            prop_assert!((e - a).abs() < 1e-6, "exact {} vs approx {}", e, a);
+            assert!(
+                (e - a).abs() < 1e-6,
+                "exact {e} vs approx {a} (seed {seed})"
+            );
         }
     }
+}
 
-    #[test]
-    fn lcc_is_bounded_and_consistent(g in arb_graph(20, 6)) {
+#[test]
+fn lcc_is_bounded_and_consistent() {
+    for seed in 0..CASES {
+        let g = random_graph(20, 6, seed);
         for method in [LccMethod::ValueNeighborJaccard, LccMethod::AttributeJaccard] {
             let lcc = local_clustering_coefficients(&g, method);
-            prop_assert_eq!(lcc.len(), g.value_count());
+            assert_eq!(lcc.len(), g.value_count(), "seed {seed}");
             for (v, &score) in lcc.iter().enumerate() {
-                prop_assert!((0.0..=1.0 + 1e-12).contains(&score));
+                assert!((0.0..=1.0 + 1e-12).contains(&score), "seed {seed}");
                 if g.value_neighbor_count(v as u32) == 0 {
-                    prop_assert_eq!(score, 0.0);
+                    assert_eq!(score, 0.0, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn components_partition_the_nodes(g in arb_graph(25, 6)) {
+#[test]
+fn components_partition_the_nodes() {
+    for seed in 0..CASES {
+        let g = random_graph(25, 6, seed);
         let comps = connected_components(&g);
-        prop_assert_eq!(comps.labels.len(), g.node_count());
+        assert_eq!(comps.labels.len(), g.node_count(), "seed {seed}");
         let total: usize = comps.sizes.iter().sum();
-        prop_assert_eq!(total, g.node_count());
+        assert_eq!(total, g.node_count(), "seed {seed}");
         // Every edge joins nodes of the same component.
         for v in g.nodes() {
             for &w in g.neighbors(v) {
-                prop_assert!(comps.connected(v, w));
+                assert!(comps.connected(v, w), "seed {seed}");
             }
         }
         // Removing a value never *decreases* the number of components by more
         // than one (the removed node's own singleton possibility).
         if g.value_count() > 0 {
             let without = components_without_value(&g, 0);
-            prop_assert!(without + 1 >= comps.count());
+            assert!(without + 1 >= comps.count(), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn projection_degree_matches_value_neighbor_count(g in arb_graph(20, 5)) {
+#[test]
+fn projection_degree_matches_value_neighbor_count() {
+    for seed in 0..CASES {
+        let g = random_graph(20, 5, seed);
         let proj = project_values(&g);
-        prop_assert_eq!(proj.node_count(), g.value_count());
+        assert_eq!(proj.node_count(), g.value_count(), "seed {seed}");
         for v in g.value_nodes() {
-            prop_assert_eq!(proj.degree(v), g.value_neighbor_count(v));
+            assert_eq!(proj.degree(v), g.value_neighbor_count(v), "seed {seed}");
         }
     }
 }

@@ -338,7 +338,10 @@ mod tests {
         assert_eq!(lake.attribute_count(), 12);
         assert!(lake.contains_value("JAGUAR"));
         assert!(lake.contains_value("SAN DIEGO"));
-        assert!(!lake.contains_value("jaguar"), "lookups are by normalized form");
+        assert!(
+            !lake.contains_value("jaguar"),
+            "lookups are by normalized form"
+        );
     }
 
     #[test]

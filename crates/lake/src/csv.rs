@@ -200,10 +200,7 @@ fn parse_record(raw: &[u8], line: usize, options: CsvOptions) -> Result<Vec<Stri
                 } else {
                     return Err(LakeError::Csv {
                         line,
-                        message: format!(
-                            "unexpected byte {:?} after closing quote",
-                            char::from(b)
-                        ),
+                        message: format!("unexpected byte {:?} after closing quote", char::from(b)),
                     });
                 }
             }
@@ -244,9 +241,10 @@ pub fn parse_reader<R: Read>(reader: R) -> Result<Vec<Vec<String>>> {
 
 /// Render one field, quoting only when necessary.
 fn write_field<W: Write>(out: &mut W, field: &str, options: CsvOptions) -> io::Result<()> {
-    let needs_quoting = field.bytes().any(|b| {
-        b == options.delimiter || b == options.quote || b == b'\n' || b == b'\r'
-    }) || field.starts_with(' ')
+    let needs_quoting = field
+        .bytes()
+        .any(|b| b == options.delimiter || b == options.quote || b == b'\n' || b == b'\r')
+        || field.starts_with(' ')
         || field.ends_with(' ');
     if !needs_quoting {
         return out.write_all(field.as_bytes());
@@ -278,7 +276,8 @@ pub fn write_records_with<W: Write>(
     for record in records {
         for (i, field) in record.iter().enumerate() {
             if i > 0 {
-                out.write_all(&[options.delimiter]).map_err(LakeError::from)?;
+                out.write_all(&[options.delimiter])
+                    .map_err(LakeError::from)?;
             }
             write_field(out, field, options).map_err(LakeError::from)?;
         }

@@ -84,7 +84,10 @@ impl fmt::Display for LakeError {
             }
             LakeError::EmptyTable(name) => write!(f, "table '{name}' has no columns"),
             LakeError::DuplicateColumn { table, column } => {
-                write!(f, "table '{table}' declares column '{column}' more than once")
+                write!(
+                    f,
+                    "table '{table}' declares column '{column}' more than once"
+                )
             }
             LakeError::ColumnLengthMismatch {
                 table,

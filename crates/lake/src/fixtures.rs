@@ -63,7 +63,9 @@ pub fn running_example_unambiguous_repeats() -> Vec<&'static str> {
 /// The bridging value is the archetypal homograph: removing its node
 /// disconnects the two communities of the co-occurrence graph.
 pub fn two_community_lake(values_per_side: usize) -> LakeCatalog {
-    let animals: Vec<String> = (0..values_per_side).map(|i| format!("animal_{i}")).collect();
+    let animals: Vec<String> = (0..values_per_side)
+        .map(|i| format!("animal_{i}"))
+        .collect();
     let cars: Vec<String> = (0..values_per_side).map(|i| format!("car_{i}")).collect();
 
     let mut zoo_a = animals.clone();

@@ -18,7 +18,7 @@ use crate::table::Table;
 use crate::Result;
 
 /// Options controlling how CSV files are turned into tables.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LoadOptions {
     /// CSV dialect options.
     pub csv: CsvOptions,
@@ -27,16 +27,6 @@ pub struct LoadOptions {
     pub strict: bool,
     /// Maximum number of rows to read per table (`None` = unlimited).
     pub max_rows: Option<usize>,
-}
-
-impl Default for LoadOptions {
-    fn default() -> Self {
-        LoadOptions {
-            csv: CsvOptions::default(),
-            strict: false,
-            max_rows: None,
-        }
-    }
 }
 
 /// Parse a single CSV file into a [`Table`] named after its file stem.
@@ -132,14 +122,20 @@ pub fn save_dir(catalog: &LakeCatalog, dir: impl AsRef<Path>) -> Result<()> {
         let file = File::create(&path).map_err(|e| LakeError::io_with_path(e, &path))?;
         let mut writer = BufWriter::new(file);
         write_table(&mut writer, table)?;
-        writer.flush().map_err(|e| LakeError::io_with_path(e, &path))?;
+        writer
+            .flush()
+            .map_err(|e| LakeError::io_with_path(e, &path))?;
     }
     Ok(())
 }
 
 /// Serialize a single table as CSV (header + rows) to any writer.
 pub fn write_table<W: Write>(out: &mut W, table: &Table) -> Result<()> {
-    let header: Vec<String> = table.columns().iter().map(|c| c.name().to_owned()).collect();
+    let header: Vec<String> = table
+        .columns()
+        .iter()
+        .map(|c| c.name().to_owned())
+        .collect();
     let mut records = Vec::with_capacity(table.row_count() + 1);
     records.push(header);
     for row in table.rows() {
@@ -153,7 +149,8 @@ mod tests {
     use super::*;
 
     fn temp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!("lake_loader_test_{name}_{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("lake_loader_test_{name}_{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -173,7 +170,10 @@ mod tests {
         assert_eq!(table.name(), "animals");
         assert_eq!(table.column_count(), 2);
         assert_eq!(table.row_count(), 2);
-        assert!(table.column("locale").unwrap().contains_normalized("SAN DIEGO"));
+        assert!(table
+            .column("locale")
+            .unwrap()
+            .contains_normalized("SAN DIEGO"));
         fs::remove_dir_all(&dir).unwrap();
     }
 

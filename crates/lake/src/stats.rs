@@ -33,10 +33,11 @@ impl LakeStats {
             .attribute_ids()
             .map(|a| lake.attribute_cardinality(a))
             .collect();
-        let (min, max, sum) = cardinalities.iter().fold(
-            (usize::MAX, 0usize, 0usize),
-            |(min, max, sum), &c| (min.min(c), max.max(c), sum + c),
-        );
+        let (min, max, sum) = cardinalities
+            .iter()
+            .fold((usize::MAX, 0usize, 0usize), |(min, max, sum), &c| {
+                (min.min(c), max.max(c), sum + c)
+            });
         let attributes = cardinalities.len();
         LakeStats {
             tables: lake.table_count(),

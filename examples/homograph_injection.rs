@@ -19,10 +19,7 @@ use domainnet::eval::recall_of_expected_in_top_k;
 use domainnet::pipeline::DomainNetBuilder;
 use domainnet::Measure;
 
-fn recover(
-    clean: &datagen::GeneratedLake,
-    config: InjectionConfig,
-) -> Option<(usize, f64)> {
+fn recover(clean: &datagen::GeneratedLake, config: InjectionConfig) -> Option<(usize, f64)> {
     let injected = inject_homographs(clean, config)?;
     let net = DomainNetBuilder::new().build(&injected.lake.catalog);
     let samples = (net.graph().node_count() / 50).max(200);

@@ -58,7 +58,11 @@ fn main() {
             i + 1,
             s.value,
             s.score,
-            if truth.contains(&s.value) { "(homograph)" } else { "" }
+            if truth.contains(&s.value) {
+                "(homograph)"
+            } else {
+                ""
+            }
         );
     }
 

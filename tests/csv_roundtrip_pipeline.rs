@@ -11,10 +11,8 @@ use domainnet::Measure;
 use lake::loader::{load_dir, save_dir, LoadOptions};
 
 fn temp_dir(name: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "domainnet_roundtrip_{name}_{}",
-        std::process::id()
-    ));
+    let dir =
+        std::env::temp_dir().join(format!("domainnet_roundtrip_{name}_{}", std::process::id()));
     let _ = fs::remove_dir_all(&dir);
     fs::create_dir_all(&dir).unwrap();
     dir
@@ -29,7 +27,10 @@ fn csv_round_trip_preserves_the_homograph_ranking() {
     let reloaded = load_dir(&dir, LoadOptions::default()).expect("reload lake from CSV");
 
     assert_eq!(reloaded.table_count(), generated.catalog.table_count());
-    assert_eq!(reloaded.attribute_count(), generated.catalog.attribute_count());
+    assert_eq!(
+        reloaded.attribute_count(),
+        generated.catalog.attribute_count()
+    );
     assert_eq!(reloaded.value_count(), generated.catalog.value_count());
 
     // The ranking over the reloaded lake matches the in-memory one: same

@@ -1,90 +1,110 @@
-//! Property-based integration tests over randomly generated lakes: whatever
+//! Property-style integration tests over randomly generated lakes: whatever
 //! the lake looks like, the pipeline's structural invariants must hold.
+//!
+//! These originally used `proptest`; offline they run the same invariants
+//! over a fixed number of seeded random lakes instead, so failures reproduce
+//! exactly (the failing seed is in the assertion message).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use domainnet::pipeline::DomainNetBuilder;
 use domainnet::Measure;
 use lake::catalog::LakeCatalog;
 use lake::table::TableBuilder;
 
-/// Strategy producing a small random lake: a handful of tables, each with a
-/// couple of columns drawing values from a shared pool (so repeats and
-/// homograph-like bridges occur naturally).
-fn arb_lake() -> impl Strategy<Value = LakeCatalog> {
-    let table = (1usize..4, 2usize..12).prop_flat_map(|(cols, rows)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0u32..40, rows),
-            cols,
-        )
-    });
-    proptest::collection::vec(table, 1..5).prop_map(|tables| {
-        let mut catalog = LakeCatalog::new();
-        for (t, columns) in tables.into_iter().enumerate() {
-            let mut builder = TableBuilder::new(format!("t{t}"));
-            for (c, cells) in columns.into_iter().enumerate() {
-                builder = builder.column(
-                    format!("c{c}"),
-                    cells.into_iter().map(|v| format!("val_{v}")),
-                );
-            }
-            catalog
-                .add_table(builder.build().expect("rectangular by construction"))
-                .expect("unique table names");
+const CASES: u64 = 48;
+
+/// Generate a small random lake: a handful of tables, each with a couple of
+/// columns drawing values from a shared pool (so repeats and homograph-like
+/// bridges occur naturally).
+fn random_lake(seed: u64) -> LakeCatalog {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut catalog = LakeCatalog::new();
+    let tables = rng.gen_range(1..5);
+    for t in 0..tables {
+        let cols = rng.gen_range(1usize..4);
+        let rows = rng.gen_range(2usize..12);
+        let mut builder = TableBuilder::new(format!("t{t}"));
+        for c in 0..cols {
+            let cells: Vec<String> = (0..rows)
+                .map(|_| format!("val_{}", rng.gen_range(0u32..40)))
+                .collect();
+            builder = builder.column(format!("c{c}"), cells);
         }
         catalog
-    })
+            .add_table(builder.build().expect("rectangular by construction"))
+            .expect("unique table names");
+    }
+    catalog
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn ranking_covers_exactly_the_candidates(lake in arb_lake()) {
+#[test]
+fn ranking_covers_exactly_the_candidates() {
+    for seed in 0..CASES {
+        let lake = random_lake(seed);
         let net = DomainNetBuilder::new().build(&lake);
         let candidates = lake.values_in_at_least(2).len();
-        prop_assert_eq!(net.candidate_count(), candidates);
+        assert_eq!(net.candidate_count(), candidates, "seed {seed}");
 
         for measure in [Measure::exact_bc(), Measure::lcc()] {
             let ranked = net.rank(measure);
-            prop_assert_eq!(ranked.len(), candidates);
+            assert_eq!(ranked.len(), candidates, "seed {seed}");
             // Every ranked value really does occur in >= 2 attributes.
             for s in &ranked {
-                prop_assert!(s.attribute_count >= 2);
-                let vid = lake.value_id(&s.value).expect("ranked value exists in the lake");
-                prop_assert_eq!(lake.value_attribute_count(vid), s.attribute_count);
+                assert!(s.attribute_count >= 2, "seed {seed}");
+                let vid = lake
+                    .value_id(&s.value)
+                    .expect("ranked value exists in the lake");
+                assert_eq!(
+                    lake.value_attribute_count(vid),
+                    s.attribute_count,
+                    "seed {seed}"
+                );
             }
         }
     }
+}
 
-    #[test]
-    fn scores_are_finite_and_ordering_is_consistent(lake in arb_lake()) {
+#[test]
+fn scores_are_finite_and_ordering_is_consistent() {
+    for seed in 0..CASES {
+        let lake = random_lake(seed);
         let net = DomainNetBuilder::new().build(&lake);
         let ranked = net.rank(Measure::exact_bc());
         for w in ranked.windows(2) {
-            prop_assert!(w[0].score + 1e-12 >= w[1].score, "BC ranking must be non-increasing");
+            assert!(
+                w[0].score + 1e-12 >= w[1].score,
+                "BC ranking must be non-increasing (seed {seed})"
+            );
         }
         for s in &ranked {
-            prop_assert!(s.score.is_finite());
-            prop_assert!(s.score >= -1e-9);
+            assert!(s.score.is_finite(), "seed {seed}");
+            assert!(s.score >= -1e-9, "seed {seed}");
         }
         let lcc = net.rank(Measure::lcc());
         for w in lcc.windows(2) {
-            prop_assert!(w[0].score <= w[1].score + 1e-12, "LCC ranking must be non-decreasing");
+            assert!(
+                w[0].score <= w[1].score + 1e-12,
+                "LCC ranking must be non-decreasing (seed {seed})"
+            );
         }
         for s in &lcc {
-            prop_assert!((0.0..=1.0 + 1e-9).contains(&s.score));
+            assert!((0.0..=1.0 + 1e-9).contains(&s.score), "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn unpruned_graph_matches_lake_shape(lake in arb_lake()) {
+#[test]
+fn unpruned_graph_matches_lake_shape() {
+    for seed in 0..CASES {
+        let lake = random_lake(seed);
         let net = DomainNetBuilder::new()
             .prune_single_attribute_values(false)
             .build(&lake);
-        prop_assert_eq!(net.candidate_count(), lake.value_count());
-        prop_assert_eq!(net.attribute_count(), lake.attribute_count());
-        prop_assert_eq!(net.edge_count(), lake.incidence_count());
-        prop_assert!(net.graph().validate().is_ok());
+        assert_eq!(net.candidate_count(), lake.value_count(), "seed {seed}");
+        assert_eq!(net.attribute_count(), lake.attribute_count(), "seed {seed}");
+        assert_eq!(net.edge_count(), lake.incidence_count(), "seed {seed}");
+        assert!(net.graph().validate().is_ok(), "seed {seed}");
     }
 }

@@ -58,7 +58,14 @@ fn canonical_homographs_rank_high_under_bc() {
     // The large-cardinality canonical homographs should sit in the upper half
     // of the ranking. (The country-code/state-abbreviation family is excluded
     // — the paper itself reports those as the misses.)
-    for value in ["JAGUAR", "PUMA", "SYDNEY", "LINCOLN", "JAMAICA", "WASHINGTON"] {
+    for value in [
+        "JAGUAR",
+        "PUMA",
+        "SYDNEY",
+        "LINCOLN",
+        "JAMAICA",
+        "WASHINGTON",
+    ] {
         assert!(truth.contains(value), "{value} must be ground truth");
         assert!(
             top_half.contains(value),
@@ -129,7 +136,10 @@ fn lcc_top_list_is_dominated_by_small_domain_unambiguous_values() {
     let net = DomainNetBuilder::new().build(&generated.catalog);
     let ranked = net.rank(Measure::lcc());
     let k = truth.len();
-    let hits = ranked[..k].iter().filter(|s| truth.contains(&s.value)).count();
+    let hits = ranked[..k]
+        .iter()
+        .filter(|s| truth.contains(&s.value))
+        .count();
     assert!(
         (hits as f64) < 0.6 * k as f64,
         "LCC top-{k} contains {hits} homographs — too many for the Figure 5 regime"

@@ -1,0 +1,432 @@
+//! Offline API-compatible shim for [rand](https://docs.rs/rand/0.8) 0.8.
+//!
+//! The build container has no access to a crates registry, so this crate
+//! implements the subset of rand's 0.8 API the workspace uses, on top of a
+//! deterministic xoshiro256++ generator:
+//!
+//! * [`rngs::StdRng`] with [`SeedableRng::seed_from_u64`]
+//! * [`Rng::gen_range`] over half-open and inclusive integer/float ranges,
+//!   [`Rng::gen_bool`], [`Rng::gen`]
+//! * [`seq::SliceRandom`] (`shuffle`, `choose`) and [`seq::index::sample`]
+//! * [`distributions::WeightedIndex`] with [`distributions::Distribution`]
+//!
+//! The streams differ from real rand's (this is a shim, not a port), but are
+//! fully deterministic under a fixed seed, which is the property the
+//! workspace's determinism tests rely on.
+
+/// The core trait: a source of random `u64`s.
+pub trait RngCore {
+    /// Return the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Return the next random `u32`.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator seedable from a `u64`, for reproducible streams.
+pub trait SeedableRng: Sized {
+    /// Construct a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-friendly random-value methods, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Sample a value uniformly from `range` (e.g. `0..10`, `0.0..1.0`,
+    /// `1..=6`).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Return `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        // `unit_f64` samples from [0, 1), so p == 1.0 is always true.
+        unit_f64(self) < p
+    }
+
+    /// Sample a value of type `T` from its standard distribution.
+    fn gen<T: StandardSample>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard_sample(self)
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A `f64` uniform in `[0, 1)` with 53 random mantissa bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform `u64` in `[0, span)` via Lemire-style rejection sampling.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let raw = rng.next_u64();
+        if raw <= zone {
+            return raw % span;
+        }
+    }
+}
+
+/// Types samplable from a "standard" distribution via [`Rng::gen`].
+pub trait StandardSample {
+    /// Sample one value.
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng)
+    }
+}
+
+impl StandardSample for f32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng) as f32
+    }
+}
+
+impl StandardSample for u64 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// A range that [`Rng::gen_range`] can sample from.
+///
+/// Like real rand, this is blanket-implemented over a [`SampleUniform`]
+/// element type so integer-literal ranges (`1..=40`) infer cleanly.
+pub trait SampleRange<T> {
+    /// Sample a single value uniformly from `self`.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        T::sample_uniform(rng, start, end, true)
+    }
+}
+
+/// Element types uniformly samplable from a range.
+pub trait SampleUniform: Sized {
+    /// Sample uniformly from `[low, high)` (or `[low, high]` when
+    /// `inclusive`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "gen_range: empty range");
+                    let span = (high as i128 - low as i128) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (low as i128 + uniform_u64(rng, span + 1) as i128) as $t
+                } else {
+                    assert!(low < high, "gen_range: empty range");
+                    let span = (high as i128 - low as i128) as u64;
+                    (low as i128 + uniform_u64(rng, span) as i128) as $t
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                if inclusive {
+                    assert!(low <= high, "gen_range: empty range");
+                } else {
+                    assert!(low < high, "gen_range: empty range");
+                }
+                let unit = unit_f64(rng) as $t;
+                low + unit * (high - low)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_float!(f32, f64);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard deterministic generator: xoshiro256++ seeded through
+    /// SplitMix64 (Blackman & Vigna). Not the same stream as real rand's
+    /// `StdRng`, but a high-quality, fully deterministic one.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                state: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.state;
+            let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+            let t = s1 << 17;
+            let mut s2 = s2 ^ s0;
+            let mut s3 = s3 ^ s1;
+            let s1 = s1 ^ s2;
+            let s0 = s0 ^ s3;
+            s2 ^= t;
+            s3 = s3.rotate_left(45);
+            self.state = [s0, s1, s2, s3];
+            result
+        }
+    }
+}
+
+/// Sequence-related helpers (`shuffle`, `choose`, index sampling).
+pub mod seq {
+    use super::{uniform_u64, RngCore};
+
+    /// Extension methods for slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffle the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Choose one element uniformly, or `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = uniform_u64(rng, i as u64 + 1) as usize;
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[uniform_u64(rng, self.len() as u64) as usize])
+            }
+        }
+    }
+
+    /// Index-sampling without replacement.
+    pub mod index {
+        use super::super::{uniform_u64, RngCore};
+
+        /// A set of sampled indices.
+        #[derive(Debug, Clone)]
+        pub struct IndexVec(Vec<usize>);
+
+        impl IndexVec {
+            /// Convert into a plain `Vec<usize>`.
+            pub fn into_vec(self) -> Vec<usize> {
+                self.0
+            }
+
+            /// Number of sampled indices.
+            pub fn len(&self) -> usize {
+                self.0.len()
+            }
+
+            /// Whether no indices were sampled.
+            pub fn is_empty(&self) -> bool {
+                self.0.is_empty()
+            }
+        }
+
+        impl IntoIterator for IndexVec {
+            type Item = usize;
+            type IntoIter = std::vec::IntoIter<usize>;
+
+            fn into_iter(self) -> Self::IntoIter {
+                self.0.into_iter()
+            }
+        }
+
+        /// Sample `amount` distinct indices from `0..length` uniformly,
+        /// via a partial Fisher–Yates shuffle.
+        ///
+        /// # Panics
+        /// Panics if `amount > length`, as real rand does.
+        pub fn sample<R: RngCore + ?Sized>(rng: &mut R, length: usize, amount: usize) -> IndexVec {
+            assert!(
+                amount <= length,
+                "seq::index::sample: amount ({amount}) > length ({length})"
+            );
+            let mut pool: Vec<usize> = (0..length).collect();
+            for i in 0..amount {
+                let j = i + uniform_u64(rng, (length - i) as u64) as usize;
+                pool.swap(i, j);
+            }
+            pool.truncate(amount);
+            IndexVec(pool)
+        }
+    }
+}
+
+/// Probability distributions.
+pub mod distributions {
+    use super::{unit_f64, RngCore};
+    use std::borrow::Borrow;
+    use std::fmt;
+
+    /// A distribution over values of type `T`.
+    pub trait Distribution<T> {
+        /// Sample one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Error constructing a [`WeightedIndex`].
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// No weights were provided.
+        NoItem,
+        /// A weight was negative or not finite.
+        InvalidWeight,
+        /// All weights are zero.
+        AllWeightsZero,
+    }
+
+    impl fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            let msg = match self {
+                WeightedError::NoItem => "no weights provided",
+                WeightedError::InvalidWeight => "a weight is invalid",
+                WeightedError::AllWeightsZero => "all weights are zero",
+            };
+            f.write_str(msg)
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Sampling of indices `0..n` proportional to `f64` weights.
+    #[derive(Debug, Clone)]
+    pub struct WeightedIndex {
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    impl WeightedIndex {
+        /// Build a distribution from an iterator of non-negative weights.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: Borrow<f64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w = *w.borrow();
+                // NaN fails `is_finite`, so `w < 0.0` is safe here.
+                if w < 0.0 || !w.is_finite() {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total <= 0.0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            let target = unit_f64(rng) * self.total;
+            // First index whose cumulative weight exceeds the target;
+            // partition_point also skips zero-weight entries at the target.
+            self.cumulative
+                .partition_point(|&c| c <= target)
+                .min(self.cumulative.len() - 1)
+        }
+    }
+}

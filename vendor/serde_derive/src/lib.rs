@@ -1,0 +1,490 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Derives `serde::Serialize` / `serde::Deserialize` (the vendored value-tree
+//! shim, not real serde) for the shapes this workspace uses: structs with
+//! named fields, tuple/newtype structs, and enums with unit, tuple, and
+//! struct variants. Supported field attribute: `#[serde(skip)]` (field is
+//! omitted on serialize and filled from `Default::default()` on deserialize).
+//!
+//! Implemented directly on `proc_macro::TokenStream` because `syn`/`quote`
+//! are not available offline. Generics are not supported (the workspace
+//! derives only on non-generic types).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct {
+        name: String,
+        fields: Vec<Field>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item)
+            .parse()
+            .expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({:?});", msg).parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Skip attributes (`#[...]`), returning whether any was `#[serde(skip)]`.
+fn skip_attributes(tokens: &[TokenTree], idx: &mut usize) -> bool {
+    let mut skip = false;
+    while *idx < tokens.len() {
+        match &tokens[*idx] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                *idx += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*idx) {
+                    if attr_is_serde_skip(&g.stream()) {
+                        skip = true;
+                    }
+                    *idx += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    skip
+}
+
+/// Does an attribute body (the tokens inside `#[...]`) read `serde(skip)`?
+fn attr_is_serde_skip(body: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    match (tokens.first(), tokens.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(args)))
+            if name.to_string() == "serde" =>
+        {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "skip"))
+        }
+        _ => false,
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], idx: &mut usize) {
+    if matches!(tokens.get(*idx), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        *idx += 1;
+        if matches!(
+            tokens.get(*idx),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *idx += 1;
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut idx = 0;
+    skip_attributes(&tokens, &mut idx);
+    skip_visibility(&tokens, &mut idx);
+
+    let keyword = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, found {other:?}")),
+    };
+    idx += 1;
+    let name = match tokens.get(idx) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    idx += 1;
+    if matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde_derive shim: generic type `{name}` is not supported"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Ok(Item::NamedStruct {
+                    name,
+                    fields: parse_named_fields(&g.stream())?,
+                })
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(&g.stream()),
+                })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::UnitStruct { name }),
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Enum {
+                name,
+                variants: parse_variants(&g.stream())?,
+            }),
+            other => Err(format!("unexpected enum body: {other:?}")),
+        },
+        other => Err(format!("expected `struct` or `enum`, found `{other}`")),
+    }
+}
+
+/// Parse `name: Type, ...` (named-field bodies), honoring `#[serde(skip)]`.
+fn parse_named_fields(body: &TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        let skip = skip_attributes(&tokens, &mut idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut idx);
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        idx += 1;
+        match tokens.get(idx) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => idx += 1,
+            other => {
+                return Err(format!(
+                    "expected `:` after field `{name}`, found {other:?}"
+                ))
+            }
+        }
+        skip_type(&tokens, &mut idx);
+        // Consume the trailing comma, if any.
+        if matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            idx += 1;
+        }
+        fields.push(Field { name, skip });
+    }
+    Ok(fields)
+}
+
+/// Advance past one type, stopping at a comma outside angle brackets.
+fn skip_type(tokens: &[TokenTree], idx: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(token) = tokens.get(*idx) {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => return,
+            _ => {}
+        }
+        *idx += 1;
+    }
+}
+
+/// Count the fields of a tuple struct / tuple variant body.
+fn count_tuple_fields(body: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for token in &tokens {
+        match token {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                saw_tokens_since_comma = false;
+                count += 1;
+                continue;
+            }
+            _ => {}
+        }
+        saw_tokens_since_comma = true;
+    }
+    if !saw_tokens_since_comma {
+        count -= 1; // trailing comma
+    }
+    count
+}
+
+fn parse_variants(body: &TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = body.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut idx = 0;
+    while idx < tokens.len() {
+        skip_attributes(&tokens, &mut idx);
+        if idx >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(idx) {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        idx += 1;
+        let kind = match tokens.get(idx) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                idx += 1;
+                VariantKind::Tuple(count_tuple_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                idx += 1;
+                VariantKind::Struct(parse_named_fields(&g.stream())?)
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(tokens.get(idx), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            idx += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut pushes = String::new();
+            for f in fields.iter().filter(|f| !f.skip) {
+                pushes.push_str(&format!(
+                    "fields.push(({:?}.to_string(), ::serde::Serialize::to_value(&self.{})));\n",
+                    f.name, f.name
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Map(fields)\n\
+                 }}\n}}\n"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Serialize::to_value(&self.0) }}\n}}\n"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Seq(vec![{}]) }}\n}}\n",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n}}\n"
+        ),
+        Item::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::Str({vname:?}.to_string()),\n"
+                    )),
+                    VariantKind::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Serialize::to_value(f0))]),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .filter(|f| !f.skip)
+                            .map(|f| {
+                                format!(
+                                    "({:?}.to_string(), ::serde::Serialize::to_value({}))",
+                                    f.name, f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {} }} => ::serde::Value::Map(vec![({vname:?}.to_string(), ::serde::Value::Map(vec![{}]))]),\n",
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{\n{arms}}}\n\
+                 }}\n}}\n"
+            )
+        }
+    }
+}
+
+fn gen_named_field_inits(fields: &[Field], source: &str) -> String {
+    let mut inits = String::new();
+    for f in fields {
+        if f.skip {
+            inits.push_str(&format!(
+                "{}: ::std::default::Default::default(),\n",
+                f.name
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{}: ::serde::Deserialize::from_value({source}.get({:?}).unwrap_or(&::serde::Value::Null))?,\n",
+                f.name, f.name
+            ));
+        }
+    }
+    inits
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let body = match item {
+        Item::NamedStruct { name, fields } => {
+            let inits = gen_named_field_inits(fields, "value");
+            format!("::std::result::Result::Ok({name} {{\n{inits}}})")
+        }
+        Item::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Item::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match value {{\n\
+                 ::serde::Value::Seq(items) if items.len() == {arity} => \
+                 ::std::result::Result::Ok({name}({})),\n\
+                 other => ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"expected a {arity}-element sequence for `{name}`, got {{}}\", other.kind()))),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!("::std::result::Result::Ok({name})"),
+        Item::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "{vname:?} => return ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantKind::Tuple(1) => tagged_arms.push_str(&format!(
+                        "{vname:?} => return ::std::result::Result::Ok({name}::{vname}(::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let items: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => {{\n\
+                             if let ::serde::Value::Seq(items) = inner {{\n\
+                             if items.len() == {arity} {{\n\
+                             return ::std::result::Result::Ok({name}::{vname}({}));\n\
+                             }}\n}}\n\
+                             return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"malformed tuple variant `{vname}`\"));\n}}\n",
+                            items.join(", ")
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits = gen_named_field_inits(fields, "inner");
+                        tagged_arms.push_str(&format!(
+                            "{vname:?} => return ::std::result::Result::Ok({name}::{vname} {{\n{inits}}}),\n"
+                        ));
+                    }
+                }
+            }
+            format!(
+                "if let ::serde::Value::Str(tag) = value {{\n\
+                 match tag.as_str() {{\n{unit_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 if let ::serde::Value::Map(entries) = value {{\n\
+                 if entries.len() == 1 {{\n\
+                 let (tag, inner) = &entries[0];\n\
+                 let _ = inner;\n\
+                 match tag.as_str() {{\n{tagged_arms}_ => {{}}\n}}\n\
+                 }}\n\
+                 }}\n\
+                 ::std::result::Result::Err(::serde::Error::custom(format!(\
+                 \"unknown or malformed `{name}` variant: {{}}\", value.kind())))"
+            )
+        }
+    };
+    let name = match item {
+        Item::NamedStruct { name, .. }
+        | Item::TupleStruct { name, .. }
+        | Item::UnitStruct { name }
+        | Item::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n\
+         }}\n}}\n"
+    )
+}
