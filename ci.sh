@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # CI gate for the DomainNet reproduction workspace.
 #
-# Runs, in order: rustfmt check, clippy with warnings denied, a release
-# build, and the full test suite. The last two lines are exactly the repo's
-# tier-1 verification command (`cargo build --release && cargo test -q`).
+# Runs, in order: rustfmt check, clippy with warnings denied, rustdoc with
+# warnings denied (so documentation rot fails the gate), the doc-test suite,
+# a release build, and the full test suite. The last two steps are exactly
+# the repo's tier-1 verification command
+# (`cargo build --release && cargo test -q`).
 #
 # Usage: ./ci.sh
 set -euo pipefail
@@ -14,6 +16,15 @@ cargo fmt --check
 
 echo "==> cargo clippy --workspace --all-targets -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc --no-deps (rustdoc warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+# The final tier-1 `cargo test -q` also runs doctests; this explicit step is
+# kept deliberately so documentation rot fails fast with a clearly labeled
+# gate step (the overlap costs a few seconds, attribution is worth it).
+echo "==> cargo test --doc -q"
+cargo test --doc -q
 
 echo "==> cargo build --release"
 cargo build --release

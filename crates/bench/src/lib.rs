@@ -17,9 +17,11 @@
 //! | `exp_fig8_sampling` | Figure 8 — precision & runtime vs BC sample size |
 //! | `exp_fig9_scalability` | Figure 9 + §5.4 — approx-BC runtime vs graph size |
 //! | `exp_fig10_d4_impact` | Figure 10 — D4 domain count vs injected homographs |
+//! | `exp_incremental` | beyond the paper — incremental vs full-rebuild maintenance latency |
 //!
 //! All binaries accept `--scale <f64>` (default 1.0) to shrink or grow the
-//! generated workloads, and `--seed <u64>` to change the data seed.
+//! generated workloads, and `--seed <u64>` to change the data seed. See
+//! `docs/EXPERIMENTS.md` for output shapes and expected runtimes.
 
 #![warn(missing_docs)]
 #![deny(unsafe_code)]

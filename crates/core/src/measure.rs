@@ -15,7 +15,23 @@ use serde::{Deserialize, Serialize};
 ///   *high* BC (Hypothesis 3.5). Exact BC is `O(n·m)`; the sampled
 ///   approximation brings the cost down to `O(s·m)` with no practical loss in
 ///   ranking quality (Figure 8).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// `Measure` is `Eq + Hash` so rankings can be memoized per measure:
+///
+/// ```
+/// use domainnet::Measure;
+///
+/// let lake = lake::fixtures::running_example();
+/// let net = domainnet::DomainNetBuilder::new().build(&lake);
+///
+/// // Rankings sort so the most homograph-like value comes first: that
+/// // means descending scores for BC, ascending for LCC.
+/// assert!(Measure::exact_bc().higher_is_more_homograph_like());
+/// assert!(!Measure::lcc().higher_is_more_homograph_like());
+/// assert_eq!(net.rank(Measure::exact_bc())[0].value, "JAGUAR");
+/// assert_eq!(net.rank(Measure::lcc()).len(), net.candidate_count());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Measure {
     /// Bipartite local clustering coefficient (lower = more homograph-like).
     Lcc(LccMethod),

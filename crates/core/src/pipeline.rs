@@ -1,10 +1,36 @@
 //! The end-to-end DomainNet pipeline: lake → bipartite graph → scores → rank.
+//!
+//! Two usage modes share one type:
+//!
+//! * **Snapshot mode** — [`DomainNetBuilder::build`] over any
+//!   [`LakeView`] (an immutable [`lake::LakeCatalog`] or a
+//!   [`lake::MutableLake`]) produces a [`DomainNet`] whose rankings are
+//!   memoized per [`Measure`].
+//! * **Incremental mode** — for a [`lake::MutableLake`], applying a
+//!   [`lake::LakeDelta`] to the lake yields [`lake::DeltaEffects`], which
+//!   [`DomainNet::apply_delta`] consumes to *patch* the graph and every
+//!   cached score vector instead of recomputing from scratch: local
+//!   clustering coefficients are recomputed only for the dirty 2-hop region,
+//!   and betweenness centrality only for the connected components the
+//!   mutation touched (exactly for [`Measure::ExactBc`]; by sampled
+//!   re-estimation for [`Measure::ApproxBc`]).
 
-use dn_graph::approx_bc::approximate_betweenness;
-use dn_graph::bc::{betweenness_centrality, betweenness_centrality_parallel};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use dn_graph::approx_bc::{approximate_betweenness, approximate_betweenness_within};
+use dn_graph::bc::{
+    betweenness_centrality, betweenness_centrality_parallel, betweenness_from_sources,
+};
 use dn_graph::bipartite::{BipartiteBuilder, BipartiteGraph};
-use dn_graph::lcc::lcc_for_values;
-use lake::catalog::LakeCatalog;
+use dn_graph::components::{connected_components, Components};
+use dn_graph::delta::GraphDelta;
+use dn_graph::lcc::{
+    lcc_for_values, lcc_with_cardinality_for_values, patch_lcc_value_neighbors, LccMethod,
+};
+use lake::catalog::AttrId;
+use lake::delta::{diff_sorted, DeltaEffects, LakeView, MutableLake};
+use lake::value::ValueId;
 
 use crate::measure::{Measure, ScoredValue};
 
@@ -60,8 +86,9 @@ impl DomainNetBuilder {
         self
     }
 
-    /// Build the DomainNet graph from a lake catalog.
-    pub fn build(&self, lake: &LakeCatalog) -> DomainNet {
+    /// Build the DomainNet graph from any lake view (an immutable
+    /// [`lake::LakeCatalog`] or a [`lake::MutableLake`]).
+    pub fn build<L: LakeView + ?Sized>(&self, lake: &L) -> DomainNet {
         let min_attrs = if self.config.prune_single_attribute_values {
             2
         } else {
@@ -78,10 +105,12 @@ impl DomainNetBuilder {
             lake.incidence_count(),
         );
         for &vid in &kept_values {
-            let label = lake.value(vid).expect("value id from catalog");
+            let label = lake.value(vid).expect("value id from lake");
             node_of_value[vid.index()] = builder.add_value(label);
         }
-        for (attr, values) in lake.attribute_value_pairs() {
+        let mut attr_index_of = vec![u32::MAX; lake.attribute_count()];
+        let mut attr_id_of_index: Vec<AttrId> = Vec::new();
+        for (attr, values) in lake.live_attribute_values() {
             let surviving: Vec<u32> = values
                 .iter()
                 .filter_map(|v| {
@@ -97,24 +126,101 @@ impl DomainNetBuilder {
                 .map(|r| r.qualified())
                 .unwrap_or_else(|| format!("attr_{}", attr.0));
             let attr_node = builder.add_attribute(label);
+            attr_index_of[attr.index()] = attr_node;
+            attr_id_of_index.push(attr);
             for node in surviving {
                 builder.add_edge(node, attr_node);
             }
         }
 
+        let graph = builder.build();
+        let components = connected_components(&graph);
         DomainNet {
             config: self.config,
-            graph: builder.build(),
+            graph,
+            components,
+            node_of_value,
+            attr_index_of,
+            attr_id_of_index,
+            generation: 0,
+            caches: Mutex::new(ScoreCaches::default()),
         }
     }
 }
 
+/// Memoized per-measure scores. `raw` is indexed by value node id; `ranked`
+/// is the fully sorted ranking. Both are invalidated or patched by
+/// [`DomainNet::apply_delta`] and rebuilt lazily on demand.
+#[derive(Debug, Default)]
+struct ScoreCaches {
+    raw: HashMap<Measure, Vec<f64>>,
+    ranked: HashMap<Measure, Arc<Vec<ScoredValue>>>,
+    /// `(attribute_count, cardinality)` per value node. Computing `|N(v)|`
+    /// for every node costs as much as an LCC pass, so it is cached once and
+    /// then patched only for dirty nodes on each delta.
+    meta: Option<Vec<(usize, usize)>>,
+}
+
+/// Summary of one incremental maintenance step, returned by
+/// [`DomainNet::apply_delta`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct DeltaStats {
+    /// Value nodes appended to the graph.
+    pub value_nodes_added: usize,
+    /// Attribute nodes appended to the graph.
+    pub attr_nodes_added: usize,
+    /// Edges inserted.
+    pub edges_added: usize,
+    /// Edges deleted.
+    pub edges_removed: usize,
+    /// Value nodes whose LCC had to be recomputed (the dirty 2-hop region).
+    pub dirty_values: usize,
+    /// Connected components whose BC had to be recomputed.
+    pub touched_components: usize,
+    /// Total nodes inside the touched components.
+    pub touched_component_nodes: usize,
+}
+
 /// The DomainNet model of a data lake: the bipartite graph plus scoring and
-/// ranking on top of it.
-#[derive(Debug, Clone)]
+/// ranking on top of it, with per-measure memoization and incremental
+/// maintenance under lake mutations.
+#[derive(Debug)]
 pub struct DomainNet {
     config: DomainNetConfig,
     graph: BipartiteGraph,
+    components: Components,
+    /// ValueId -> value node id (`u32::MAX` = no node yet).
+    node_of_value: Vec<u32>,
+    /// AttrId -> attribute index in the graph (`u32::MAX` = no node yet).
+    attr_index_of: Vec<u32>,
+    /// Attribute index -> AttrId (inverse of `attr_index_of`). Not sorted:
+    /// the initial build allocates indexes in AttrId order, but deltas append
+    /// attributes in encounter order.
+    attr_id_of_index: Vec<AttrId>,
+    /// Bumped once per applied delta; salts the approximate-BC re-estimation
+    /// seed so successive re-estimations are independent but deterministic.
+    generation: u64,
+    caches: Mutex<ScoreCaches>,
+}
+
+impl Clone for DomainNet {
+    fn clone(&self) -> Self {
+        let caches = self.caches.lock().expect("score cache mutex");
+        DomainNet {
+            config: self.config,
+            graph: self.graph.clone(),
+            components: self.components.clone(),
+            node_of_value: self.node_of_value.clone(),
+            attr_index_of: self.attr_index_of.clone(),
+            attr_id_of_index: self.attr_id_of_index.clone(),
+            generation: self.generation,
+            caches: Mutex::new(ScoreCaches {
+                raw: caches.raw.clone(),
+                ranked: caches.ranked.clone(),
+                meta: caches.meta.clone(),
+            }),
+        }
+    }
 }
 
 impl DomainNet {
@@ -128,12 +234,30 @@ impl DomainNet {
         self.config
     }
 
-    /// Number of candidate value nodes in the graph.
+    /// Connected components of the current graph (maintained incrementally
+    /// across [`DomainNet::apply_delta`] calls).
+    pub fn components(&self) -> &Components {
+        &self.components
+    }
+
+    /// Number of value-node slots in the graph, **including** tombstones
+    /// left behind by mutations (values that no longer qualify keep an
+    /// isolated node). Equals the candidate count for a freshly built net.
     pub fn candidate_count(&self) -> usize {
         self.graph.value_count()
     }
 
-    /// Number of attribute nodes in the graph.
+    /// Number of *live* candidate values: value nodes with at least one
+    /// incident edge. This is the number of entries [`DomainNet::rank`]
+    /// returns.
+    pub fn live_candidate_count(&self) -> usize {
+        self.graph
+            .value_nodes()
+            .filter(|&v| self.graph.degree(v) > 0)
+            .count()
+    }
+
+    /// Number of attribute nodes in the graph (including tombstones).
     pub fn attribute_count(&self) -> usize {
         self.graph.attribute_count()
     }
@@ -148,9 +272,37 @@ impl DomainNet {
         self.graph.value_label(node)
     }
 
-    /// Compute the raw score of every value node under a measure, indexed by
-    /// value node id (no sorting, no direction adjustment).
+    /// The graph value node of a lake value, if it currently has one.
+    pub fn node_of_value(&self, id: ValueId) -> Option<u32> {
+        match self.node_of_value.get(id.index()) {
+            Some(&node) if node != u32::MAX => Some(node),
+            _ => None,
+        }
+    }
+
+    /// Compute (or fetch from the memo) the raw score of every value node
+    /// under a measure, indexed by value node id (no sorting, no direction
+    /// adjustment). Tombstoned value nodes score 0.
     pub fn raw_scores(&self, measure: Measure) -> Vec<f64> {
+        if let Some(cached) = self
+            .caches
+            .lock()
+            .expect("score cache mutex")
+            .raw
+            .get(&measure)
+        {
+            return cached.clone();
+        }
+        let scores = self.compute_raw_scores(measure);
+        self.caches
+            .lock()
+            .expect("score cache mutex")
+            .raw
+            .insert(measure, scores.clone());
+        scores
+    }
+
+    fn compute_raw_scores(&self, measure: Measure) -> Vec<f64> {
         match measure {
             Measure::Lcc(method) => {
                 let targets: Vec<u32> = self.graph.value_nodes().collect();
@@ -171,19 +323,45 @@ impl DomainNet {
         }
     }
 
-    /// Score every candidate value and return them ranked most-homograph-like
-    /// first (descending BC, ascending LCC). Ties are broken by value string
-    /// so the output is fully deterministic.
+    /// Score every live candidate value and return them ranked
+    /// most-homograph-like first (descending BC, ascending LCC). Ties are
+    /// broken by value string so the output is fully deterministic.
+    ///
+    /// Results are memoized per measure: repeated calls return a clone of
+    /// the cached ranking without re-scoring or re-sorting. The memo is
+    /// patched by [`DomainNet::apply_delta`] and cleared by
+    /// [`DomainNet::refresh`]. Use [`DomainNet::rank_shared`] to avoid even
+    /// the clone.
     pub fn rank(&self, measure: Measure) -> Vec<ScoredValue> {
+        self.rank_shared(measure).as_ref().clone()
+    }
+
+    /// Like [`DomainNet::rank`] but returns the shared cached ranking
+    /// without copying it.
+    pub fn rank_shared(&self, measure: Measure) -> Arc<Vec<ScoredValue>> {
+        if let Some(cached) = self
+            .caches
+            .lock()
+            .expect("score cache mutex")
+            .ranked
+            .get(&measure)
+        {
+            return Arc::clone(cached);
+        }
         let scores = self.raw_scores(measure);
+        let meta = self.node_meta();
         let mut ranked: Vec<ScoredValue> = self
             .graph
             .value_nodes()
-            .map(|node| ScoredValue {
-                value: self.graph.value_label(node).to_owned(),
-                score: scores[node as usize],
-                attribute_count: self.graph.value_attribute_count(node),
-                cardinality: self.graph.value_neighbor_count(node),
+            .filter(|&node| self.graph.degree(node) > 0)
+            .map(|node| {
+                let (attribute_count, cardinality) = meta[node as usize];
+                ScoredValue {
+                    value: self.graph.value_label(node).to_owned(),
+                    score: scores[node as usize],
+                    attribute_count,
+                    cardinality,
+                }
             })
             .collect();
         let higher_first = measure.higher_is_more_homograph_like();
@@ -195,20 +373,352 @@ impl DomainNet {
             };
             primary.then_with(|| a.value.cmp(&b.value))
         });
+        let ranked = Arc::new(ranked);
+        self.caches
+            .lock()
+            .expect("score cache mutex")
+            .ranked
+            .insert(measure, Arc::clone(&ranked));
         ranked
+    }
+
+    /// The cached `(attribute_count, cardinality)` table, computed on first
+    /// use and patched (not recomputed) across deltas.
+    fn node_meta(&self) -> Vec<(usize, usize)> {
+        if let Some(meta) = &self.caches.lock().expect("score cache mutex").meta {
+            return meta.clone();
+        }
+        let meta: Vec<(usize, usize)> = self
+            .graph
+            .value_nodes()
+            .map(|node| {
+                (
+                    self.graph.value_attribute_count(node),
+                    self.graph.value_neighbor_count(node),
+                )
+            })
+            .collect();
+        self.caches.lock().expect("score cache mutex").meta = Some(meta.clone());
+        meta
     }
 
     /// Convenience: the top-`k` ranked values under a measure.
     pub fn top_k(&self, measure: Measure, k: usize) -> Vec<ScoredValue> {
-        let mut ranked = self.rank(measure);
-        ranked.truncate(k);
-        ranked
+        let ranked = self.rank_shared(measure);
+        ranked.iter().take(k).cloned().collect()
     }
 
     /// Look up the score of a specific (normalized) value in a ranking.
     pub fn score_of<'a>(ranked: &'a [ScoredValue], value: &str) -> Option<&'a ScoredValue> {
         ranked.iter().find(|s| s.value == value)
     }
+
+    // ------------------------------------------------------------------
+    // Incremental maintenance
+    // ------------------------------------------------------------------
+
+    /// Incrementally fold a lake mutation into the model.
+    ///
+    /// `lake` must be the same [`MutableLake`] this net was built from (or
+    /// last refreshed against), **after** the delta was applied to it, and
+    /// `effects` must be the effects record that application returned. The
+    /// bipartite graph is patched in `O(n + m + |Δ|)`, connected components
+    /// are updated incrementally, and every memoized measure is repaired:
+    ///
+    /// * **LCC** — recomputed only for value nodes whose 2-hop neighborhood
+    ///   changed; the result is identical to a from-scratch computation.
+    /// * **Exact BC** — recomputed only over the touched connected
+    ///   components (betweenness never crosses components, so this too is
+    ///   exact).
+    /// * **Approximate BC** — re-estimated by sampling inside the touched
+    ///   components, with a generation-salted seed for determinism.
+    ///
+    /// Cached rankings are invalidated and rebuilt lazily from the patched
+    /// score vectors on the next [`DomainNet::rank`] call.
+    ///
+    /// Values that stop qualifying (e.g. pruning is on and a value drops to
+    /// one attribute) keep a tombstoned, isolated node: rankings exclude
+    /// them and they influence no score, so live results match a fresh
+    /// build of the mutated lake.
+    ///
+    /// # Errors
+    /// Returns a description of the inconsistency if `effects` does not
+    /// match this net's view of the lake (e.g. it was already applied, or
+    /// came from a different lake). On error the net is left **unchanged**:
+    /// all mapping updates are staged locally and committed only after the
+    /// graph patch succeeds.
+    pub fn apply_delta(
+        &mut self,
+        lake: &MutableLake,
+        effects: &DeltaEffects,
+    ) -> Result<DeltaStats, String> {
+        let min_attrs = if self.config.prune_single_attribute_values {
+            2
+        } else {
+            1
+        };
+        if self.node_of_value.len() < lake.value_count() {
+            self.node_of_value.resize(lake.value_count(), u32::MAX);
+        }
+        if self.attr_index_of.len() < lake.attribute_count() {
+            self.attr_index_of.resize(lake.attribute_count(), u32::MAX);
+        }
+
+        // Values whose live incidence set changed.
+        let mut affected: Vec<ValueId> = effects
+            .added_incidences
+            .iter()
+            .chain(effects.removed_incidences.iter())
+            .map(|&(_, v)| v)
+            .collect();
+        affected.sort_unstable();
+        affected.dedup();
+
+        // Translate lake-level effects into a graph-level edge delta. All
+        // node/attribute allocations are staged in `pending` so a failed
+        // translation (or graph patch) leaves `self` untouched.
+        let mut pending = PendingDelta::default();
+        let old_value_count = self.graph.value_count() as u32;
+        for &vid in &affected {
+            if vid.index() >= self.node_of_value.len() {
+                return Err(format!(
+                    "effects reference value {} outside the lake's id space",
+                    vid.0
+                ));
+            }
+            let live_attrs = lake.value_attributes(vid);
+            let candidate = live_attrs.len() >= min_attrs;
+            let desired: &[AttrId] = if candidate { live_attrs } else { &[] };
+            let original_node = self.node_of_value[vid.index()];
+            // Current edges of the node as sorted AttrIds. The index->id
+            // mapping is not monotone (attrs appended by earlier deltas are
+            // allocated in encounter order), so sort after translating.
+            let current: Vec<AttrId> = if original_node == u32::MAX {
+                Vec::new()
+            } else {
+                let mut attrs: Vec<AttrId> = self
+                    .graph
+                    .neighbors(original_node)
+                    .iter()
+                    .map(|&a| self.attr_id_of_index[(a - old_value_count) as usize])
+                    .collect();
+                attrs.sort_unstable();
+                attrs
+            };
+            let (removed, added) = diff_sorted(&current, desired);
+            for attr in removed {
+                self.push_edge_removal(&mut pending, original_node, attr)?;
+            }
+            let mut node = original_node;
+            for attr in added {
+                node = self.push_edge_addition(&mut pending, lake, node, vid, attr)?;
+            }
+            if node != original_node {
+                pending.new_value_nodes.push((vid, node));
+            }
+        }
+
+        let gd = &pending.gd;
+        let stats_edges_added = gd.added_edges.len();
+        let stats_edges_removed = gd.removed_edges.len();
+        let stats_values_added = gd.new_values.len();
+        let stats_attrs_added = gd.new_attributes.len();
+
+        let applied = self.graph.apply_delta(gd, Some(&self.components))?;
+        // The patch succeeded: commit the staged mappings.
+        let old_attr_count = self.graph.attribute_count() as u32;
+        for &(vid, node) in &pending.new_value_nodes {
+            self.node_of_value[vid.index()] = node;
+        }
+        for (offset, &attr) in pending.new_attr_ids.iter().enumerate() {
+            self.attr_index_of[attr.index()] = old_attr_count + offset as u32;
+            self.attr_id_of_index.push(attr);
+        }
+        let new_value_count = applied.graph.value_count();
+        let touched_pool = applied.touched_component_nodes();
+
+        // Patch every memoized measure against the new graph.
+        {
+            let mut caches = self.caches.lock().expect("score cache mutex");
+            let ScoreCaches { raw, ranked, meta } = &mut *caches;
+            ranked.clear();
+            if let Some(meta) = meta {
+                meta.resize(new_value_count, (0, 0));
+            }
+            let mut meta_patched = false;
+            for (&measure, raw) in raw.iter_mut() {
+                raw.resize(new_value_count, 0.0);
+                match measure {
+                    Measure::Lcc(method) => {
+                        // Equation-1 scores support term-level patching: only
+                        // seed values are recomputed in full, every other
+                        // dirty value gets an O(|N(u)|·|S∩N(u)|) correction.
+                        // The attribute-Jaccard variant recomputes the dirty
+                        // region in one fused pass instead.
+                        let (fresh, cards) = match method {
+                            LccMethod::ValueNeighborJaccard => patch_lcc_value_neighbors(
+                                &self.graph,
+                                &applied.graph,
+                                &applied.seed_values,
+                                &applied.dirty_values,
+                                raw,
+                            ),
+                            _ => lcc_with_cardinality_for_values(
+                                &applied.graph,
+                                &applied.dirty_values,
+                                method,
+                            ),
+                        };
+                        for (i, &node) in applied.dirty_values.iter().enumerate() {
+                            raw[node as usize] = fresh[i];
+                        }
+                        if let Some(meta) = meta {
+                            if !meta_patched {
+                                for (i, &node) in applied.dirty_values.iter().enumerate() {
+                                    meta[node as usize] =
+                                        (applied.graph.value_attribute_count(node), cards[i]);
+                                }
+                                meta_patched = true;
+                            }
+                        }
+                    }
+                    Measure::ExactBc { threads } => {
+                        let acc = betweenness_from_sources(&applied.graph, &touched_pool, threads);
+                        for &node in &touched_pool {
+                            if (node as usize) < new_value_count {
+                                raw[node as usize] = acc[node as usize];
+                            }
+                        }
+                    }
+                    Measure::ApproxBc(config) => {
+                        let salted = dn_graph::approx_bc::ApproxBcConfig {
+                            seed: config
+                                .seed
+                                .wrapping_add(self.generation.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+                            ..config
+                        };
+                        let acc =
+                            approximate_betweenness_within(&applied.graph, &touched_pool, salted);
+                        for &node in &touched_pool {
+                            if (node as usize) < new_value_count {
+                                raw[node as usize] = acc[node as usize];
+                            }
+                        }
+                    }
+                }
+            }
+            if let Some(meta) = meta {
+                if !meta_patched {
+                    for &node in &applied.dirty_values {
+                        meta[node as usize] = (
+                            applied.graph.value_attribute_count(node),
+                            applied.graph.value_neighbor_count(node),
+                        );
+                    }
+                }
+            }
+        }
+
+        let stats = DeltaStats {
+            value_nodes_added: stats_values_added,
+            attr_nodes_added: stats_attrs_added,
+            edges_added: stats_edges_added,
+            edges_removed: stats_edges_removed,
+            dirty_values: applied.dirty_values.len(),
+            touched_components: applied.touched_components.len(),
+            touched_component_nodes: touched_pool.len(),
+        };
+        self.graph = applied.graph;
+        self.components = applied.components;
+        self.generation += 1;
+        Ok(stats)
+    }
+
+    /// Discard all incremental state and rebuild from scratch against the
+    /// lake's current live content. The escape hatch when drift is suspected
+    /// (and the baseline the incremental path is benchmarked against).
+    pub fn refresh<L: LakeView + ?Sized>(&mut self, lake: &L) {
+        let rebuilt = DomainNetBuilder {
+            config: self.config,
+        }
+        .build(lake);
+        *self = rebuilt;
+    }
+
+    fn push_edge_removal(
+        &self,
+        pending: &mut PendingDelta,
+        node: u32,
+        attr: AttrId,
+    ) -> Result<(), String> {
+        debug_assert_ne!(node, u32::MAX, "removal from a value without a node");
+        let index = self.attr_index_of[attr.index()];
+        if index == u32::MAX {
+            return Err(format!(
+                "removed incidence references attribute {} with no graph node",
+                attr.0
+            ));
+        }
+        pending.gd.removed_edges.push((node, index));
+        Ok(())
+    }
+
+    /// Ensure `vid` has a (possibly staged) value node and `attr` an
+    /// attribute node, then record the edge insertion. Returns the value
+    /// node id. Only `pending` is mutated; `self` is committed later.
+    fn push_edge_addition(
+        &self,
+        pending: &mut PendingDelta,
+        lake: &MutableLake,
+        node: u32,
+        vid: ValueId,
+        attr: AttrId,
+    ) -> Result<u32, String> {
+        let node = if node == u32::MAX {
+            let label = LakeView::value(lake, vid)
+                .ok_or_else(|| format!("value {} unknown to the lake", vid.0))?;
+            let new_node = self.graph.value_count() as u32 + pending.gd.new_values.len() as u32;
+            pending.gd.new_values.push(label.to_owned());
+            new_node
+        } else {
+            node
+        };
+        let index = match self.attr_index_of[attr.index()] {
+            u32::MAX => match pending.attr_index.get(&attr) {
+                Some(&staged) => staged,
+                None => {
+                    let label = lake
+                        .attribute_ref(attr)
+                        .map(|r| r.qualified())
+                        .unwrap_or_else(|| format!("attr_{}", attr.0));
+                    let index = self.graph.attribute_count() as u32
+                        + pending.gd.new_attributes.len() as u32;
+                    pending.gd.new_attributes.push(label);
+                    pending.attr_index.insert(attr, index);
+                    pending.new_attr_ids.push(attr);
+                    index
+                }
+            },
+            index => index,
+        };
+        pending.gd.added_edges.push((node, index));
+        Ok(node)
+    }
+}
+
+/// Staging area for one [`DomainNet::apply_delta`] translation: the graph
+/// delta plus every mapping update it implies. Nothing here touches the net
+/// until the graph patch has succeeded, so a failed delta leaves the net
+/// exactly as it was.
+#[derive(Debug, Default)]
+struct PendingDelta {
+    gd: GraphDelta,
+    /// Value-node allocations to commit: `(lake value, new node id)`.
+    new_value_nodes: Vec<(ValueId, u32)>,
+    /// AttrIds behind the appended attribute indexes, in append order.
+    new_attr_ids: Vec<AttrId>,
+    /// Staged AttrId -> attribute index lookups for this delta.
+    attr_index: HashMap<AttrId, u32>,
 }
 
 #[cfg(test)]
@@ -216,6 +726,8 @@ mod tests {
     use super::*;
     use crate::measure::Measure;
     use dn_graph::lcc::LccMethod;
+    use lake::delta::LakeDelta;
+    use lake::table::TableBuilder;
 
     fn running_example_net(prune: bool) -> DomainNet {
         let lake = lake::fixtures::running_example();
@@ -229,6 +741,7 @@ mod tests {
         let net = running_example_net(true);
         // Only Jaguar, Puma, Panda, Toyota repeat across attributes.
         assert_eq!(net.candidate_count(), 4);
+        assert_eq!(net.live_candidate_count(), 4);
         // Attributes that lose all their values are dropped (e.g. numeric
         // columns whose values are unique).
         assert!(net.attribute_count() <= 12);
@@ -334,11 +847,238 @@ mod tests {
     }
 
     #[test]
+    fn ranking_is_memoized_per_measure() {
+        let net = running_example_net(false);
+        let first = net.rank_shared(Measure::exact_bc());
+        let second = net.rank_shared(Measure::exact_bc());
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "repeated rank calls must hit the memo"
+        );
+        // A different measure gets its own entry.
+        let lcc = net.rank_shared(Measure::lcc());
+        assert!(!Arc::ptr_eq(&first, &lcc));
+    }
+
+    #[test]
     fn empty_lake_produces_empty_model() {
         let lake = lake::catalog::LakeCatalog::new();
         let net = DomainNetBuilder::new().build(&lake);
         assert_eq!(net.candidate_count(), 0);
         assert!(net.rank(Measure::exact_bc()).is_empty());
         assert!(net.rank(Measure::lcc()).is_empty());
+    }
+
+    // ------------------------------------------------------------------
+    // Incremental maintenance
+    // ------------------------------------------------------------------
+
+    fn mutable_running_example() -> MutableLake {
+        MutableLake::from_catalog(&lake::fixtures::running_example())
+    }
+
+    /// Compare a maintained net against a fresh build of the same lake:
+    /// identical live node/edge label sets and identical scores.
+    fn assert_equivalent(incremental: &DomainNet, lake: &MutableLake, measure: Measure) {
+        let fresh = DomainNetBuilder {
+            config: incremental.config(),
+        }
+        .build(lake);
+        let a = incremental.rank(measure);
+        let b = fresh.rank(measure);
+        let labels =
+            |r: &[ScoredValue]| -> Vec<String> { r.iter().map(|s| s.value.clone()).collect() };
+        assert_eq!(labels(&a), labels(&b), "ranked orders diverged");
+        for (x, y) in a.iter().zip(&b) {
+            assert!(
+                (x.score - y.score).abs() < 1e-9,
+                "{}: {} vs {}",
+                x.value,
+                x.score,
+                y.score
+            );
+            assert_eq!(x.attribute_count, y.attribute_count, "{}", x.value);
+            assert_eq!(x.cardinality, y.cardinality, "{}", x.value);
+        }
+    }
+
+    #[test]
+    fn apply_delta_add_table_matches_fresh_build() {
+        let mut lake = mutable_running_example();
+        let mut net = DomainNetBuilder::new().build(&lake);
+        // Warm the caches so the patch path is exercised.
+        let _ = net.rank(Measure::lcc());
+        let _ = net.rank(Measure::exact_bc());
+
+        let delta = LakeDelta::new().add_table(
+            TableBuilder::new("T5")
+                .column("animal", ["Jaguar", "Pelican", "Okapi"])
+                .build()
+                .unwrap(),
+        );
+        let effects = lake.apply(&delta).unwrap();
+        let stats = net.apply_delta(&lake, &effects).unwrap();
+        assert!(stats.edges_added > 0);
+        net.graph().validate().unwrap();
+        assert_equivalent(&net, &lake, Measure::lcc());
+        assert_equivalent(&net, &lake, Measure::exact_bc());
+    }
+
+    #[test]
+    fn apply_delta_remove_table_matches_fresh_build() {
+        let mut lake = mutable_running_example();
+        let mut net = DomainNetBuilder::new().build(&lake);
+        let _ = net.rank(Measure::lcc());
+        let _ = net.rank(Measure::exact_bc());
+
+        let effects = lake.apply(&LakeDelta::new().remove_table("T3")).unwrap();
+        let stats = net.apply_delta(&lake, &effects).unwrap();
+        assert!(stats.edges_removed > 0);
+        net.graph().validate().unwrap();
+        assert_equivalent(&net, &lake, Measure::lcc());
+        assert_equivalent(&net, &lake, Measure::exact_bc());
+    }
+
+    #[test]
+    fn apply_delta_replace_value_matches_fresh_build() {
+        let mut lake = mutable_running_example();
+        let mut net = DomainNetBuilder::new().build(&lake);
+        let _ = net.rank(Measure::lcc());
+        let _ = net.rank(Measure::exact_bc());
+
+        let effects = lake
+            .apply(&LakeDelta::new().replace_value("T4", "Name", "Jaguar", "Okapi"))
+            .unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        net.graph().validate().unwrap();
+        assert_equivalent(&net, &lake, Measure::lcc());
+        assert_equivalent(&net, &lake, Measure::exact_bc());
+    }
+
+    #[test]
+    fn apply_delta_without_warm_caches_still_patches_graph() {
+        let mut lake = mutable_running_example();
+        let mut net = DomainNetBuilder::new().build(&lake);
+        let effects = lake.apply(&LakeDelta::new().remove_table("T1")).unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        assert_equivalent(&net, &lake, Measure::lcc());
+        assert_equivalent(&net, &lake, Measure::exact_bc());
+    }
+
+    #[test]
+    fn apply_delta_invalidates_the_rank_memo() {
+        let mut lake = mutable_running_example();
+        let mut net = DomainNetBuilder::new()
+            .prune_single_attribute_values(false)
+            .build(&lake);
+        let before = net.rank_shared(Measure::exact_bc());
+        let effects = lake.apply(&LakeDelta::new().remove_table("T3")).unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        let after = net.rank_shared(Measure::exact_bc());
+        assert!(
+            !Arc::ptr_eq(&before, &after),
+            "mutation must invalidate the memoized ranking"
+        );
+        assert_ne!(before.len(), after.len());
+    }
+
+    #[test]
+    fn refresh_rebuilds_from_live_state() {
+        let mut lake = mutable_running_example();
+        let mut net = DomainNetBuilder::new().build(&lake);
+        let effects = lake.apply(&LakeDelta::new().remove_table("T2")).unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        let patched_rank = net.rank(Measure::exact_bc());
+        net.refresh(&lake);
+        let fresh_rank = net.rank(Measure::exact_bc());
+        assert_eq!(
+            patched_rank.iter().map(|s| &s.value).collect::<Vec<_>>(),
+            fresh_rank.iter().map(|s| &s.value).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn candidacy_flips_are_handled_in_both_directions() {
+        // "Okapi" starts in one attribute (not a candidate under pruning),
+        // gains a second (candidate), then loses it again.
+        let mut lake = MutableLake::new();
+        let base = LakeDelta::new()
+            .add_table(
+                TableBuilder::new("A")
+                    .column("x", ["Okapi", "Panda", "Lemur"])
+                    .build()
+                    .unwrap(),
+            )
+            .add_table(
+                TableBuilder::new("B")
+                    .column("y", ["Panda", "Lemur"])
+                    .build()
+                    .unwrap(),
+            );
+        lake.apply(&base).unwrap();
+        let mut net = DomainNetBuilder::new().build(&lake);
+        let _ = net.rank(Measure::lcc());
+        assert_eq!(net.live_candidate_count(), 2); // Panda, Lemur
+
+        let effects = lake
+            .apply(
+                &LakeDelta::new().add_table(
+                    TableBuilder::new("C")
+                        .column("z", ["Okapi"])
+                        .build()
+                        .unwrap(),
+                ),
+            )
+            .unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        assert_eq!(net.live_candidate_count(), 3);
+        assert_equivalent(&net, &lake, Measure::lcc());
+        assert_equivalent(&net, &lake, Measure::exact_bc());
+
+        let effects = lake.apply(&LakeDelta::new().remove_table("C")).unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        assert_eq!(net.live_candidate_count(), 2, "Okapi is tombstoned again");
+        assert_equivalent(&net, &lake, Measure::lcc());
+        assert_equivalent(&net, &lake, Measure::exact_bc());
+    }
+
+    #[test]
+    fn redelivered_effects_are_a_no_op() {
+        // The translation diffs desired (lake) against current (graph)
+        // state, so effects that were already folded in resolve to an empty
+        // graph delta instead of corrupting the net.
+        let mut lake = mutable_running_example();
+        let mut net = DomainNetBuilder::new().build(&lake);
+        let _ = net.rank(Measure::lcc());
+
+        let effects = lake.apply(&LakeDelta::new().remove_table("T3")).unwrap();
+        let first = net.apply_delta(&lake, &effects).unwrap();
+        assert!(first.edges_removed > 0);
+        let second = net.apply_delta(&lake, &effects).unwrap();
+        assert_eq!(second.edges_added, 0);
+        assert_eq!(second.edges_removed, 0);
+        net.graph().validate().unwrap();
+        assert_equivalent(&net, &lake, Measure::lcc());
+        assert_equivalent(&net, &lake, Measure::exact_bc());
+    }
+
+    #[test]
+    fn approx_bc_is_re_estimated_for_touched_components() {
+        let mut lake = mutable_running_example();
+        let mut net = DomainNetBuilder::new().build(&lake);
+        let n = net.graph().node_count();
+        let measure = Measure::approx_bc(n * 2, 7);
+        let _ = net.rank(measure);
+        let effects = lake.apply(&LakeDelta::new().remove_table("T3")).unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        // With sample count >= pool size the re-estimation is exact, so the
+        // patched approx ranking must agree with a fresh exact computation.
+        let approx = net.rank(measure);
+        let fresh = DomainNetBuilder::new().build(&lake);
+        let exact = fresh.rank(Measure::exact_bc());
+        for (a, e) in approx.iter().zip(&exact) {
+            assert_eq!(a.value, e.value);
+            assert!((a.score - e.score).abs() < 1e-6);
+        }
     }
 }

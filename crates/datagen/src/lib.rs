@@ -11,6 +11,10 @@
 //! | **TUS-I** — TUS with homographs removed and re-injected | [`inject`] | the paper's §4.3 procedure: removal + controlled injection |
 //! | **NYC-EDU** — 1.5 M-value lake used only for scalability | [`scale`] | parameterized large-lake generator |
 //!
+//! For the incremental subsystem, [`mutate`] generates seeded streams of
+//! single-table lake mutations (arrivals, removals, cell rewrites) to replay
+//! against any of the generated lakes.
+//!
 //! Ground truth is represented by [`truth::LakeTruth`]: a semantic class per
 //! attribute, from which homograph labels follow via the paper's
 //! Definition 2 (a value in two attributes with different classes is a
@@ -30,6 +34,7 @@
 #![deny(unsafe_code)]
 
 pub mod inject;
+pub mod mutate;
 pub mod sb;
 pub mod scale;
 pub mod truth;
@@ -37,6 +42,7 @@ pub mod tus;
 pub mod vocab;
 
 pub use inject::{inject_homographs, remove_homographs, InjectionConfig, InjectionResult};
+pub use mutate::{MutationConfig, MutationStream};
 pub use sb::{SbConfig, SbGenerator};
 pub use scale::{ScaleConfig, ScaleGenerator};
 pub use truth::{GeneratedLake, LakeTruth};

@@ -1,0 +1,384 @@
+//! Deterministic mutation streams for incremental-maintenance workloads.
+//!
+//! Real data lakes are not static snapshots: tables arrive, get deprecated,
+//! come back under the same name, and have cells rewritten. The incremental
+//! subsystem (`lake::MutableLake` + `domainnet::DomainNet::apply_delta`)
+//! exists for exactly that traffic, and this module generates it: a seeded,
+//! reproducible stream of [`lake::LakeDelta`]s to replay against a base
+//! lake.
+//!
+//! Each delta holds `tables_per_delta` single-table operations, drawn from
+//! three kinds with configurable weights:
+//!
+//! * **Add** — a fresh synthetic table whose columns sample the embedded
+//!   vocabularies ([`crate::vocab`]), so new tables overlap the base lake's
+//!   value space the way real arrivals do (and therefore create and destroy
+//!   homographs as they come and go).
+//! * **Remove** — a uniformly chosen live table (generated ones and, when
+//!   [`MutationConfig::touch_base_tables`] is set, base tables too).
+//!   Removed tables are remembered and may be re-added later, exercising
+//!   the value-revival path.
+//! * **Replace** — a random cell-rewrite of one distinct value in one
+//!   column, the same primitive the TUS-I injection procedure uses.
+//!
+//! ```
+//! use datagen::mutate::{MutationConfig, MutationStream};
+//! use lake::delta::MutableLake;
+//!
+//! let base = datagen::sb::SbGenerator::new(7).generate();
+//! let mut lake = MutableLake::from_catalog(&base.catalog);
+//! let mut stream = MutationStream::new(MutationConfig {
+//!     seed: 42,
+//!     ..MutationConfig::default()
+//! });
+//! let delta = stream.next_delta(&lake);
+//! assert!(!delta.is_empty());
+//! lake.apply(&delta).unwrap();
+//! ```
+
+use lake::delta::{LakeDelta, MutableLake};
+use lake::table::{Table, TableBuilder};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::vocab;
+
+/// Configuration for [`MutationStream`].
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct MutationConfig {
+    /// RNG seed; the stream is fully deterministic given the seed and the
+    /// sequence of lake states it is asked to mutate.
+    pub seed: u64,
+    /// Single-table operations per generated delta (the *mutation
+    /// granularity*; `1` = one table add/remove/rewrite per delta).
+    pub tables_per_delta: usize,
+    /// Rows per synthetic added table.
+    pub rows_per_table: usize,
+    /// Relative weight of table additions.
+    pub add_weight: u32,
+    /// Relative weight of table removals.
+    pub remove_weight: u32,
+    /// Relative weight of value rewrites.
+    pub replace_weight: u32,
+    /// Whether removals may target tables of the base lake (not only tables
+    /// this stream added itself).
+    pub touch_base_tables: bool,
+}
+
+impl Default for MutationConfig {
+    fn default() -> Self {
+        MutationConfig {
+            seed: 2021,
+            tables_per_delta: 1,
+            rows_per_table: 80,
+            add_weight: 4,
+            remove_weight: 3,
+            replace_weight: 3,
+            touch_base_tables: false,
+        }
+    }
+}
+
+/// A deterministic generator of [`LakeDelta`]s against an evolving lake.
+#[derive(Debug, Clone)]
+pub struct MutationStream {
+    config: MutationConfig,
+    rng: StdRng,
+    /// Names of tables this stream has added and not yet removed.
+    own_live: Vec<String>,
+    /// Tables removed by this stream, kept for later re-addition.
+    parked: Vec<Table>,
+    next_table_id: usize,
+}
+
+/// Vocabularies a synthetic mutation table draws its columns from. A pair of
+/// overlapping semantic pools per column keeps the added tables entangled
+/// with the base lake's value space.
+const COLUMN_POOLS: &[(&str, &[&str])] = &[
+    ("animal", vocab::ANIMALS),
+    ("brand", vocab::CAR_BRANDS),
+    ("company", vocab::COMPANIES),
+    ("city", vocab::CITIES),
+    ("country", vocab::COUNTRIES),
+    ("first_name", vocab::FIRST_NAMES),
+    ("grocery", vocab::GROCERIES),
+    ("movie", vocab::MOVIES),
+    ("plant", vocab::PLANTS),
+    ("color", vocab::COLORS),
+];
+
+impl MutationStream {
+    /// Create a stream with the given configuration.
+    pub fn new(config: MutationConfig) -> Self {
+        MutationStream {
+            rng: StdRng::seed_from_u64(config.seed),
+            config,
+            own_live: Vec::new(),
+            parked: Vec::new(),
+            next_table_id: 0,
+        }
+    }
+
+    /// Generate the next delta against the lake's current live state.
+    ///
+    /// The returned delta is guaranteed to be applicable: removals name live
+    /// tables, additions use fresh (or parked, currently-unused) names, and
+    /// rewrites target existing values. It contains
+    /// [`MutationConfig::tables_per_delta`] operations.
+    pub fn next_delta(&mut self, lake: &MutableLake) -> LakeDelta {
+        let mut delta = LakeDelta::new();
+        // Track the table set as ops accumulate so one delta stays
+        // self-consistent (no removing a table twice, no add/remove races).
+        let mut live: Vec<String> = lake
+            .live_table_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect();
+        for _ in 0..self.config.tables_per_delta.max(1) {
+            let total =
+                self.config.add_weight + self.config.remove_weight + self.config.replace_weight;
+            let mut pick = if total == 0 {
+                0
+            } else {
+                self.rng.gen_range(0..total)
+            };
+            if pick < self.config.add_weight {
+                delta = self.push_add(delta, &mut live);
+                continue;
+            }
+            pick -= self.config.add_weight;
+            if pick < self.config.remove_weight {
+                if let Some(name) = self.pick_removal_target(&live) {
+                    live.retain(|t| t != &name);
+                    self.own_live.retain(|t| t != &name);
+                    if let Some(table) = lake.table(&name) {
+                        self.parked.push(table.clone());
+                    }
+                    delta = delta.remove_table(name);
+                } else {
+                    // Nothing removable: fall back to an add instead.
+                    delta = self.push_add(delta, &mut live);
+                }
+                continue;
+            }
+            if let Some(op) = self.pick_replacement(lake, &live) {
+                let (table, column, target, replacement) = op;
+                delta = delta.replace_value(table, column, &target, replacement);
+            } else {
+                delta = self.push_add(delta, &mut live);
+            }
+        }
+        delta
+    }
+
+    /// Append an add-table op to `delta`, keeping the live-name and
+    /// own-table bookkeeping in sync.
+    fn push_add(&mut self, delta: LakeDelta, live: &mut Vec<String>) -> LakeDelta {
+        let table = self.next_added_table(live);
+        live.push(table.name().to_owned());
+        self.own_live.push(table.name().to_owned());
+        delta.add_table(table)
+    }
+
+    /// A fresh synthetic table, or a parked (previously removed) one when
+    /// its name is free again — exercising the value-revival path.
+    fn next_added_table(&mut self, live: &[String]) -> Table {
+        if !self.parked.is_empty() && self.rng.gen_bool(0.4) {
+            if let Some(pos) = self
+                .parked
+                .iter()
+                .position(|t| !live.iter().any(|l| l == t.name()))
+            {
+                return self.parked.swap_remove(pos);
+            }
+        }
+        let id = self.next_table_id;
+        self.next_table_id += 1;
+        let rows = self.config.rows_per_table.max(2);
+        let n_cols = self.rng.gen_range(2..=3usize);
+        let mut pools: Vec<&(&str, &[&str])> = COLUMN_POOLS.iter().collect();
+        pools.shuffle(&mut self.rng);
+        let mut builder = TableBuilder::new(format!("mut_table_{id}"));
+        for (col_name, pool) in pools.into_iter().take(n_cols) {
+            // Arriving tables cover a modest slice of their domain's
+            // vocabulary — real columns rarely replicate half a domain.
+            let keep: f64 = self.rng.gen_range(0.1..0.4);
+            let mut subset: Vec<&str> = pool
+                .iter()
+                .copied()
+                .filter(|_| self.rng.gen_bool(keep))
+                .collect();
+            if subset.is_empty() {
+                subset.push(pool[0]);
+            }
+            let cells: Vec<String> = (0..rows)
+                .map(|_| (*subset.choose(&mut self.rng).expect("subset non-empty")).to_owned())
+                .collect();
+            builder = builder.column(*col_name, cells);
+        }
+        builder.build().expect("rectangular by construction")
+    }
+
+    fn pick_removal_target(&mut self, live: &[String]) -> Option<String> {
+        let candidates: Vec<&String> = if self.config.touch_base_tables {
+            live.iter().collect()
+        } else {
+            live.iter().filter(|t| self.own_live.contains(t)).collect()
+        };
+        candidates.choose(&mut self.rng).map(|s| (*s).clone())
+    }
+
+    fn pick_replacement(
+        &mut self,
+        lake: &MutableLake,
+        live: &[String],
+    ) -> Option<(String, String, String, String)> {
+        // Try a few random live columns for one with a distinct value.
+        for _ in 0..8 {
+            let table_name = live.choose(&mut self.rng)?;
+            let Some(table) = lake.table(table_name) else {
+                continue;
+            };
+            let col_idx = self.rng.gen_range(0..table.column_count());
+            let column = &table.columns()[col_idx];
+            let distinct: Vec<&str> = column.distinct_values().collect();
+            if distinct.is_empty() {
+                continue;
+            }
+            let target = distinct[self.rng.gen_range(0..distinct.len())].to_owned();
+            let replacement = format!("Mutated{}", self.rng.gen_range(0..1_000_000u32));
+            return Some((
+                table_name.clone(),
+                column.name().to_owned(),
+                target,
+                replacement,
+            ));
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_base() -> MutableLake {
+        let mut lake = MutableLake::new();
+        let t1 = TableBuilder::new("base_a")
+            .column("animal", ["Jaguar", "Panda", "Lemur", "Puma"])
+            .column("city", ["Memphis", "Atlanta", "Sydney", "Austin"])
+            .build()
+            .unwrap();
+        let t2 = TableBuilder::new("base_b")
+            .column("brand", ["Jaguar", "Fiat", "Toyota"])
+            .column("country", ["Jamaica", "Cuba", "Italy"])
+            .build()
+            .unwrap();
+        lake.apply(&LakeDelta::new().add_table(t1).add_table(t2))
+            .unwrap();
+        lake
+    }
+
+    #[test]
+    fn stream_is_deterministic_per_seed() {
+        let render = |seed: u64| -> Vec<String> {
+            let mut lake = small_base();
+            let mut stream = MutationStream::new(MutationConfig {
+                seed,
+                ..MutationConfig::default()
+            });
+            let mut log = Vec::new();
+            for _ in 0..10 {
+                let delta = stream.next_delta(&lake);
+                log.push(format!("{delta:?}"));
+                lake.apply(&delta).unwrap();
+            }
+            log
+        };
+        assert_eq!(render(5), render(5));
+        assert_ne!(render(5), render(6));
+    }
+
+    #[test]
+    fn long_streams_always_apply_cleanly() {
+        let mut lake = small_base();
+        let mut stream = MutationStream::new(MutationConfig {
+            seed: 11,
+            tables_per_delta: 2,
+            rows_per_table: 30,
+            ..MutationConfig::default()
+        });
+        for step in 0..40 {
+            let delta = stream.next_delta(&lake);
+            assert_eq!(delta.len(), 2);
+            lake.apply(&delta)
+                .unwrap_or_else(|e| panic!("step {step}: {e}"));
+        }
+        // Base tables were never touched.
+        assert!(lake.table("base_a").is_some());
+        assert!(lake.table("base_b").is_some());
+    }
+
+    #[test]
+    fn touch_base_tables_can_remove_the_base() {
+        let mut lake = small_base();
+        let mut stream = MutationStream::new(MutationConfig {
+            seed: 3,
+            add_weight: 0,
+            remove_weight: 1,
+            replace_weight: 0,
+            touch_base_tables: true,
+            ..MutationConfig::default()
+        });
+        let delta = stream.next_delta(&lake);
+        lake.apply(&delta).unwrap();
+        assert_eq!(lake.live_table_count(), 1);
+    }
+
+    #[test]
+    fn added_tables_overlap_the_vocabularies() {
+        let mut lake = small_base();
+        let mut stream = MutationStream::new(MutationConfig {
+            seed: 9,
+            add_weight: 1,
+            remove_weight: 0,
+            replace_weight: 0,
+            rows_per_table: 50,
+            ..MutationConfig::default()
+        });
+        for _ in 0..5 {
+            let delta = stream.next_delta(&lake);
+            lake.apply(&delta).unwrap();
+        }
+        assert_eq!(lake.live_table_count(), 7);
+    }
+
+    #[test]
+    fn parked_tables_can_return() {
+        let mut lake = small_base();
+        let mut stream = MutationStream::new(MutationConfig {
+            seed: 17,
+            tables_per_delta: 1,
+            rows_per_table: 20,
+            ..MutationConfig::default()
+        });
+        let mut seen_readd = false;
+        let mut names_added = std::collections::HashSet::new();
+        for _ in 0..60 {
+            let delta = stream.next_delta(&lake);
+            for op in delta.ops() {
+                if let lake::delta::LakeOp::AddTable(t) = op {
+                    if !names_added.insert(t.name().to_owned()) {
+                        seen_readd = true;
+                    }
+                }
+            }
+            lake.apply(&delta).unwrap();
+        }
+        assert!(
+            seen_readd,
+            "60 mutations should re-add at least one parked table"
+        );
+    }
+}

@@ -27,7 +27,7 @@ use crate::bc::{accumulate_source, BrandesWorkspace};
 use crate::bipartite::BipartiteGraph;
 
 /// How sources are drawn for the sampled estimator.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum SamplingStrategy {
     /// Uniform sampling of sources without replacement.
     Uniform,
@@ -36,7 +36,7 @@ pub enum SamplingStrategy {
 }
 
 /// Configuration for [`approximate_betweenness`].
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub struct ApproxBcConfig {
     /// Number of source nodes to sample. Clamped to the node count.
     pub samples: usize,
@@ -118,6 +118,59 @@ pub fn approximate_betweenness(graph: &BipartiteGraph, config: ApproxBcConfig) -
     let mut bc = accumulate_weighted_sources(graph, &weighted_sources, config.threads);
     // Each unordered endpoint pair is seen from each sampled endpoint, and the
     // estimator already rescales to "all sources", so halve as in exact BC.
+    for value in &mut bc {
+        *value /= 2.0;
+    }
+    bc
+}
+
+/// Sampled BC re-estimation with sources drawn from an explicit node `pool`.
+///
+/// This is the approximate counterpart of
+/// [`crate::bc::betweenness_from_sources`], used by the incremental pipeline
+/// to re-estimate BC only for the components touched by a lake mutation: the
+/// pool is the node set of the touched components, so the estimate for nodes
+/// *inside* the pool approximates their global BC (sources outside their
+/// component would have contributed nothing). `config.samples` is clamped to
+/// the pool size; with `samples == pool.len()` the result is exact on the
+/// pool, matching [`crate::bc::betweenness_centrality`] there.
+pub fn approximate_betweenness_within(
+    graph: &BipartiteGraph,
+    pool: &[u32],
+    config: ApproxBcConfig,
+) -> Vec<f64> {
+    let n = graph.node_count();
+    if n == 0 || pool.is_empty() {
+        return vec![0.0; n];
+    }
+    let samples = config.samples.clamp(1, pool.len());
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let weighted_sources: Vec<(u32, f64)> = match config.strategy {
+        SamplingStrategy::Uniform => {
+            let scale = pool.len() as f64 / samples as f64;
+            index_sample(&mut rng, pool.len(), samples)
+                .into_iter()
+                .map(|i| (pool[i], scale))
+                .collect()
+        }
+        SamplingStrategy::DegreeProportional => {
+            let degrees: Vec<f64> = pool.iter().map(|&v| graph.degree(v) as f64).collect();
+            let total: f64 = degrees.iter().sum();
+            if total == 0.0 {
+                return vec![0.0; n];
+            }
+            let dist = WeightedIndex::new(&degrees)
+                .expect("degree weights are non-negative with a positive sum");
+            (0..samples)
+                .map(|_| {
+                    let i = dist.sample(&mut rng);
+                    let p = degrees[i] / total;
+                    (pool[i], 1.0 / (samples as f64 * p))
+                })
+                .collect()
+        }
+    };
+    let mut bc = accumulate_weighted_sources(graph, &weighted_sources, config.threads);
     for value in &mut bc {
         *value /= 2.0;
     }

@@ -198,6 +198,26 @@ pub(crate) fn accumulate_sources_parallel(
     total
 }
 
+/// Exact betweenness restricted to shortest paths **starting at `sources`**,
+/// halved to the unordered-pair convention of [`betweenness_centrality`].
+///
+/// The incremental pipeline uses this for component-scoped invalidation:
+/// because a dependency accumulation from source `s` never leaves `s`'s
+/// connected component, passing *every* node of a union of components as
+/// `sources` yields, for the nodes **inside** those components, exactly their
+/// global exact BC — without touching the rest of the graph.
+pub fn betweenness_from_sources(
+    graph: &BipartiteGraph,
+    sources: &[u32],
+    threads: usize,
+) -> Vec<f64> {
+    let mut acc = accumulate_sources_parallel(graph, sources, threads.max(1));
+    for value in &mut acc {
+        *value /= 2.0;
+    }
+    acc
+}
+
 /// Normalize raw betweenness scores into `[0, 1]` by dividing by the number
 /// of unordered endpoint pairs excluding the node itself, `(n-1)(n-2)/2`.
 pub fn normalize_scores(scores: &mut [f64]) {

@@ -144,7 +144,29 @@ impl BipartiteBuilder {
 ///
 /// All adjacency queries are O(1) + O(degree) slices into a single shared
 /// buffer, and the whole structure is `Send + Sync` so centrality kernels can
-/// share it across threads without cloning.
+/// share it across threads without cloning. Lake mutations are folded in by
+/// [`BipartiteGraph::apply_delta`](crate::delta), which splices the CSR
+/// arrays instead of rebuilding them.
+///
+/// ```
+/// use dn_graph::bipartite::BipartiteBuilder;
+///
+/// let mut builder = BipartiteBuilder::new();
+/// let jaguar = builder.add_value("JAGUAR");
+/// let panda = builder.add_value("PANDA");
+/// let zoo = builder.add_attribute("zoo.animal");
+/// let cars = builder.add_attribute("cars.brand");
+/// builder.add_edge(jaguar, zoo);
+/// builder.add_edge(jaguar, cars);
+/// builder.add_edge(panda, zoo);
+///
+/// let graph = builder.build();
+/// assert_eq!(graph.node_count(), 4);
+/// assert_eq!(graph.degree(jaguar), 2);
+/// // Attribute node ids are offset by the number of value nodes.
+/// assert!(graph.has_edge(jaguar, graph.attribute_node(cars)));
+/// assert_eq!(graph.value_neighbors(jaguar), vec![panda]);
+/// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BipartiteGraph {
     n_values: usize,
@@ -158,6 +180,35 @@ pub struct BipartiteGraph {
 }
 
 impl BipartiteGraph {
+    /// Construct a graph directly from CSR parts. Used by the incremental
+    /// delta machinery, which patches the arrays instead of re-sorting the
+    /// whole edge list; callers must uphold the CSR invariants checked by
+    /// [`BipartiteGraph::validate`].
+    pub(crate) fn from_csr_parts(
+        n_values: usize,
+        n_attrs: usize,
+        offsets: Vec<u64>,
+        adjacency: Vec<u32>,
+        value_labels: Vec<String>,
+        attr_labels: Vec<String>,
+    ) -> Self {
+        let graph = BipartiteGraph {
+            n_values,
+            n_attrs,
+            offsets,
+            adjacency,
+            value_labels,
+            attr_labels,
+        };
+        debug_assert_eq!(graph.validate(), Ok(()));
+        graph
+    }
+
+    /// Owned copies of the value and attribute label tables.
+    pub(crate) fn clone_labels(&self) -> (Vec<String>, Vec<String>) {
+        (self.value_labels.clone(), self.attr_labels.clone())
+    }
+
     /// Number of value nodes.
     pub fn value_count(&self) -> usize {
         self.n_values

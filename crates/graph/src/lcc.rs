@@ -30,7 +30,7 @@
 use crate::bipartite::BipartiteGraph;
 
 /// Which formulation of the local clustering coefficient to compute.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
 pub enum LccMethod {
     /// Equation 1: Jaccard over 2-hop value-neighbor sets.
     ValueNeighborJaccard,
@@ -50,13 +50,27 @@ pub fn local_clustering_coefficients(graph: &BipartiteGraph, method: LccMethod) 
 /// The result is parallel to `targets`. Nodes with no value neighbors get an
 /// LCC of 0.
 pub fn lcc_for_values(graph: &BipartiteGraph, targets: &[u32], method: LccMethod) -> Vec<f64> {
+    lcc_with_cardinality_for_values(graph, targets, method).0
+}
+
+/// Like [`lcc_for_values`], but also returns each target's cardinality
+/// `|N(u)|` (its number of distinct value neighbors).
+///
+/// Both algorithms materialize `N(u)` anyway, so the cardinality is free —
+/// callers that need both (the incremental score maintenance does) avoid a
+/// second 2-hop sweep per node.
+pub fn lcc_with_cardinality_for_values(
+    graph: &BipartiteGraph,
+    targets: &[u32],
+    method: LccMethod,
+) -> (Vec<f64>, Vec<usize>) {
     match method {
         LccMethod::ValueNeighborJaccard => lcc_value_neighbors(graph, targets),
         LccMethod::AttributeJaccard => lcc_attribute_jaccard(graph, targets),
     }
 }
 
-fn lcc_value_neighbors(graph: &BipartiteGraph, targets: &[u32]) -> Vec<f64> {
+fn lcc_value_neighbors(graph: &BipartiteGraph, targets: &[u32]) -> (Vec<f64>, Vec<usize>) {
     let n_values = graph.value_count();
     // Stamp arrays avoid clearing O(n) state per target/per neighbor.
     let mut in_target_neighborhood = vec![0u32; n_values];
@@ -65,11 +79,13 @@ fn lcc_value_neighbors(graph: &BipartiteGraph, targets: &[u32]) -> Vec<f64> {
     let mut visit_epoch = 0u32;
 
     let mut out = Vec::with_capacity(targets.len());
+    let mut cardinalities = Vec::with_capacity(targets.len());
     for &u in targets {
         debug_assert!(graph.is_value_node(u), "LCC is defined for value nodes");
         target_epoch += 1;
         // Materialize N(u) and mark it.
         let nu = graph.value_neighbors(u);
+        cardinalities.push(nu.len());
         for &v in &nu {
             in_target_neighborhood[v as usize] = target_epoch;
         }
@@ -108,14 +124,16 @@ fn lcc_value_neighbors(graph: &BipartiteGraph, targets: &[u32]) -> Vec<f64> {
         }
         out.push(sum / nu_len);
     }
-    out
+    (out, cardinalities)
 }
 
-fn lcc_attribute_jaccard(graph: &BipartiteGraph, targets: &[u32]) -> Vec<f64> {
+fn lcc_attribute_jaccard(graph: &BipartiteGraph, targets: &[u32]) -> (Vec<f64>, Vec<usize>) {
     let mut out = Vec::with_capacity(targets.len());
+    let mut cardinalities = Vec::with_capacity(targets.len());
     for &u in targets {
         debug_assert!(graph.is_value_node(u), "LCC is defined for value nodes");
         let nu = graph.value_neighbors(u);
+        cardinalities.push(nu.len());
         if nu.is_empty() {
             out.push(0.0);
             continue;
@@ -132,7 +150,149 @@ fn lcc_attribute_jaccard(graph: &BipartiteGraph, targets: &[u32]) -> Vec<f64> {
         }
         out.push(sum / nu.len() as f64);
     }
-    out
+    (out, cardinalities)
+}
+
+/// Patch Equation-1 LCC scores across a graph delta instead of recomputing
+/// the whole dirty region.
+///
+/// Let `S` (`seeds`) be the values whose own neighbor set changed and
+/// `dirty = S ∪ N(S)` the full invalidation set. For `u ∈ dirty ∖ S` the
+/// neighbor set `N(u)` is unchanged, so only the Jaccard terms against seed
+/// neighbors moved:
+///
+/// ```text
+/// lcc_new(u) = ( lcc_old(u)·|N(u)| + Σ_{v ∈ S∩N(u)} (J_new(u,v) − J_old(u,v)) ) / |N(u)|
+/// ```
+///
+/// Seed neighborhoods are materialized once as bitsets over the old and new
+/// graphs, so each correction term costs `O(|N(u)|)` bit probes instead of a
+/// 2-hop sweep per neighbor; hub values adjacent to a mutation no longer pay
+/// a full recomputation. Values in `S` itself are recomputed exactly.
+///
+/// `old_lcc[u]` must hold the pre-delta score for every `u ∈ dirty ∖ S`
+/// (entries for other nodes are ignored); `|N(u)|` is re-derived from the
+/// unchanged neighborhood. Floating-point caveat: the patched scores equal a
+/// from-scratch recomputation up to summation-order error (≲1e-12 per
+/// applied delta), not bit-for-bit.
+///
+/// Returns `(lcc, cardinality)` parallel to `dirty`.
+pub fn patch_lcc_value_neighbors(
+    old_graph: &BipartiteGraph,
+    new_graph: &BipartiteGraph,
+    seeds: &[u32],
+    dirty: &[u32],
+    old_lcc: &[f64],
+) -> (Vec<f64>, Vec<usize>) {
+    let nv_new = new_graph.value_count();
+    let words = nv_new.div_ceil(64);
+    let mut seed_pos = vec![u32::MAX; nv_new];
+    for (i, &v) in seeds.iter().enumerate() {
+        seed_pos[v as usize] = i as u32;
+    }
+
+    // Materialize each seed's old/new neighbor set as bitsets (plus sizes).
+    let mut old_bits = vec![0u64; words * seeds.len()];
+    let mut new_bits = vec![0u64; words * seeds.len()];
+    let mut old_size = vec![0usize; seeds.len()];
+    let mut new_size = vec![0usize; seeds.len()];
+    for (i, &v) in seeds.iter().enumerate() {
+        if (v as usize) < old_graph.value_count() {
+            let bits = &mut old_bits[i * words..(i + 1) * words];
+            for &attr in old_graph.neighbors(v) {
+                for &w in old_graph.neighbors(attr) {
+                    if w != v {
+                        let (word, bit) = (w as usize / 64, w as usize % 64);
+                        if bits[word] & (1u64 << bit) == 0 {
+                            bits[word] |= 1u64 << bit;
+                            old_size[i] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        let bits = &mut new_bits[i * words..(i + 1) * words];
+        for &attr in new_graph.neighbors(v) {
+            for &w in new_graph.neighbors(attr) {
+                if w != v {
+                    let (word, bit) = (w as usize / 64, w as usize % 64);
+                    if bits[word] & (1u64 << bit) == 0 {
+                        bits[word] |= 1u64 << bit;
+                        new_size[i] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Seeds are recomputed exactly; everything else is term-patched.
+    let (seed_lcc, seed_card) = lcc_value_neighbors(new_graph, seeds);
+
+    let jaccard = |inter: usize, a: usize, b: usize| -> f64 {
+        let union = a + b - inter;
+        if union > 0 {
+            inter as f64 / union as f64
+        } else {
+            0.0
+        }
+    };
+
+    let mut out_lcc = Vec::with_capacity(dirty.len());
+    let mut out_card = Vec::with_capacity(dirty.len());
+    let mut stamp = vec![false; nv_new];
+    let mut neighborhood: Vec<u32> = Vec::new();
+    let mut seed_neighbors: Vec<u32> = Vec::new();
+    for &u in dirty {
+        let pos = seed_pos[u as usize];
+        if pos != u32::MAX {
+            out_lcc.push(seed_lcc[pos as usize]);
+            out_card.push(seed_card[pos as usize]);
+            continue;
+        }
+        // N(u) is unchanged; materialize it once on the new graph.
+        neighborhood.clear();
+        seed_neighbors.clear();
+        for &attr in new_graph.neighbors(u) {
+            for &w in new_graph.neighbors(attr) {
+                if w != u && !stamp[w as usize] {
+                    stamp[w as usize] = true;
+                    neighborhood.push(w);
+                    if seed_pos[w as usize] != u32::MAX {
+                        seed_neighbors.push(w);
+                    }
+                }
+            }
+        }
+        let card = neighborhood.len();
+        let mut delta = 0.0;
+        for &v in &seed_neighbors {
+            let i = seed_pos[v as usize] as usize;
+            let (ob, nb) = (
+                &old_bits[i * words..(i + 1) * words],
+                &new_bits[i * words..(i + 1) * words],
+            );
+            let mut inter_old = 0usize;
+            let mut inter_new = 0usize;
+            for &w in &neighborhood {
+                let (word, bit) = (w as usize / 64, w as usize % 64);
+                inter_old += ((ob[word] >> bit) & 1) as usize;
+                inter_new += ((nb[word] >> bit) & 1) as usize;
+            }
+            delta += jaccard(inter_new, card, new_size[i]) - jaccard(inter_old, card, old_size[i]);
+        }
+        for &w in &neighborhood {
+            stamp[w as usize] = false;
+        }
+        if card == 0 {
+            out_lcc.push(0.0);
+            out_card.push(0);
+        } else {
+            let old_sum = old_lcc[u as usize] * card as f64;
+            out_lcc.push((old_sum + delta) / card as f64);
+            out_card.push(card);
+        }
+    }
+    (out_lcc, out_card)
 }
 
 fn sorted_intersection_size(a: &[u32], b: &[u32]) -> usize {
@@ -269,6 +429,73 @@ mod tests {
             for &score in &local_clustering_coefficients(&g, method) {
                 assert!((0.0..=1.0).contains(&score), "{method:?} score {score}");
             }
+        }
+    }
+
+    #[test]
+    fn patch_matches_full_recomputation_across_deltas() {
+        use crate::delta::GraphDelta;
+        // A lake-shaped graph: overlapping attributes over a shared pool.
+        let mut b = BipartiteBuilder::new();
+        let values: Vec<u32> = (0..20).map(|i| b.add_value(format!("v{i}"))).collect();
+        let attrs: Vec<u32> = (0..5).map(|a| b.add_attribute(format!("a{a}"))).collect();
+        for (ai, &a) in attrs.iter().enumerate() {
+            for (vi, &v) in values.iter().enumerate() {
+                if (vi + ai) % 3 != 0 {
+                    b.add_edge(v, a);
+                }
+            }
+        }
+        let mut graph = b.build();
+        let mut lcc = local_clustering_coefficients(&graph, LccMethod::ValueNeighborJaccard);
+        let mut cards: Vec<usize> = (0..graph.value_count() as u32)
+            .map(|v| graph.value_neighbor_count(v))
+            .collect();
+        let deltas = [
+            GraphDelta {
+                added_edges: vec![(0, 0), (3, 0)],
+                removed_edges: vec![(1, 0)],
+                ..GraphDelta::default()
+            },
+            GraphDelta {
+                new_values: vec!["fresh".into()],
+                new_attributes: vec!["a5".into()],
+                added_edges: vec![(20, 5), (0, 5), (7, 5)],
+                removed_edges: vec![(2, 2)],
+            },
+        ];
+        for delta in &deltas {
+            let applied = graph.apply_delta(delta, None).unwrap();
+            let (patched, patched_cards) = patch_lcc_value_neighbors(
+                &graph,
+                &applied.graph,
+                &applied.seed_values,
+                &applied.dirty_values,
+                &lcc,
+            );
+            let full =
+                local_clustering_coefficients(&applied.graph, LccMethod::ValueNeighborJaccard);
+            // Scatter the patch, then compare every node against a full pass.
+            lcc.resize(applied.graph.value_count(), 0.0);
+            cards.resize(applied.graph.value_count(), 0);
+            for (i, &node) in applied.dirty_values.iter().enumerate() {
+                lcc[node as usize] = patched[i];
+                cards[node as usize] = patched_cards[i];
+            }
+            for node in 0..applied.graph.value_count() {
+                assert!(
+                    (lcc[node] - full[node]).abs() < 1e-12,
+                    "node {node}: patched {} vs full {}",
+                    lcc[node],
+                    full[node]
+                );
+                assert_eq!(
+                    cards[node],
+                    applied.graph.value_neighbor_count(node as u32),
+                    "cardinality of node {node}"
+                );
+            }
+            graph = applied.graph;
         }
     }
 

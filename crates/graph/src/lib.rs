@@ -19,6 +19,9 @@
 //!   (Equation 1): the mean Jaccard similarity between a value's
 //!   value-neighbor set and those of its value neighbors.
 //! * [`components`] — connected components.
+//! * [`delta`] — incremental CSR maintenance: [`delta::GraphDelta`] patches
+//!   the graph in `O(n + m + |Δ|)` and reports the dirty regions (2-hop LCC
+//!   invalidation set, touched components) downstream measures need.
 //! * [`projection`] — the unipartite value co-occurrence projection
 //!   (Figure 3a of the paper), useful for analysis and testing.
 //! * [`subgraph`] — attribute-anchored random subgraph extraction, used by
@@ -67,12 +70,16 @@ pub mod bipartite;
 pub mod centrality_extra;
 pub mod community;
 pub mod components;
+pub mod delta;
 pub mod lcc;
 pub mod projection;
 pub mod subgraph;
 
-pub use approx_bc::{approximate_betweenness, ApproxBcConfig, SamplingStrategy};
-pub use bc::{betweenness_centrality, betweenness_centrality_parallel};
+pub use approx_bc::{
+    approximate_betweenness, approximate_betweenness_within, ApproxBcConfig, SamplingStrategy,
+};
+pub use bc::{betweenness_centrality, betweenness_centrality_parallel, betweenness_from_sources};
 pub use bipartite::{BipartiteBuilder, BipartiteGraph, NodeKind};
 pub use community::{label_propagation, Communities, LabelPropagationConfig};
-pub use lcc::{local_clustering_coefficients, LccMethod};
+pub use delta::{nodes_in_components, AppliedDelta, GraphDelta};
+pub use lcc::{lcc_with_cardinality_for_values, local_clustering_coefficients, LccMethod};

@@ -59,6 +59,35 @@ impl AttrRef {
 /// * for every value, the set of attributes it appears in (the inverted
 ///   index that makes "candidate homographs appear in ≥ 2 attributes"
 ///   queries cheap).
+///
+/// The catalog is a **static snapshot**; for a lake that mutates, wrap it in
+/// (or build) a [`crate::delta::MutableLake`] instead.
+///
+/// ```
+/// use lake::catalog::LakeCatalog;
+/// use lake::table::TableBuilder;
+///
+/// let mut lake = LakeCatalog::new();
+/// lake.add_table(
+///     TableBuilder::new("zoo")
+///         .column("animal", ["Jaguar", "Panda"])
+///         .build()
+///         .unwrap(),
+/// )
+/// .unwrap();
+/// lake.add_table(
+///     TableBuilder::new("cars")
+///         .column("brand", ["Jaguar", "Fiat"])
+///         .build()
+///         .unwrap(),
+/// )
+/// .unwrap();
+///
+/// // "Jaguar" occurs in two attributes — the homograph candidate set.
+/// let jaguar = lake.value_id("JAGUAR").unwrap();
+/// assert_eq!(lake.value_attribute_count(jaguar), 2);
+/// assert_eq!(lake.values_in_at_least(2), vec![jaguar]);
+/// ```
 #[derive(Debug, Default, Clone)]
 pub struct LakeCatalog {
     tables: Vec<Table>,

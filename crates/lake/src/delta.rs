@@ -1,0 +1,865 @@
+//! Incremental lake mutation: deltas, effects, and the mutable catalog.
+//!
+//! [`crate::catalog::LakeCatalog`] treats the lake as a static snapshot —
+//! every change means rebuilding the catalog (and everything downstream) from
+//! scratch. Real lakes mutate continuously: tables arrive, get deprecated,
+//! and have cells rewritten. This module provides the mutation half of the
+//! substrate:
+//!
+//! * [`LakeOp`] / [`LakeDelta`] — a recorded batch of table-level mutations
+//!   (add table, remove table, replace a value inside one attribute).
+//! * [`MutableLake`] — a catalog that applies deltas **in place** while
+//!   keeping [`ValueId`]s and [`AttrId`]s stable across mutations. Removed
+//!   tables are tombstoned (their attribute slots stay allocated but empty)
+//!   and the value interner is append-only, so downstream consumers — most
+//!   importantly the incremental bipartite-graph maintenance in `dn-graph` —
+//!   can patch their state instead of rebuilding it.
+//! * [`DeltaEffects`] — the exact set of (attribute, value) incidences an
+//!   applied delta added and removed. This is the "change list" the
+//!   incremental graph maintenance consumes.
+//! * [`LakeView`] — the read-only interface shared by [`LakeCatalog`] and
+//!   [`MutableLake`], which is all the DomainNet graph builder needs.
+//!
+//! ## Example
+//!
+//! ```
+//! use lake::delta::{LakeDelta, LakeView, MutableLake};
+//! use lake::table::TableBuilder;
+//!
+//! let mut lake = MutableLake::new();
+//! let zoo = TableBuilder::new("zoo")
+//!     .column("animal", ["Jaguar", "Panda"])
+//!     .build()
+//!     .unwrap();
+//! let cars = TableBuilder::new("cars")
+//!     .column("brand", ["Jaguar", "Fiat"])
+//!     .build()
+//!     .unwrap();
+//!
+//! let effects = lake.apply(&LakeDelta::new().add_table(zoo).add_table(cars)).unwrap();
+//! assert_eq!(effects.added_incidences.len(), 4);
+//! assert_eq!(lake.live_table_count(), 2);
+//!
+//! // Removing a table tombstones its attributes; value ids stay stable.
+//! let jaguar = lake.value_id("JAGUAR").unwrap();
+//! lake.apply(&LakeDelta::new().remove_table("cars")).unwrap();
+//! assert_eq!(lake.value_id("JAGUAR"), Some(jaguar));
+//! assert_eq!(lake.value_attributes(jaguar).len(), 1);
+//! ```
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::catalog::{AttrId, AttrRef, LakeCatalog};
+use crate::column::Column;
+use crate::error::LakeError;
+use crate::table::Table;
+use crate::value::{normalize, ValueId, ValueInterner};
+use crate::Result;
+
+// ---------------------------------------------------------------------------
+// The read-only view shared by the static and the mutable catalog
+// ---------------------------------------------------------------------------
+
+/// The read-only lake interface consumed by the DomainNet graph builder.
+///
+/// Both the immutable [`LakeCatalog`] and the incremental [`MutableLake`]
+/// implement this, so the pipeline can be built from either without caring
+/// whether the lake is a static snapshot or a mutating one. For a
+/// [`MutableLake`], all methods describe the **live** state only: tombstoned
+/// attributes contribute no incidences, and values that no longer occur
+/// anywhere are reported in zero attributes.
+pub trait LakeView {
+    /// Number of distinct normalized values ever interned (including, for a
+    /// mutable lake, values that no longer occur anywhere).
+    fn value_count(&self) -> usize;
+    /// Number of attribute slots ever allocated (including tombstones).
+    fn attribute_count(&self) -> usize;
+    /// Total number of live (attribute, distinct value) incidences.
+    fn incidence_count(&self) -> usize;
+    /// The normalized string behind a value id.
+    fn value(&self, id: ValueId) -> Option<&str>;
+    /// The `table.column` reference of a live attribute.
+    fn attribute_ref(&self, id: AttrId) -> Option<AttrRef>;
+    /// Live attributes in which a value occurs (sorted ascending by id).
+    fn value_attributes(&self, id: ValueId) -> &[AttrId];
+    /// Values occurring in at least `min_attrs` live attributes.
+    fn values_in_at_least(&self, min_attrs: usize) -> Vec<ValueId>;
+    /// `(AttrId, sorted distinct ValueIds)` for every live attribute.
+    fn live_attribute_values(&self) -> Vec<(AttrId, &[ValueId])>;
+}
+
+impl LakeView for LakeCatalog {
+    fn value_count(&self) -> usize {
+        LakeCatalog::value_count(self)
+    }
+    fn attribute_count(&self) -> usize {
+        LakeCatalog::attribute_count(self)
+    }
+    fn incidence_count(&self) -> usize {
+        LakeCatalog::incidence_count(self)
+    }
+    fn value(&self, id: ValueId) -> Option<&str> {
+        LakeCatalog::value(self, id)
+    }
+    fn attribute_ref(&self, id: AttrId) -> Option<AttrRef> {
+        LakeCatalog::attribute_ref(self, id)
+    }
+    fn value_attributes(&self, id: ValueId) -> &[AttrId] {
+        LakeCatalog::value_attributes(self, id)
+    }
+    fn values_in_at_least(&self, min_attrs: usize) -> Vec<ValueId> {
+        LakeCatalog::values_in_at_least(self, min_attrs)
+    }
+    fn live_attribute_values(&self) -> Vec<(AttrId, &[ValueId])> {
+        self.attribute_value_pairs().collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deltas
+// ---------------------------------------------------------------------------
+
+/// One table-level mutation of the lake.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum LakeOp {
+    /// Add a new table (its name must not collide with a live table).
+    AddTable(Table),
+    /// Remove a live table by name.
+    RemoveTable(String),
+    /// Replace every cell of one column whose normalized form equals
+    /// `target` (already normalized) with `replacement` (raw).
+    ReplaceValue {
+        /// Name of the (live) table to mutate.
+        table: String,
+        /// Name of the column inside that table.
+        column: String,
+        /// The normalized value to replace.
+        target: String,
+        /// The raw replacement text.
+        replacement: String,
+    },
+}
+
+/// A recorded batch of lake mutations, applied in order by
+/// [`MutableLake::apply`]. Application is **not** atomic across ops — see
+/// [`MutableLake::apply`] for the failure semantics.
+///
+/// ```
+/// use lake::delta::LakeDelta;
+/// use lake::table::TableBuilder;
+///
+/// let t = TableBuilder::new("t").column("c", ["x"]).build().unwrap();
+/// let delta = LakeDelta::new()
+///     .add_table(t)
+///     .replace_value("t", "c", "X", "y");
+/// assert_eq!(delta.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LakeDelta {
+    ops: Vec<LakeOp>,
+}
+
+impl LakeDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append an [`LakeOp::AddTable`] op.
+    pub fn add_table(mut self, table: Table) -> Self {
+        self.ops.push(LakeOp::AddTable(table));
+        self
+    }
+
+    /// Append an [`LakeOp::RemoveTable`] op.
+    pub fn remove_table(mut self, name: impl Into<String>) -> Self {
+        self.ops.push(LakeOp::RemoveTable(name.into()));
+        self
+    }
+
+    /// Append an [`LakeOp::ReplaceValue`] op. `target` is normalized here, so
+    /// callers may pass the raw form.
+    pub fn replace_value(
+        mut self,
+        table: impl Into<String>,
+        column: impl Into<String>,
+        target: &str,
+        replacement: impl Into<String>,
+    ) -> Self {
+        self.ops.push(LakeOp::ReplaceValue {
+            table: table.into(),
+            column: column.into(),
+            target: normalize(target),
+            replacement: replacement.into(),
+        });
+        self
+    }
+
+    /// Append an already-built op.
+    pub fn push(&mut self, op: LakeOp) {
+        self.ops.push(op);
+    }
+
+    /// The recorded ops in application order.
+    pub fn ops(&self) -> &[LakeOp] {
+        &self.ops
+    }
+
+    /// Number of recorded ops.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the delta records no ops.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// The incidence-level outcome of applying a [`LakeDelta`].
+///
+/// This is the precise "change list" that incremental consumers need: which
+/// values were interned for the first time, which attribute slots were
+/// allocated or tombstoned, and exactly which (attribute, value) incidences
+/// appeared and disappeared. Incidences are deduplicated: an incidence both
+/// removed and re-added inside one delta cancels out.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeltaEffects {
+    /// Values interned for the first time by this delta.
+    pub added_values: Vec<ValueId>,
+    /// Attribute slots allocated by this delta.
+    pub added_attrs: Vec<AttrId>,
+    /// Attribute slots tombstoned by this delta.
+    pub removed_attrs: Vec<AttrId>,
+    /// Live incidences that appeared: `(attribute, value)`.
+    pub added_incidences: Vec<(AttrId, ValueId)>,
+    /// Live incidences that disappeared: `(attribute, value)`.
+    pub removed_incidences: Vec<(AttrId, ValueId)>,
+    /// Number of raw cells rewritten by replace ops.
+    pub cells_rewritten: usize,
+}
+
+impl DeltaEffects {
+    /// Whether the delta changed nothing observable.
+    pub fn is_empty(&self) -> bool {
+        self.added_values.is_empty()
+            && self.added_attrs.is_empty()
+            && self.removed_attrs.is_empty()
+            && self.added_incidences.is_empty()
+            && self.removed_incidences.is_empty()
+            && self.cells_rewritten == 0
+    }
+
+    /// Fold another effects record into this one (ops applied in sequence).
+    pub fn merge(&mut self, other: DeltaEffects) {
+        self.added_values.extend(other.added_values);
+        self.added_attrs.extend(other.added_attrs);
+        self.removed_attrs.extend(other.removed_attrs);
+        self.added_incidences.extend(other.added_incidences);
+        self.removed_incidences.extend(other.removed_incidences);
+        self.cells_rewritten += other.cells_rewritten;
+    }
+
+    /// Cancel incidences that were both removed and re-added (or vice versa)
+    /// within the merged record, and deduplicate everything else.
+    fn normalize(&mut self) {
+        self.added_values.sort_unstable();
+        self.added_values.dedup();
+        self.added_attrs.sort_unstable();
+        self.added_attrs.dedup();
+        self.removed_attrs.sort_unstable();
+        self.removed_attrs.dedup();
+        // An attribute both added and removed by the same delta stays listed
+        // in both: the slot was allocated *and* is now dead.
+        self.added_incidences.sort_unstable();
+        self.added_incidences.dedup();
+        self.removed_incidences.sort_unstable();
+        self.removed_incidences.dedup();
+        let (mut add, mut rem) = (Vec::new(), Vec::new());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.added_incidences.len() && j < self.removed_incidences.len() {
+            match self.added_incidences[i].cmp(&self.removed_incidences[j]) {
+                std::cmp::Ordering::Less => {
+                    add.push(self.added_incidences[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    rem.push(self.removed_incidences[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    // Net no-op: the incidence ends in the state it started.
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        add.extend_from_slice(&self.added_incidences[i..]);
+        rem.extend_from_slice(&self.removed_incidences[j..]);
+        self.added_incidences = add;
+        self.removed_incidences = rem;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The mutable lake
+// ---------------------------------------------------------------------------
+
+/// A lake catalog that supports in-place mutation with **stable identifiers**.
+///
+/// The key contract, and the reason this type exists next to
+/// [`LakeCatalog`], is identifier stability:
+///
+/// * [`ValueId`]s are append-only. A value that disappears from every live
+///   attribute keeps its id (it simply occurs in zero attributes); if it
+///   later reappears, the same id is reused.
+/// * [`AttrId`]s are append-only. Removing a table *tombstones* its
+///   attribute slots — they stay allocated but hold no incidences. Re-adding
+///   a table of the same name allocates fresh slots.
+///
+/// Stability is what lets the bipartite graph (and the centrality scores on
+/// top of it) be *patched* instead of rebuilt: node indices derived from
+/// these ids never shift underneath a consumer.
+///
+/// Use [`MutableLake::snapshot`] to compact the live state back into an
+/// ordinary [`LakeCatalog`] (fresh, dense ids).
+#[derive(Debug, Default, Clone)]
+pub struct MutableLake {
+    /// Table slots; `None` marks a tombstoned (removed) table.
+    tables: Vec<Option<Table>>,
+    /// Live table name -> slot.
+    table_index: HashMap<String, usize>,
+    /// AttrId -> (table slot, column index). Never shrinks.
+    attrs: Vec<(usize, usize)>,
+    /// AttrId -> live flag.
+    attr_live: Vec<bool>,
+    /// AttrId -> sorted distinct live ValueIds (empty for tombstones).
+    attr_values: Vec<Vec<ValueId>>,
+    /// ValueId -> sorted live AttrIds containing it.
+    value_attrs: Vec<Vec<AttrId>>,
+    /// Append-only value interner.
+    interner: ValueInterner,
+}
+
+impl MutableLake {
+    /// Create an empty mutable lake.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adopt an existing catalog. Value and attribute ids are preserved
+    /// exactly (the construction order matches [`LakeCatalog::add_table`]).
+    pub fn from_catalog(catalog: &LakeCatalog) -> Self {
+        let mut lake = MutableLake::new();
+        for table in catalog.tables() {
+            lake.apply_add_table(table.clone())
+                .expect("catalog table names are unique");
+        }
+        lake
+    }
+
+    /// Apply a delta, returning the merged, normalized [`DeltaEffects`].
+    ///
+    /// Ops are applied in order. If an op fails, the error is returned and
+    /// **no further ops run**; ops before the failing one remain applied
+    /// and their effects are discarded with the error. Incremental
+    /// consumers therefore cannot be patched after a failed apply — rebuild
+    /// them against the lake's current state (`DomainNet::refresh` in the
+    /// core crate) before continuing. Validate deltas upfront (as
+    /// `datagen::mutate::MutationStream` does) to keep the fast path.
+    ///
+    /// # Errors
+    /// * [`LakeError::DuplicateTable`] when adding a name that is live.
+    /// * [`LakeError::NotFound`] when removing or mutating a missing table
+    ///   or column.
+    pub fn apply(&mut self, delta: &LakeDelta) -> Result<DeltaEffects> {
+        let mut effects = DeltaEffects::default();
+        for op in delta.ops() {
+            let e = match op {
+                LakeOp::AddTable(table) => self.apply_add_table(table.clone())?,
+                LakeOp::RemoveTable(name) => self.apply_remove_table(name)?,
+                LakeOp::ReplaceValue {
+                    table,
+                    column,
+                    target,
+                    replacement,
+                } => self.apply_replace_value(table, column, target, replacement)?,
+            };
+            effects.merge(e);
+        }
+        effects.normalize();
+        Ok(effects)
+    }
+
+    fn apply_add_table(&mut self, table: Table) -> Result<DeltaEffects> {
+        if self.table_index.contains_key(table.name()) {
+            return Err(LakeError::DuplicateTable(table.name().to_owned()));
+        }
+        let slot = self.tables.len();
+        self.table_index.insert(table.name().to_owned(), slot);
+        let mut effects = DeltaEffects::default();
+        for (col_idx, column) in table.columns().iter().enumerate() {
+            let attr = AttrId(self.attrs.len() as u32);
+            self.attrs.push((slot, col_idx));
+            self.attr_live.push(true);
+            effects.added_attrs.push(attr);
+            let mut values = Vec::with_capacity(column.distinct_count());
+            for v in column.distinct_values() {
+                let before = self.interner.len();
+                let vid = self.interner.intern(v);
+                if vid.index() >= self.value_attrs.len() {
+                    self.value_attrs.resize(vid.index() + 1, Vec::new());
+                }
+                if self.interner.len() > before {
+                    effects.added_values.push(vid);
+                }
+                insert_sorted(&mut self.value_attrs[vid.index()], attr);
+                effects.added_incidences.push((attr, vid));
+                values.push(vid);
+            }
+            values.sort_unstable();
+            values.dedup();
+            self.attr_values.push(values);
+        }
+        self.tables.push(Some(table));
+        Ok(effects)
+    }
+
+    fn apply_remove_table(&mut self, name: &str) -> Result<DeltaEffects> {
+        let slot = self
+            .table_index
+            .remove(name)
+            .ok_or_else(|| LakeError::NotFound(format!("table '{name}'")))?;
+        let mut effects = DeltaEffects::default();
+        for (attr_idx, &(t, _)) in self.attrs.iter().enumerate() {
+            if t != slot || !self.attr_live[attr_idx] {
+                continue;
+            }
+            let attr = AttrId(attr_idx as u32);
+            for &vid in &self.attr_values[attr_idx] {
+                remove_sorted(&mut self.value_attrs[vid.index()], attr);
+                effects.removed_incidences.push((attr, vid));
+            }
+            self.attr_values[attr_idx].clear();
+            self.attr_live[attr_idx] = false;
+            effects.removed_attrs.push(attr);
+        }
+        self.tables[slot] = None;
+        Ok(effects)
+    }
+
+    fn apply_replace_value(
+        &mut self,
+        table: &str,
+        column: &str,
+        target: &str,
+        replacement: &str,
+    ) -> Result<DeltaEffects> {
+        let &slot = self
+            .table_index
+            .get(table)
+            .ok_or_else(|| LakeError::NotFound(format!("table '{table}'")))?;
+        let tab = self.tables[slot].as_mut().expect("indexed table is live");
+        let col_idx = tab
+            .columns()
+            .iter()
+            .position(|c| c.name() == column)
+            .ok_or_else(|| LakeError::NotFound(format!("column '{table}.{column}'")))?;
+        let col: &mut Column = &mut tab.columns_mut()[col_idx];
+        let rewritten = col.replace_value(target, replacement);
+        let mut effects = DeltaEffects {
+            cells_rewritten: rewritten,
+            ..DeltaEffects::default()
+        };
+        if rewritten == 0 {
+            return Ok(effects);
+        }
+        let distinct: Vec<String> = col.distinct_values().map(str::to_owned).collect();
+        let attr_idx = self
+            .attrs
+            .iter()
+            .enumerate()
+            .position(|(i, &(t, c))| t == slot && c == col_idx && self.attr_live[i])
+            .expect("live table columns have live attribute slots");
+        // Recompute the attribute's distinct set and diff it against the index.
+        let mut new_values: Vec<ValueId> = Vec::with_capacity(distinct.len());
+        for v in &distinct {
+            let before = self.interner.len();
+            let vid = self.interner.intern(v);
+            if vid.index() >= self.value_attrs.len() {
+                self.value_attrs.resize(vid.index() + 1, Vec::new());
+            }
+            if self.interner.len() > before {
+                effects.added_values.push(vid);
+            }
+            new_values.push(vid);
+        }
+        new_values.sort_unstable();
+        new_values.dedup();
+        let attr = AttrId(attr_idx as u32);
+        let old_values = std::mem::take(&mut self.attr_values[attr_idx]);
+        let (removed, added) = diff_sorted(&old_values, &new_values);
+        for o in removed {
+            remove_sorted(&mut self.value_attrs[o.index()], attr);
+            effects.removed_incidences.push((attr, o));
+        }
+        for n in added {
+            insert_sorted(&mut self.value_attrs[n.index()], attr);
+            effects.added_incidences.push((attr, n));
+        }
+        self.attr_values[attr_idx] = new_values;
+        Ok(effects)
+    }
+
+    // ------------------------------------------------------------------
+    // Queries (live state)
+    // ------------------------------------------------------------------
+
+    /// Number of live (non-tombstoned) tables.
+    pub fn live_table_count(&self) -> usize {
+        self.table_index.len()
+    }
+
+    /// Names of the live tables, in slot order.
+    pub fn live_table_names(&self) -> Vec<&str> {
+        self.tables.iter().flatten().map(Table::name).collect()
+    }
+
+    /// Look up a live table by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.table_index
+            .get(name)
+            .and_then(|&slot| self.tables[slot].as_ref())
+    }
+
+    /// Whether an attribute slot is live.
+    pub fn is_attr_live(&self, id: AttrId) -> bool {
+        self.attr_live.get(id.index()).copied().unwrap_or(false)
+    }
+
+    /// Sorted distinct live values of an attribute (empty for tombstones).
+    pub fn attribute_values(&self, id: AttrId) -> &[ValueId] {
+        self.attr_values
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Look up the id of a normalized value.
+    pub fn value_id(&self, normalized: &str) -> Option<ValueId> {
+        self.interner.get(normalized)
+    }
+
+    /// The shared append-only interner.
+    pub fn interner(&self) -> &ValueInterner {
+        &self.interner
+    }
+
+    /// Compact the live state into a fresh [`LakeCatalog`].
+    ///
+    /// The snapshot re-derives dense ids from scratch, so its [`ValueId`] /
+    /// [`AttrId`] spaces generally differ from this lake's; it represents the
+    /// same live content. This is the "full rebuild" path the incremental
+    /// machinery is benchmarked against.
+    pub fn snapshot(&self) -> Result<LakeCatalog> {
+        LakeCatalog::from_tables(self.tables.iter().flatten().cloned())
+    }
+}
+
+impl LakeView for MutableLake {
+    fn value_count(&self) -> usize {
+        self.interner.len()
+    }
+    fn attribute_count(&self) -> usize {
+        self.attrs.len()
+    }
+    fn incidence_count(&self) -> usize {
+        self.attr_values.iter().map(Vec::len).sum()
+    }
+    fn value(&self, id: ValueId) -> Option<&str> {
+        self.interner.try_resolve(id)
+    }
+    fn attribute_ref(&self, id: AttrId) -> Option<AttrRef> {
+        if !self.is_attr_live(id) {
+            return None;
+        }
+        let (slot, col) = self.attrs[id.index()];
+        let table = self.tables[slot].as_ref()?;
+        Some(AttrRef::new(table.name(), table.columns()[col].name()))
+    }
+    fn value_attributes(&self, id: ValueId) -> &[AttrId] {
+        self.value_attrs
+            .get(id.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+    fn values_in_at_least(&self, min_attrs: usize) -> Vec<ValueId> {
+        self.value_attrs
+            .iter()
+            .enumerate()
+            .filter(|(_, attrs)| attrs.len() >= min_attrs)
+            .map(|(i, _)| ValueId(i as u32))
+            .collect()
+    }
+    fn live_attribute_values(&self) -> Vec<(AttrId, &[ValueId])> {
+        self.attr_values
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.attr_live[i])
+            .map(|(i, vs)| (AttrId(i as u32), vs.as_slice()))
+            .collect()
+    }
+}
+
+impl From<&LakeCatalog> for MutableLake {
+    fn from(catalog: &LakeCatalog) -> Self {
+        MutableLake::from_catalog(catalog)
+    }
+}
+
+/// Symmetric difference of two sorted, deduplicated slices: returns the
+/// items only in `old` (removed) and only in `new` (added).
+///
+/// Shared by the incidence diffing here and the edge diffing in the core
+/// crate's incremental maintenance.
+pub fn diff_sorted<T: Ord + Copy>(old: &[T], new: &[T]) -> (Vec<T>, Vec<T>) {
+    let mut removed = Vec::new();
+    let mut added = Vec::new();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < old.len() || j < new.len() {
+        match (old.get(i), new.get(j)) {
+            (Some(&o), Some(&n)) if o == n => {
+                i += 1;
+                j += 1;
+            }
+            (Some(&o), Some(&n)) if o < n => {
+                removed.push(o);
+                i += 1;
+            }
+            (Some(_), Some(&n)) => {
+                added.push(n);
+                j += 1;
+            }
+            (Some(&o), None) => {
+                removed.push(o);
+                i += 1;
+            }
+            (None, Some(&n)) => {
+                added.push(n);
+                j += 1;
+            }
+            (None, None) => unreachable!("loop condition"),
+        }
+    }
+    (removed, added)
+}
+
+fn insert_sorted<T: Ord + Copy>(vec: &mut Vec<T>, item: T) {
+    if let Err(pos) = vec.binary_search(&item) {
+        vec.insert(pos, item);
+    }
+}
+
+fn remove_sorted<T: Ord + Copy>(vec: &mut Vec<T>, item: T) {
+    if let Ok(pos) = vec.binary_search(&item) {
+        vec.remove(pos);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::TableBuilder;
+
+    fn zoo() -> Table {
+        TableBuilder::new("zoo")
+            .column("animal", ["Jaguar", "Panda", "Lemur"])
+            .build()
+            .unwrap()
+    }
+
+    fn cars() -> Table {
+        TableBuilder::new("cars")
+            .column("brand", ["Jaguar", "Fiat", "Toyota"])
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn add_tables_tracks_incidences_and_new_values() {
+        let mut lake = MutableLake::new();
+        let e1 = lake.apply(&LakeDelta::new().add_table(zoo())).unwrap();
+        assert_eq!(e1.added_values.len(), 3);
+        assert_eq!(e1.added_incidences.len(), 3);
+        assert_eq!(e1.added_attrs, vec![AttrId(0)]);
+
+        let e2 = lake.apply(&LakeDelta::new().add_table(cars())).unwrap();
+        // Jaguar was already interned.
+        assert_eq!(e2.added_values.len(), 2);
+        assert_eq!(e2.added_incidences.len(), 3);
+        let jaguar = lake.value_id("JAGUAR").unwrap();
+        assert_eq!(lake.value_attributes(jaguar), &[AttrId(0), AttrId(1)]);
+    }
+
+    #[test]
+    fn remove_table_tombstones_but_keeps_ids() {
+        let mut lake = MutableLake::new();
+        lake.apply(&LakeDelta::new().add_table(zoo()).add_table(cars()))
+            .unwrap();
+        let jaguar = lake.value_id("JAGUAR").unwrap();
+        let fiat = lake.value_id("FIAT").unwrap();
+
+        let e = lake.apply(&LakeDelta::new().remove_table("cars")).unwrap();
+        assert_eq!(e.removed_attrs, vec![AttrId(1)]);
+        assert_eq!(e.removed_incidences.len(), 3);
+        assert!(e.added_incidences.is_empty());
+
+        assert_eq!(lake.live_table_count(), 1);
+        assert!(!lake.is_attr_live(AttrId(1)));
+        assert_eq!(lake.value_attributes(jaguar), &[AttrId(0)]);
+        assert!(lake.value_attributes(fiat).is_empty());
+        // Ids are stable: Fiat stays interned at the same id.
+        assert_eq!(lake.value_id("FIAT"), Some(fiat));
+        assert_eq!(LakeView::value(&lake, fiat), Some("FIAT"));
+    }
+
+    #[test]
+    fn readd_after_remove_allocates_fresh_attrs_and_reuses_value_ids() {
+        let mut lake = MutableLake::new();
+        lake.apply(&LakeDelta::new().add_table(zoo()).add_table(cars()))
+            .unwrap();
+        let fiat = lake.value_id("FIAT").unwrap();
+        lake.apply(&LakeDelta::new().remove_table("cars")).unwrap();
+        let e = lake.apply(&LakeDelta::new().add_table(cars())).unwrap();
+        assert_eq!(e.added_attrs, vec![AttrId(2)]);
+        assert!(
+            e.added_values.is_empty(),
+            "all values were already interned"
+        );
+        assert_eq!(lake.value_attributes(fiat), &[AttrId(2)]);
+        assert_eq!(lake.live_table_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_live_table_is_rejected() {
+        let mut lake = MutableLake::new();
+        lake.apply(&LakeDelta::new().add_table(zoo())).unwrap();
+        let err = lake.apply(&LakeDelta::new().add_table(zoo())).unwrap_err();
+        assert!(matches!(err, LakeError::DuplicateTable(_)));
+    }
+
+    #[test]
+    fn remove_missing_table_is_not_found() {
+        let mut lake = MutableLake::new();
+        let err = lake
+            .apply(&LakeDelta::new().remove_table("ghost"))
+            .unwrap_err();
+        assert!(matches!(err, LakeError::NotFound(_)));
+    }
+
+    #[test]
+    fn replace_value_diffs_incidences() {
+        let mut lake = MutableLake::new();
+        lake.apply(&LakeDelta::new().add_table(zoo()).add_table(cars()))
+            .unwrap();
+        let e = lake
+            .apply(&LakeDelta::new().replace_value("cars", "brand", "Jaguar", "Rover"))
+            .unwrap();
+        assert_eq!(e.cells_rewritten, 1);
+        assert_eq!(e.added_values.len(), 1, "ROVER is new");
+        let jaguar = lake.value_id("JAGUAR").unwrap();
+        let rover = lake.value_id("ROVER").unwrap();
+        assert_eq!(e.removed_incidences, vec![(AttrId(1), jaguar)]);
+        assert_eq!(e.added_incidences, vec![(AttrId(1), rover)]);
+        assert_eq!(lake.value_attributes(jaguar), &[AttrId(0)]);
+        assert_eq!(lake.value_attributes(rover), &[AttrId(1)]);
+    }
+
+    #[test]
+    fn replace_missing_target_is_noop() {
+        let mut lake = MutableLake::new();
+        lake.apply(&LakeDelta::new().add_table(zoo())).unwrap();
+        let e = lake
+            .apply(&LakeDelta::new().replace_value("zoo", "animal", "Dodo", "Raven"))
+            .unwrap();
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn remove_then_readd_same_delta_cancels_incidences() {
+        let mut lake = MutableLake::new();
+        lake.apply(&LakeDelta::new().add_table(cars())).unwrap();
+        let e = lake
+            .apply(&LakeDelta::new().remove_table("cars").add_table(cars()))
+            .unwrap();
+        // The value set is back, but under a fresh attribute slot, so the
+        // old incidences are removed and new ones added — no cancellation
+        // across distinct attrs.
+        assert_eq!(e.removed_attrs, vec![AttrId(0)]);
+        assert_eq!(e.added_attrs, vec![AttrId(1)]);
+        assert_eq!(e.removed_incidences.len(), 3);
+        assert_eq!(e.added_incidences.len(), 3);
+    }
+
+    #[test]
+    fn snapshot_compacts_live_state() {
+        let mut lake = MutableLake::new();
+        lake.apply(&LakeDelta::new().add_table(zoo()).add_table(cars()))
+            .unwrap();
+        lake.apply(&LakeDelta::new().remove_table("zoo")).unwrap();
+        let snap = lake.snapshot().unwrap();
+        assert_eq!(snap.table_count(), 1);
+        assert_eq!(snap.value_count(), 3, "only the live values remain");
+        assert!(snap.contains_value("FIAT"));
+        assert!(!snap.contains_value("PANDA"));
+    }
+
+    #[test]
+    fn from_catalog_preserves_ids() {
+        let catalog = crate::fixtures::running_example();
+        let lake = MutableLake::from_catalog(&catalog);
+        assert_eq!(LakeView::value_count(&lake), catalog.value_count());
+        assert_eq!(LakeView::attribute_count(&lake), catalog.attribute_count());
+        assert_eq!(LakeView::incidence_count(&lake), catalog.incidence_count());
+        for vid in (0..catalog.value_count() as u32).map(ValueId) {
+            assert_eq!(
+                LakeView::value(&lake, vid),
+                catalog.value(vid),
+                "value ids must agree"
+            );
+            assert_eq!(
+                LakeView::value_attributes(&lake, vid),
+                catalog.value_attributes(vid)
+            );
+        }
+    }
+
+    #[test]
+    fn live_view_matches_snapshot_view() {
+        let mut lake = MutableLake::new();
+        lake.apply(
+            &LakeDelta::new()
+                .add_table(zoo())
+                .add_table(cars())
+                .remove_table("zoo"),
+        )
+        .unwrap();
+        let snap = lake.snapshot().unwrap();
+        // Same live incidence structure, possibly different id spaces:
+        // compare as (attr label, value string) pairs.
+        let live_pairs = |view: &dyn LakeView| -> Vec<(String, String)> {
+            let mut out = Vec::new();
+            for (attr, values) in view.live_attribute_values() {
+                let aref = view.attribute_ref(attr).unwrap().qualified();
+                for &v in values {
+                    out.push((aref.clone(), view.value(v).unwrap().to_owned()));
+                }
+            }
+            out.sort();
+            out
+        };
+        assert_eq!(live_pairs(&lake), live_pairs(&snap));
+    }
+}

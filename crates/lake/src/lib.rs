@@ -14,12 +14,16 @@
 //!   string, trims surrounding whitespace, and upper-cases it so the same
 //!   token compares equal across tables) and a compact [`value::ValueInterner`]
 //!   mapping each distinct normalized value to a dense [`value::ValueId`].
-//! * [`column`] / [`table`] — column-oriented table storage with per-column
+//! * [`mod@column`] / [`mod@table`] — column-oriented table storage with per-column
 //!   distinct-value sets and lightweight type sniffing.
 //! * [`catalog`] — the [`catalog::LakeCatalog`]: the whole lake, with a global
 //!   attribute index ([`catalog::AttrId`]) and iteration over
 //!   (attribute, distinct values) pairs, which is exactly the shape the
 //!   bipartite DomainNet graph is built from.
+//! * [`delta`] — the mutation layer: [`delta::LakeDelta`] records
+//!   table-level changes and [`delta::MutableLake`] applies them in place
+//!   with stable value/attribute ids, reporting exact incidence-level
+//!   [`delta::DeltaEffects`] for incremental downstream maintenance.
 //! * [`csv`] — a from-scratch RFC-4180 CSV reader/writer (no external crate),
 //!   used by [`loader`] to ingest a directory of `.csv` files as a lake.
 //! * [`stats`] — per-lake statistics matching Table 1 of the paper.
@@ -51,6 +55,7 @@
 pub mod catalog;
 pub mod column;
 pub mod csv;
+pub mod delta;
 pub mod error;
 pub mod fixtures;
 pub mod loader;
@@ -60,6 +65,7 @@ pub mod value;
 
 pub use catalog::{AttrId, LakeCatalog};
 pub use column::Column;
+pub use delta::{DeltaEffects, LakeDelta, LakeOp, LakeView, MutableLake};
 pub use error::LakeError;
 pub use table::{Table, TableBuilder};
 pub use value::{normalize, ValueId, ValueInterner};

@@ -34,10 +34,12 @@ pub mod prelude {
     pub use lake;
 
     pub use d4::D4Config;
+    pub use datagen::mutate::{MutationConfig, MutationStream};
     pub use datagen::sb::SbGenerator;
     pub use datagen::tus::{TusConfig, TusGenerator};
     pub use dn_graph::bipartite::BipartiteGraph;
     pub use domainnet::pipeline::{DomainNet, DomainNetBuilder};
     pub use domainnet::Measure;
     pub use lake::catalog::LakeCatalog;
+    pub use lake::delta::{LakeDelta, LakeView, MutableLake};
 }
