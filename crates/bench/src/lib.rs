@@ -18,6 +18,7 @@
 //! | `exp_fig9_scalability` | Figure 9 + §5.4 — approx-BC runtime vs graph size |
 //! | `exp_fig10_d4_impact` | Figure 10 — D4 domain count vs injected homographs |
 //! | `exp_incremental` | beyond the paper — incremental vs full-rebuild maintenance latency |
+//! | `exp_serving` | beyond the paper — concurrent snapshot-serving throughput (N readers vs 1 writer) |
 //!
 //! All binaries accept `--scale <f64>` (default 1.0) to shrink or grow the
 //! generated workloads, and `--seed <u64>` to change the data seed. See

@@ -408,6 +408,32 @@ impl DomainNet {
         ranked.iter().take(k).cloned().collect()
     }
 
+    /// The number of deltas folded into this net since it was built (0 for
+    /// a fresh build). Snapshot consumers use this to tag extracted state.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The lake [`AttrId`] behind a graph attribute *index* (the inverse of
+    /// the mapping the builder and the delta path maintain). Snapshot
+    /// consumers use this to recover structured `table`/`column` references
+    /// from the lake instead of re-parsing the flattened display label.
+    pub fn attr_id_of_index(&self, attr_index: u32) -> Option<AttrId> {
+        self.attr_id_of_index.get(attr_index as usize).copied()
+    }
+
+    /// Force the memoized ranking of every listed measure to exist.
+    ///
+    /// The serving layer calls this on the writer thread right after a
+    /// delta is applied, so that snapshot extraction — and every reader
+    /// query after it — only ever *clones `Arc`s* out of the memo instead
+    /// of paying a scoring pass at query time.
+    pub fn warm_rankings(&self, measures: &[Measure]) {
+        for &measure in measures {
+            let _ = self.rank_shared(measure);
+        }
+    }
+
     /// Look up the score of a specific (normalized) value in a ranking.
     pub fn score_of<'a>(ranked: &'a [ScoredValue], value: &str) -> Option<&'a ScoredValue> {
         ranked.iter().find(|s| s.value == value)
@@ -980,6 +1006,29 @@ mod tests {
             "mutation must invalidate the memoized ranking"
         );
         assert_ne!(before.len(), after.len());
+    }
+
+    #[test]
+    fn generation_counts_applied_deltas_and_warming_fills_the_memo() {
+        let mut lake = mutable_running_example();
+        let mut net = DomainNetBuilder::new().build(&lake);
+        assert_eq!(net.generation(), 0);
+
+        let measures = [Measure::lcc(), Measure::exact_bc()];
+        net.warm_rankings(&measures);
+        for m in measures {
+            let warm = net.rank_shared(m);
+            assert!(
+                Arc::ptr_eq(&warm, &net.rank_shared(m)),
+                "warm_rankings must have populated the memo"
+            );
+        }
+
+        let effects = lake.apply(&LakeDelta::new().remove_table("T3")).unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        assert_eq!(net.generation(), 1);
+        net.refresh(&lake);
+        assert_eq!(net.generation(), 0, "refresh resets the delta counter");
     }
 
     #[test]

@@ -74,6 +74,7 @@ pub mod delta;
 pub mod lcc;
 pub mod projection;
 pub mod subgraph;
+pub mod view;
 
 pub use approx_bc::{
     approximate_betweenness, approximate_betweenness_within, ApproxBcConfig, SamplingStrategy,
@@ -83,3 +84,4 @@ pub use bipartite::{BipartiteBuilder, BipartiteGraph, NodeKind};
 pub use community::{label_propagation, Communities, LabelPropagationConfig};
 pub use delta::{nodes_in_components, AppliedDelta, GraphDelta};
 pub use lcc::{lcc_with_cardinality_for_values, local_clustering_coefficients, LccMethod};
+pub use view::GraphView;

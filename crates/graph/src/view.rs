@@ -1,0 +1,145 @@
+//! Read-only neighborhood views over the bipartite graph.
+//!
+//! The serving layer (`dn-service`) answers "explain" queries — which
+//! attributes contain a value, which values co-occur with it — against an
+//! immutable snapshot of the graph. Those queries need label-aware traversal
+//! but none of the node-id arithmetic the centrality kernels use (attribute
+//! nodes live at `value_count..`, attribute *labels* are indexed by attribute
+//! index, not node id). [`GraphView`] packages that traversal behind a cheap
+//! borrowed handle so consumers never touch the offset math, and so the
+//! borrow checker documents that queries cannot outlive (or mutate) the
+//! graph they read.
+
+use crate::bipartite::BipartiteGraph;
+
+/// A borrowed, read-only query surface over a [`BipartiteGraph`].
+///
+/// Construction is free (it is a reference wrapper); every method returns
+/// borrows into the underlying graph wherever possible.
+///
+/// ```
+/// use dn_graph::bipartite::BipartiteBuilder;
+///
+/// let mut b = BipartiteBuilder::new();
+/// let v = b.add_value("JAGUAR");
+/// let a = b.add_attribute("cars.make");
+/// b.add_edge(v, a);
+/// let graph = b.build();
+///
+/// let view = graph.view();
+/// let attrs: Vec<&str> = view.attribute_labels_of_value(v).collect();
+/// assert_eq!(attrs, ["cars.make"]);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct GraphView<'g> {
+    graph: &'g BipartiteGraph,
+}
+
+impl BipartiteGraph {
+    /// Borrow a read-only [`GraphView`] of this graph.
+    pub fn view(&self) -> GraphView<'_> {
+        GraphView { graph: self }
+    }
+}
+
+impl<'g> GraphView<'g> {
+    /// The underlying graph.
+    pub fn graph(&self) -> &'g BipartiteGraph {
+        self.graph
+    }
+
+    /// The attribute *nodes* incident to a value node.
+    pub fn attribute_nodes_of_value(&self, value: u32) -> &'g [u32] {
+        debug_assert!(self.graph.is_value_node(value), "not a value node");
+        self.graph.neighbors(value)
+    }
+
+    /// The qualified labels (`table.column`) of the attributes a value
+    /// occurs in, in node order.
+    pub fn attribute_labels_of_value(&self, value: u32) -> impl Iterator<Item = &'g str> + '_ {
+        self.attribute_nodes_of_value(value)
+            .iter()
+            .filter_map(|&a| self.attribute_label_of_node(a))
+    }
+
+    /// The label of an attribute, addressed by *node id* (not attribute
+    /// index). Returns `None` for value nodes.
+    pub fn attribute_label_of_node(&self, node: u32) -> Option<&'g str> {
+        self.graph
+            .attribute_index(node)
+            .map(|idx| self.graph.attribute_label(idx))
+    }
+
+    /// The value nodes contained in an attribute, addressed by node id.
+    /// Returns `None` for value nodes.
+    pub fn values_of_attribute_node(&self, node: u32) -> Option<&'g [u32]> {
+        if self.graph.is_value_node(node) {
+            return None;
+        }
+        Some(self.graph.neighbors(node))
+    }
+
+    /// The distinct value nodes co-occurring with `value` in at least one
+    /// attribute (the value's 2-hop value neighborhood, excluding itself),
+    /// sorted ascending.
+    pub fn co_values(&self, value: u32) -> Vec<u32> {
+        self.graph.value_neighbors(value)
+    }
+
+    /// Value nodes with at least one incident edge (tombstoned slots left
+    /// behind by incremental maintenance are skipped).
+    pub fn live_value_nodes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.graph
+            .value_nodes()
+            .filter(|&v| self.graph.degree(v) > 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::bipartite::BipartiteBuilder;
+
+    fn small() -> crate::bipartite::BipartiteGraph {
+        let mut b = BipartiteBuilder::new();
+        let jaguar = b.add_value("JAGUAR");
+        let panda = b.add_value("PANDA");
+        let _isolated = b.add_value("GHOST");
+        let zoo = b.add_attribute("zoo.animal");
+        let cars = b.add_attribute("cars.make");
+        b.add_edge(jaguar, zoo);
+        b.add_edge(panda, zoo);
+        b.add_edge(jaguar, cars);
+        b.build()
+    }
+
+    #[test]
+    fn labels_and_neighbors_round_trip() {
+        let g = small();
+        let view = g.view();
+        let labels: Vec<&str> = view.attribute_labels_of_value(0).collect();
+        assert_eq!(labels, ["zoo.animal", "cars.make"]);
+        let zoo_node = g.attribute_node(0);
+        assert_eq!(view.attribute_label_of_node(zoo_node), Some("zoo.animal"));
+        assert_eq!(
+            view.values_of_attribute_node(zoo_node),
+            Some(&[0u32, 1][..])
+        );
+    }
+
+    #[test]
+    fn value_nodes_are_not_attributes() {
+        let g = small();
+        let view = g.view();
+        assert_eq!(view.attribute_label_of_node(0), None);
+        assert_eq!(view.values_of_attribute_node(1), None);
+    }
+
+    #[test]
+    fn co_values_and_liveness() {
+        let g = small();
+        let view = g.view();
+        assert_eq!(view.co_values(0), vec![1]);
+        let live: Vec<u32> = view.live_value_nodes().collect();
+        assert_eq!(live, vec![0, 1], "the isolated value is not live");
+    }
+}

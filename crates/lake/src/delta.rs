@@ -202,6 +202,16 @@ impl LakeDelta {
         self.ops.push(op);
     }
 
+    /// Concatenate another delta's ops onto this one — a convenience for
+    /// callers composing one delta from several recorded pieces before
+    /// applying it. (The serving layer's writer batches differently: it
+    /// keeps staged deltas separate and hands them to
+    /// [`MutableLake::apply_batch`] in one call.)
+    pub fn merge(mut self, other: LakeDelta) -> Self {
+        self.ops.extend(other.ops);
+        self
+    }
+
     /// The recorded ops in application order.
     pub fn ops(&self) -> &[LakeOp] {
         &self.ops
@@ -375,22 +385,44 @@ impl MutableLake {
     /// * [`LakeError::NotFound`] when removing or mutating a missing table
     ///   or column.
     pub fn apply(&mut self, delta: &LakeDelta) -> Result<DeltaEffects> {
+        self.apply_batch(std::iter::once(delta))
+    }
+
+    /// Apply several deltas as one batch, returning a single merged,
+    /// normalized [`DeltaEffects`] record.
+    ///
+    /// This is the batching hook the serving layer's writer uses: effects
+    /// are merged *before* normalization, so an incidence removed by one
+    /// delta and re-added by a later one in the same batch cancels out and
+    /// the downstream graph patch never sees it. Failure semantics match
+    /// [`MutableLake::apply`]: the first failing op stops the batch, ops
+    /// before it remain applied, and their effects are discarded with the
+    /// error.
+    pub fn apply_batch<'a, I>(&mut self, deltas: I) -> Result<DeltaEffects>
+    where
+        I: IntoIterator<Item = &'a LakeDelta>,
+    {
         let mut effects = DeltaEffects::default();
-        for op in delta.ops() {
-            let e = match op {
-                LakeOp::AddTable(table) => self.apply_add_table(table.clone())?,
-                LakeOp::RemoveTable(name) => self.apply_remove_table(name)?,
-                LakeOp::ReplaceValue {
-                    table,
-                    column,
-                    target,
-                    replacement,
-                } => self.apply_replace_value(table, column, target, replacement)?,
-            };
-            effects.merge(e);
+        for delta in deltas {
+            for op in delta.ops() {
+                effects.merge(self.apply_op(op)?);
+            }
         }
         effects.normalize();
         Ok(effects)
+    }
+
+    fn apply_op(&mut self, op: &LakeOp) -> Result<DeltaEffects> {
+        match op {
+            LakeOp::AddTable(table) => self.apply_add_table(table.clone()),
+            LakeOp::RemoveTable(name) => self.apply_remove_table(name),
+            LakeOp::ReplaceValue {
+                table,
+                column,
+                target,
+                replacement,
+            } => self.apply_replace_value(table, column, target, replacement),
+        }
     }
 
     fn apply_add_table(&mut self, table: Table) -> Result<DeltaEffects> {
@@ -801,6 +833,88 @@ mod tests {
         assert_eq!(e.added_attrs, vec![AttrId(1)]);
         assert_eq!(e.removed_incidences.len(), 3);
         assert_eq!(e.added_incidences.len(), 3);
+    }
+
+    #[test]
+    fn merge_concatenates_ops_in_order() {
+        let merged = LakeDelta::new()
+            .add_table(zoo())
+            .merge(LakeDelta::new().add_table(cars()).remove_table("zoo"));
+        assert_eq!(merged.len(), 3);
+        assert!(matches!(merged.ops()[0], LakeOp::AddTable(_)));
+        assert!(matches!(merged.ops()[2], LakeOp::RemoveTable(_)));
+        let mut lake = MutableLake::new();
+        lake.apply(&merged).unwrap();
+        assert_eq!(lake.live_table_count(), 1);
+    }
+
+    #[test]
+    fn apply_batch_matches_sequential_applies() {
+        let deltas = [
+            LakeDelta::new().add_table(zoo()),
+            LakeDelta::new().add_table(cars()),
+            LakeDelta::new().replace_value("cars", "brand", "Fiat", "Rover"),
+        ];
+        let mut batched = MutableLake::new();
+        let effects = batched.apply_batch(deltas.iter()).unwrap();
+        let mut sequential = MutableLake::new();
+        for delta in &deltas {
+            sequential.apply(delta).unwrap();
+        }
+        // Same live state...
+        assert_eq!(batched.live_table_names(), sequential.live_table_names());
+        assert_eq!(
+            LakeView::incidence_count(&batched),
+            LakeView::incidence_count(&sequential)
+        );
+        // ...and the merged effects cover everything the batch did.
+        assert_eq!(effects.added_attrs.len(), 2);
+        assert_eq!(effects.cells_rewritten, 1);
+        assert!(effects
+            .added_values
+            .iter()
+            .any(|&v| { LakeView::value(&batched, v) == Some("ROVER") }));
+    }
+
+    #[test]
+    fn apply_batch_cancels_incidences_across_deltas() {
+        let mut lake = MutableLake::new();
+        lake.apply(&LakeDelta::new().add_table(zoo())).unwrap();
+        // One batch rewrites Jaguar away and back: the incidence-level
+        // effects must cancel so downstream consumers see a no-op.
+        let effects = lake
+            .apply_batch(
+                [
+                    LakeDelta::new().replace_value("zoo", "animal", "Jaguar", "Okapi"),
+                    LakeDelta::new().replace_value("zoo", "animal", "Okapi", "Jaguar"),
+                ]
+                .iter(),
+            )
+            .unwrap();
+        let jaguar = lake.value_id("JAGUAR").unwrap();
+        assert!(effects.added_incidences.is_empty());
+        assert!(effects.removed_incidences.is_empty());
+        assert_eq!(effects.cells_rewritten, 2);
+        assert_eq!(lake.value_attributes(jaguar), &[AttrId(0)]);
+    }
+
+    #[test]
+    fn apply_batch_stops_at_the_first_failing_op() {
+        let mut lake = MutableLake::new();
+        let err = lake
+            .apply_batch(
+                [
+                    LakeDelta::new().add_table(zoo()),
+                    LakeDelta::new().remove_table("ghost"),
+                    LakeDelta::new().add_table(cars()),
+                ]
+                .iter(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, LakeError::NotFound(_)));
+        // The first delta stuck, the third never ran.
+        assert!(lake.table("zoo").is_some());
+        assert!(lake.table("cars").is_none());
     }
 
     #[test]

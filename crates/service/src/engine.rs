@@ -1,0 +1,493 @@
+//! The single-writer / many-reader serving engine.
+//!
+//! ## Epoch lifecycle
+//!
+//! ```text
+//!   Writer thread                       Reader threads (N)
+//!   ─────────────                       ──────────────────
+//!   stage(Δ1) stage(Δ2) ...             reader.pin()  ──┐ clones Arc<Snapshot>
+//!   commit():                                           │ (read-lock, ns-scale)
+//!     lake.apply_batch([Δ1, Δ2, ...])                   ▼
+//!     net.apply_delta(effects)          queries run lock-free against the
+//!     net.warm_rankings(measures)       pinned snapshot until the next pin
+//!   publish():
+//!     Snapshot::extract  ──►  swap current, bump epoch, invalidate cache
+//! ```
+//!
+//! Readers never block the writer and the writer never blocks readers: the
+//! only shared mutable state is the `RwLock` around the *pointer* to the
+//! current snapshot (held for a clone) and the `Mutex` around the top-k
+//! cache (held for a hash lookup). A reader pinned to epoch `e` keeps
+//! answering from `e` — with full internal consistency — until it re-pins,
+//! which is the database-style snapshot-isolation contract.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use domainnet::{DeltaStats, DomainNet, DomainNetBuilder, Measure, ScoredValue};
+use lake::delta::{LakeDelta, MutableLake};
+use lake::LakeError;
+
+use crate::cache::{CacheKey, CacheStats, TopKCache};
+use crate::snapshot::{ScoreCard, Snapshot, TableSummary, ValueExplanation};
+
+/// Configuration for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// The measures the service answers queries for. Every publish warms
+    /// and snapshots each of them.
+    pub measures: Vec<Measure>,
+    /// Top-k cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Whether single-attribute values are pruned from the graph (the
+    /// paper's default; see `DomainNetConfig`).
+    pub prune_single_attribute_values: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            measures: vec![Measure::lcc(), Measure::exact_bc()],
+            cache_capacity: 64,
+            prune_single_attribute_values: true,
+        }
+    }
+}
+
+/// Errors surfaced by the writer path.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A delta failed to apply to the lake (e.g. a duplicate table name).
+    Lake(LakeError),
+    /// Incremental maintenance rejected the applied effects.
+    Maintenance(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Lake(e) => write!(f, "lake mutation failed: {e}"),
+            ServiceError::Maintenance(msg) => write!(f, "incremental maintenance failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<LakeError> for ServiceError {
+    fn from(e: LakeError) -> Self {
+        ServiceError::Lake(e)
+    }
+}
+
+struct Shared {
+    current: RwLock<Arc<Snapshot>>,
+    cache: Mutex<TopKCache>,
+    epochs_published: AtomicU64,
+}
+
+impl Shared {
+    fn current(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("snapshot pointer lock"))
+    }
+}
+
+/// Start serving a lake: build the net, warm the configured measures, and
+/// publish epoch 0. Returns the cloneable read handle and the unique
+/// [`Writer`] (single-writer discipline is enforced by ownership — there is
+/// exactly one `Writer` and it is not `Clone`).
+pub fn serve(lake: MutableLake, config: ServiceConfig) -> (ServiceHandle, Writer) {
+    let net = DomainNetBuilder::new()
+        .prune_single_attribute_values(config.prune_single_attribute_values)
+        .build(&lake);
+    net.warm_rankings(&config.measures);
+    let snapshot = Arc::new(Snapshot::extract(&net, &lake, &config.measures, 0));
+    let shared = Arc::new(Shared {
+        current: RwLock::new(snapshot),
+        cache: Mutex::new(TopKCache::new(config.cache_capacity)),
+        epochs_published: AtomicU64::new(1),
+    });
+    let handle = ServiceHandle {
+        shared: Arc::clone(&shared),
+    };
+    let writer = Writer {
+        shared,
+        lake,
+        net,
+        measures: config.measures,
+        staged: Vec::new(),
+        epoch: 0,
+    };
+    (handle, writer)
+}
+
+/// Cloneable read-side handle: mints [`Reader`]s and reports service stats.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    shared: Arc<Shared>,
+}
+
+impl ServiceHandle {
+    /// A new reader, pinned to the current snapshot.
+    pub fn reader(&self) -> Reader {
+        Reader {
+            pinned: self.shared.current(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The current snapshot (for one-off queries; readers that issue many
+    /// queries should hold a [`Reader`] and pin explicitly).
+    pub fn current(&self) -> Arc<Snapshot> {
+        self.shared.current()
+    }
+
+    /// The epoch of the current snapshot.
+    pub fn epoch(&self) -> u64 {
+        self.shared.current().epoch()
+    }
+
+    /// Number of snapshots published so far (epoch 0 included).
+    pub fn epochs_published(&self) -> u64 {
+        self.shared.epochs_published.load(Ordering::Relaxed)
+    }
+
+    /// Counters of the shared top-k cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.lock().expect("cache lock").stats()
+    }
+}
+
+/// A reader pinned to one epoch. Queries are answered entirely from the
+/// pinned snapshot; call [`Reader::pin`] to move to the latest epoch.
+pub struct Reader {
+    shared: Arc<Shared>,
+    pinned: Arc<Snapshot>,
+}
+
+impl Reader {
+    /// Re-pin to the current snapshot, returning its epoch. The pinned
+    /// epoch never moves backwards.
+    pub fn pin(&mut self) -> u64 {
+        self.pinned = self.shared.current();
+        self.pinned.epoch()
+    }
+
+    /// The pinned snapshot.
+    pub fn snapshot(&self) -> &Arc<Snapshot> {
+        &self.pinned
+    }
+
+    /// The pinned epoch.
+    pub fn epoch(&self) -> u64 {
+        self.pinned.epoch()
+    }
+
+    /// The top-`k` most homograph-like values under a measure, served from
+    /// the shared LRU cache when a reader of the same epoch asked before.
+    pub fn top_k(&self, measure: Measure, k: usize) -> Option<Arc<Vec<ScoredValue>>> {
+        let key = CacheKey {
+            epoch: self.pinned.epoch(),
+            measure,
+            k,
+        };
+        if let Some(hit) = self.shared.cache.lock().expect("cache lock").get(&key) {
+            return Some(hit);
+        }
+        let fresh = Arc::new(self.pinned.top_k(measure, k)?);
+        self.shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&fresh));
+        Some(fresh)
+    }
+
+    /// Score/rank/percentile lookup for one value. See
+    /// [`Snapshot::score_card`].
+    pub fn score_card(&self, measure: Measure, value: &str) -> Option<ScoreCard> {
+        self.pinned.score_card(measure, value)
+    }
+
+    /// Attribute-neighborhood explanation for one value. See
+    /// [`Snapshot::explain`].
+    pub fn explain(&self, value: &str) -> Option<ValueExplanation> {
+        self.pinned.explain(value)
+    }
+
+    /// Per-table summary. See [`Snapshot::table_summary`].
+    pub fn table_summary(&self, table: &str, measure: Measure, k: usize) -> Option<TableSummary> {
+        self.pinned.table_summary(table, measure, k)
+    }
+}
+
+/// The unique writer: stages delta batches, folds them into the net via the
+/// incremental path, and publishes epochs.
+pub struct Writer {
+    shared: Arc<Shared>,
+    lake: MutableLake,
+    net: DomainNet,
+    measures: Vec<Measure>,
+    staged: Vec<LakeDelta>,
+    epoch: u64,
+}
+
+impl Writer {
+    /// Stage a delta for the next [`Writer::commit`].
+    pub fn stage(&mut self, delta: LakeDelta) {
+        self.staged.push(delta);
+    }
+
+    /// Number of staged, uncommitted deltas.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Apply every staged delta as one batch through the incremental path
+    /// and warm the served measures. Does **not** publish — readers keep
+    /// seeing the previous epoch until [`Writer::publish`].
+    ///
+    /// # Errors
+    /// On a lake-level failure the batch stops at the failing op (earlier
+    /// ops remain applied, see [`MutableLake::apply_batch`]); the net is
+    /// then rebuilt from the lake's live state so writer-side state stays
+    /// coherent, and the error is returned. The staged queue is cleared
+    /// either way.
+    pub fn commit(&mut self) -> Result<DeltaStats, ServiceError> {
+        let staged = std::mem::take(&mut self.staged);
+        if staged.is_empty() {
+            return Ok(DeltaStats::default());
+        }
+        let effects = match self.lake.apply_batch(staged.iter()) {
+            Ok(effects) => effects,
+            Err(e) => {
+                self.resync();
+                return Err(e.into());
+            }
+        };
+        let stats = match self.net.apply_delta(&self.lake, &effects) {
+            Ok(stats) => stats,
+            Err(msg) => {
+                self.resync();
+                return Err(ServiceError::Maintenance(msg));
+            }
+        };
+        self.net.warm_rankings(&self.measures);
+        Ok(stats)
+    }
+
+    /// Extract a snapshot of the net's current state and swap it in as the
+    /// new epoch, invalidating the top-k cache. Returns the new epoch.
+    pub fn publish(&mut self) -> u64 {
+        self.epoch += 1;
+        let snapshot = Arc::new(Snapshot::extract(
+            &self.net,
+            &self.lake,
+            &self.measures,
+            self.epoch,
+        ));
+        *self.shared.current.write().expect("snapshot pointer lock") = snapshot;
+        self.shared.cache.lock().expect("cache lock").invalidate();
+        self.shared.epochs_published.fetch_add(1, Ordering::Relaxed);
+        self.epoch
+    }
+
+    /// Convenience: stage one delta, commit, and publish.
+    pub fn apply_and_publish(
+        &mut self,
+        delta: LakeDelta,
+    ) -> Result<(DeltaStats, u64), ServiceError> {
+        self.stage(delta);
+        let stats = self.commit()?;
+        Ok((stats, self.publish()))
+    }
+
+    /// Rebuild the net from the lake's live state (the escape hatch after a
+    /// failed batch) and re-warm the served measures.
+    fn resync(&mut self) {
+        self.net.refresh(&self.lake);
+        self.net.warm_rankings(&self.measures);
+    }
+
+    /// The maintained lake (the writer's live state, possibly ahead of the
+    /// published epoch).
+    pub fn lake(&self) -> &MutableLake {
+        &self.lake
+    }
+
+    /// The maintained net.
+    pub fn net(&self) -> &DomainNet {
+        &self.net
+    }
+
+    /// The last published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A read handle onto the service this writer publishes to.
+    pub fn service(&self) -> ServiceHandle {
+        ServiceHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domainnet::DomainNetBuilder;
+    use lake::table::TableBuilder;
+
+    fn running_lake() -> MutableLake {
+        MutableLake::from_catalog(&lake::fixtures::running_example())
+    }
+
+    fn config() -> ServiceConfig {
+        ServiceConfig {
+            measures: vec![Measure::lcc(), Measure::exact_bc()],
+            cache_capacity: 8,
+            prune_single_attribute_values: false,
+        }
+    }
+
+    fn zebra_table() -> LakeDelta {
+        LakeDelta::new().add_table(
+            TableBuilder::new("T9")
+                .column("animal", ["Jaguar", "Zebra", "Okapi"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn epoch_zero_serves_the_initial_lake() {
+        let (service, writer) = serve(running_lake(), config());
+        assert_eq!(service.epoch(), 0);
+        assert_eq!(writer.epoch(), 0);
+        let reader = service.reader();
+        let top = reader.top_k(Measure::exact_bc(), 1).unwrap();
+        assert_eq!(top[0].value, "JAGUAR");
+        reader.snapshot().verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn pinned_readers_keep_their_epoch_until_they_re_pin() {
+        let (service, mut writer) = serve(running_lake(), config());
+        let mut reader = service.reader();
+        let before = reader.snapshot().stats();
+
+        writer.apply_and_publish(zebra_table()).unwrap();
+
+        // Unpinned: still epoch 0, same counts, fully consistent.
+        assert_eq!(reader.epoch(), 0);
+        assert_eq!(reader.snapshot().stats(), before);
+        reader.snapshot().verify_consistency().unwrap();
+
+        // Re-pin: epoch 1 with the new table visible.
+        assert_eq!(reader.pin(), 1);
+        let after = reader.snapshot().stats();
+        assert!(after.live_candidates > before.live_candidates);
+        assert!(reader.snapshot().explain("Zebra").is_some());
+        reader.snapshot().verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn commit_without_publish_is_invisible_to_readers() {
+        let (service, mut writer) = serve(running_lake(), config());
+        writer.stage(zebra_table());
+        let stats = writer.commit().unwrap();
+        assert!(stats.edges_added > 0);
+        assert_eq!(service.epoch(), 0, "not yet published");
+        assert!(service.current().explain("Zebra").is_none());
+        writer.publish();
+        assert_eq!(service.epoch(), 1);
+        assert!(service.current().explain("Zebra").is_some());
+    }
+
+    #[test]
+    fn batched_commit_matches_a_fresh_build() {
+        let (_service, mut writer) = serve(running_lake(), config());
+        writer.stage(zebra_table());
+        writer.stage(LakeDelta::new().remove_table("T3"));
+        writer.stage(LakeDelta::new().replace_value("T4", "Name", "Puma", "Lynx"));
+        writer.commit().unwrap();
+        writer.publish();
+
+        let fresh = DomainNetBuilder::new()
+            .prune_single_attribute_values(false)
+            .build(writer.lake());
+        let snap = writer.service().current();
+        for measure in [Measure::lcc(), Measure::exact_bc()] {
+            let a = snap.ranking(measure).unwrap();
+            let b = fresh.rank_shared(measure);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.value, y.value, "{measure:?}");
+                assert!((x.score - y.score).abs() < 1e-9, "{measure:?} {}", x.value);
+            }
+        }
+    }
+
+    #[test]
+    fn top_k_cache_is_shared_and_invalidated_on_publish() {
+        let (service, mut writer) = serve(running_lake(), config());
+        let reader_a = service.reader();
+        let reader_b = service.reader();
+        let first = reader_a.top_k(Measure::exact_bc(), 3).unwrap();
+        let second = reader_b.top_k(Measure::exact_bc(), 3).unwrap();
+        assert!(
+            Arc::ptr_eq(&first, &second),
+            "same epoch + same k must share one cached prefix"
+        );
+        let stats = service.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+
+        writer.apply_and_publish(zebra_table()).unwrap();
+        assert_eq!(service.cache_stats().entries, 0, "publish invalidates");
+        // A still-pinned reader recomputes under its old epoch key.
+        let again = reader_a.top_k(Measure::exact_bc(), 3).unwrap();
+        assert_eq!(again.len(), 3);
+        assert_eq!(
+            again.iter().map(|s| &s.value).collect::<Vec<_>>(),
+            first.iter().map(|s| &s.value).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn failed_batches_resync_the_writer() {
+        let (service, mut writer) = serve(running_lake(), config());
+        writer.stage(zebra_table());
+        writer.stage(LakeDelta::new().remove_table("no-such-table"));
+        let err = writer.commit().unwrap_err();
+        assert!(matches!(err, ServiceError::Lake(LakeError::NotFound(_))));
+        assert_eq!(writer.staged_len(), 0, "failed batch is dropped");
+
+        // The first op stuck (documented batch semantics); the writer
+        // resynced its net, so continuing to mutate and publish works and
+        // matches a fresh build of the final lake.
+        writer
+            .apply_and_publish(LakeDelta::new().remove_table("T1"))
+            .unwrap();
+        let snap = service.current();
+        snap.verify_consistency().unwrap();
+        assert!(snap.explain("Zebra").is_some(), "partial batch is visible");
+        let fresh = DomainNetBuilder::new()
+            .prune_single_attribute_values(false)
+            .build(writer.lake());
+        let a = snap.ranking(Measure::lcc()).unwrap();
+        let b = fresh.rank_shared(Measure::lcc());
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x.score - y.score).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_commit_is_a_cheap_no_op() {
+        let (_service, mut writer) = serve(running_lake(), config());
+        let stats = writer.commit().unwrap();
+        assert_eq!(stats, DeltaStats::default());
+        assert_eq!(writer.epoch(), 0, "no publish happened");
+    }
+}

@@ -1,0 +1,58 @@
+//! # `dn-service` — a concurrent snapshot-serving engine for DomainNet
+//!
+//! The paper's pipeline scores homographs offline; the incremental
+//! subsystem (`lake::delta` + `DomainNet::apply_delta`) made the lake
+//! mutable. This crate adds the missing third piece for a production
+//! deployment: *serving* those scores under concurrent load while the lake
+//! keeps mutating.
+//!
+//! The design is a classic single-writer / many-reader epoch scheme:
+//!
+//! * one [`engine::Writer`] owns the [`lake::MutableLake`] and the
+//!   [`domainnet::DomainNet`], applies **batched** [`lake::LakeDelta`]s
+//!   through the incremental maintenance path, and publishes immutable
+//!   [`snapshot::Snapshot`]s behind `Arc`s;
+//! * any number of [`engine::Reader`]s pin the current snapshot and answer
+//!   queries against it with no further synchronization — top-k rankings,
+//!   per-value score/rank/percentile cards, attribute-neighborhood
+//!   explanations, and per-table summaries;
+//! * a small shared LRU cache ([`cache::CacheStats`]) short-circuits
+//!   repeated top-k queries within an epoch and is invalidated on publish.
+//!
+//! ## Example
+//!
+//! ```
+//! use dn_service::{serve, ServiceConfig};
+//! use domainnet::Measure;
+//! use lake::delta::{LakeDelta, MutableLake};
+//! use lake::table::TableBuilder;
+//!
+//! let lake = MutableLake::from_catalog(&lake::fixtures::running_example());
+//! let (service, mut writer) = serve(lake, ServiceConfig::default());
+//!
+//! // Readers answer from the published epoch...
+//! let mut reader = service.reader();
+//! let top = reader.top_k(Measure::exact_bc(), 1).unwrap();
+//! assert_eq!(top[0].value, "JAGUAR");
+//!
+//! // ...while the writer batches mutations and publishes new epochs.
+//! writer.stage(LakeDelta::new().add_table(
+//!     TableBuilder::new("T9").column("animal", ["Jaguar", "Okapi"]).build().unwrap(),
+//! ));
+//! writer.commit().unwrap();
+//! writer.publish();
+//! assert_eq!(reader.pin(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod engine;
+pub mod snapshot;
+
+pub use cache::CacheStats;
+pub use engine::{serve, Reader, ServiceConfig, ServiceError, ServiceHandle, Writer};
+pub use snapshot::{
+    AttributeNeighborhood, ScoreCard, Snapshot, SnapshotStats, TableSummary, ValueExplanation,
+};
