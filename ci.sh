@@ -3,13 +3,14 @@
 #
 # Runs, in order: rustfmt check, clippy with warnings denied, rustdoc with
 # warnings denied (so documentation rot fails the gate), the doc-test suite,
-# a release build, the test suite, and then two explicitly labeled
-# serving-layer gates: the golden-ranking regression corpus and the
-# concurrency stress test. The main `cargo test -q` pass skips those two
-# suites (they run once, in their own labeled steps, so a ranking drift or
-# a consistency violation fails CI with an unambiguous gate name instead of
-# being buried in the full run); the union of the three test steps is
-# exactly the coverage of the repo's tier-1 command
+# a release build, the test suite, and then explicitly labeled gates: the
+# golden-ranking regression corpus, the concurrency stress test, the
+# dn-store corruption-hardening suite, the crash-recovery suite, and a
+# tempdir-hygiene check. The main `cargo test -q` pass skips the gated
+# suites (they run once, in their own labeled steps, so a ranking drift, a
+# consistency violation, or a recovery regression fails CI with an
+# unambiguous gate name instead of being buried in the full run); the union
+# of the test steps is at least the coverage of the repo's tier-1 command
 # (`cargo build --release && cargo test -q`).
 #
 # The stress gate passes `--test-threads` matched to the machine's cores.
@@ -52,20 +53,47 @@ cargo test --doc -q
 echo "==> cargo build --release"
 cargo build --release
 
-# Skip the two serving-layer suites here; they run next as labeled gates.
-# (--skip is a substring filter applied inside every test binary, so use the
-# full test-function names to keep the collision surface minimal.)
-echo "==> cargo test -q (golden + stress deferred to labeled gates)"
+# Skip the suites that run next as labeled gates. (--skip is a substring
+# filter applied inside every test binary, so use the full test-function
+# names to keep the collision surface minimal.)
+echo "==> cargo test -q (golden + stress + store gates deferred)"
 cargo test -q -- \
     --skip golden_rankings_match_the_committed_corpus \
     --skip golden_corpus_files_are_well_formed \
-    --skip readers_always_observe_consistent_epochs
+    --skip readers_always_observe_consistent_epochs \
+    --skip kill_and_recover_matches_uninterrupted_run_on_golden_measures \
+    --skip random_checkpoint_recovery_equivalence \
+    --skip recovered_export_matches_golden_corpus_workflow
 
 echo "==> gate: golden-ranking regression corpus"
 cargo test -q --test golden_rankings
 
 echo "==> gate: serving concurrency stress (--test-threads ${CORES})"
 cargo test -q --test serving_stress -- --test-threads "${CORES}"
+
+# Durability gates (fast; kept inside --quick). The store's snapshot
+# round-trip + WAL unit tests run in the main pass above; these two suites
+# are the labeled corruption-hardening and crash-recovery regressions.
+# Clear residue a *previous* (possibly failed) run may have left so the
+# hygiene gate below judges only this run.
+rm -rf target/tmp/dn_store_* 2>/dev/null || true
+
+echo "==> gate: store corruption hardening (typed errors, no panics)"
+cargo test -q -p dn-store --test corruption
+
+echo "==> gate: store crash recovery (kill + recover == uninterrupted)"
+cargo test -q --test store_recovery
+
+# Store tests create their scratch dirs under target/tmp
+# (CARGO_TARGET_TMPDIR) and must remove them; leftovers mean a test leaked
+# state even though it passed.
+echo "==> gate: store tempdir hygiene"
+STRAY=$(find target/tmp -mindepth 1 -maxdepth 1 -name 'dn_store_*' 2>/dev/null || true)
+if [[ -n "${STRAY}" ]]; then
+    echo "stray store test directories left behind:" >&2
+    echo "${STRAY}" >&2
+    exit 1
+fi
 
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> criterion benches (offline shim, indicative timings)"

@@ -1,0 +1,256 @@
+//! Cold-start latency: CSV rebuild vs. snapshot load vs. snapshot + WAL
+//! replay.
+//!
+//! This experiment goes beyond the paper: DomainNet evaluates a resident
+//! pipeline, but a serving deployment restarts — deploys, crashes, host
+//! moves — and before `dn-store` every restart re-parsed the lake's CSVs
+//! and recomputed LCC/BC from scratch. We measure, on the SB and TUS
+//! workloads, the three ways a serving engine can come up:
+//!
+//! * **cold** — parse the CSV directory (`lake::loader::load_dir`), adopt
+//!   it as a `MutableLake`, build the bipartite graph, and run a cold
+//!   scoring + ranking pass for every served measure;
+//! * **snapshot** — `dn_store::Store::recover` over a directory holding
+//!   one checkpoint and an empty WAL: decode + validate the lake, the CSR
+//!   graph, and the net's memoized rankings; no scoring happens;
+//! * **snapshot + WAL** — the same, plus replaying a stream of mutation
+//!   batches logged after the checkpoint through the incremental path
+//!   (the worst realistic case: a crash shortly before the next
+//!   checkpoint).
+//!
+//! The headline number is the SB snapshot speedup, which the durability
+//! subsystem must win by ≥ 10×.
+
+use bench::{default_samples, print_header, print_row, timed, tus_config, write_report, ExpArgs};
+use datagen::mutate::{MutationConfig, MutationStream};
+use datagen::sb::{SbConfig, SbGenerator};
+use datagen::tus::TusGenerator;
+use dn_graph::approx_bc::{ApproxBcConfig, SamplingStrategy};
+use dn_store::Store;
+use domainnet::pipeline::DomainNetBuilder;
+use domainnet::Measure;
+use lake::catalog::LakeCatalog;
+use lake::delta::MutableLake;
+use lake::loader::{load_dir, save_dir, LoadOptions};
+use serde::Serialize;
+use std::path::PathBuf;
+
+#[derive(Debug, Serialize)]
+struct ColdStartPoint {
+    workload: String,
+    tables: usize,
+    values: usize,
+    edges: usize,
+    wal_batches: usize,
+    cold_ms: f64,
+    snapshot_ms: f64,
+    replay_ms: f64,
+    snapshot_bytes: u64,
+    wal_bytes: u64,
+    snapshot_speedup: f64,
+    replay_speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ColdStartReport {
+    seed: u64,
+    scale: f64,
+    points: Vec<ColdStartPoint>,
+    sb_snapshot_speedup: f64,
+    target_speedup: f64,
+    pass: bool,
+}
+
+/// Time `f`, re-running it (up to `max_runs` times) while individual runs
+/// stay under `rerun_below` seconds, and keep the fastest. On a shared or
+/// throttled box, scheduler noise only ever *inflates* small timings, so
+/// the minimum is the honest steady-state estimate; long phases run once
+/// (their relative noise is small and re-running them is wasteful).
+fn timed_min<T>(max_runs: usize, rerun_below: f64, mut f: impl FnMut() -> T) -> (T, f64) {
+    let (mut out, mut best) = timed(&mut f);
+    let mut runs = 1;
+    while runs < max_runs && best < rerun_below {
+        let (next, secs) = timed(&mut f);
+        if secs < best {
+            best = secs;
+            out = next;
+        }
+        runs += 1;
+    }
+    (out, best)
+}
+
+fn work_dir(workload: &str) -> PathBuf {
+    let dir = bench::output_dir().join("exp_cold_start").join(workload);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create experiment work dir");
+    dir
+}
+
+fn measures_for(node_count: usize, seed: u64) -> Vec<Measure> {
+    vec![
+        Measure::lcc(),
+        Measure::ApproxBc(ApproxBcConfig {
+            samples: default_samples(node_count),
+            strategy: SamplingStrategy::Uniform,
+            seed,
+            threads: 1,
+        }),
+    ]
+}
+
+fn run_workload(workload: &str, catalog: &LakeCatalog, args: ExpArgs) -> ColdStartPoint {
+    let dir = work_dir(workload);
+    let csv_dir = dir.join("csv");
+    save_dir(catalog, &csv_dir).expect("write workload CSVs");
+
+    // The reference engine whose state gets checkpointed.
+    let mut lake = MutableLake::from_catalog(catalog);
+    let mut net = DomainNetBuilder::new().build(&lake);
+    let measures = measures_for(net.graph().node_count(), args.seed);
+    net.warm_rankings(&measures);
+    let (tables, values, edges) = (
+        lake.live_table_count(),
+        lake.interner().len(),
+        net.edge_count(),
+    );
+
+    // Cold path: CSV parse + catalog adoption + graph build + cold scores.
+    let (_, cold_secs) = timed_min(3, 2.0, || {
+        let parsed = load_dir(&csv_dir, LoadOptions::default()).expect("reload CSVs");
+        let cold_lake = MutableLake::from_catalog(&parsed);
+        let cold_net = DomainNetBuilder::new().build(&cold_lake);
+        cold_net.warm_rankings(&measures);
+        cold_net.edge_count()
+    });
+
+    // Snapshot path: one checkpoint, empty WAL.
+    let store_dir = dir.join("store");
+    let mut store = Store::create(&store_dir).expect("create store");
+    let snapshot_bytes = store
+        .checkpoint(&lake, &net, 0, &measures)
+        .expect("write checkpoint");
+    drop(store);
+    let (recovered, snapshot_secs) =
+        timed_min(3, 2.0, || Store::recover(&store_dir).expect("recover"));
+    assert_eq!(recovered.1.replayed_batches, 0);
+    drop(recovered);
+
+    // Snapshot + WAL path: log mutation batches after the checkpoint,
+    // "crash", and recover through snapshot + incremental replay.
+    let wal_batches = args.scaled(5, 3);
+    let (mut store, _) = Store::recover(&store_dir).expect("reopen store");
+    let mut stream = MutationStream::new(MutationConfig {
+        seed: args.seed,
+        ..MutationConfig::default()
+    });
+    for _ in 0..wal_batches {
+        let delta = stream.next_delta(&lake);
+        let batch = vec![delta];
+        store.append_batch(0, &batch).expect("append batch");
+        let effects = lake.apply_batch(batch.iter()).expect("apply batch");
+        net.apply_delta(&lake, &effects).expect("incremental patch");
+        net.warm_rankings(&measures);
+    }
+    let wal_bytes = store.wal_record_bytes();
+    drop(store);
+    let (recovered, replay_secs) = timed_min(3, 2.0, || {
+        Store::recover(&store_dir).expect("recover + replay")
+    });
+    assert_eq!(recovered.1.replayed_batches, wal_batches);
+    // Recovery must land on the live engine's exact state.
+    assert_eq!(recovered.1.net.export_state(), net.export_state());
+    drop(recovered);
+
+    let cold_ms = cold_secs * 1e3;
+    let snapshot_ms = snapshot_secs * 1e3;
+    let replay_ms = replay_secs * 1e3;
+    ColdStartPoint {
+        workload: workload.to_owned(),
+        tables,
+        values,
+        edges,
+        wal_batches,
+        cold_ms,
+        snapshot_ms,
+        replay_ms,
+        snapshot_bytes,
+        wal_bytes,
+        snapshot_speedup: cold_ms / snapshot_ms.max(1e-9),
+        replay_speedup: cold_ms / replay_ms.max(1e-9),
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("== Cold start: CSV rebuild vs snapshot vs snapshot + WAL replay ==\n");
+
+    let sb = SbGenerator::with_config(SbConfig {
+        seed: args.seed,
+        rows_per_table: args.scaled(1000, 60),
+    })
+    .generate();
+    let tus = TusGenerator::new(tus_config(args)).generate();
+
+    let runs: Vec<(&str, &LakeCatalog)> = vec![("SB", &sb.catalog), ("TUS", &tus.catalog)];
+    let mut points = Vec::new();
+    print_header(&[
+        "Workload",
+        "Tables",
+        "Values",
+        "Edges",
+        "Cold (ms)",
+        "Snapshot (ms)",
+        "Snap+WAL (ms)",
+        "Snapshot size",
+        "Speedup (snap)",
+        "Speedup (snap+WAL)",
+    ]);
+    for (workload, catalog) in runs {
+        let point = run_workload(workload, catalog, args);
+        print_row(&[
+            point.workload.clone(),
+            point.tables.to_string(),
+            point.values.to_string(),
+            point.edges.to_string(),
+            format!("{:.1}", point.cold_ms),
+            format!("{:.1}", point.snapshot_ms),
+            format!("{:.1}", point.replay_ms),
+            format!("{} B", point.snapshot_bytes),
+            format!("{:.1}x", point.snapshot_speedup),
+            format!("{:.1}x", point.replay_speedup),
+        ]);
+        points.push(point);
+    }
+
+    let target = 10.0;
+    let headline = points
+        .iter()
+        .find(|p| p.workload == "SB")
+        .map(|p| p.snapshot_speedup)
+        .unwrap_or(0.0);
+    let pass = headline >= target;
+    println!(
+        "\nHeadline: SB snapshot load is {headline:.1}x faster than the CSV rebuild \
+         ({})",
+        if pass {
+            "PASS, >= 10x required"
+        } else {
+            "FAIL, >= 10x required"
+        }
+    );
+    println!(
+        "Recovered state was verified equal (export_state) to the live engine \
+         on every snapshot+WAL run."
+    );
+
+    let report = ColdStartReport {
+        seed: args.seed,
+        scale: args.scale,
+        points,
+        sb_snapshot_speedup: headline,
+        target_speedup: target,
+        pass,
+    };
+    write_report("cold_start", &report);
+}

@@ -19,6 +19,7 @@
 //! | `exp_fig10_d4_impact` | Figure 10 — D4 domain count vs injected homographs |
 //! | `exp_incremental` | beyond the paper — incremental vs full-rebuild maintenance latency |
 //! | `exp_serving` | beyond the paper — concurrent snapshot-serving throughput (N readers vs 1 writer) |
+//! | `exp_cold_start` | beyond the paper — restart latency: CSV rebuild vs snapshot load vs snapshot + WAL replay |
 //!
 //! All binaries accept `--scale <f64>` (default 1.0) to shrink or grow the
 //! generated workloads, and `--seed <u64>` to change the data seed. See

@@ -52,4 +52,4 @@ pub mod pipeline;
 pub use eval::{precision_recall_at_k, EvalPoint, TopKCurve};
 pub use meanings::{MeaningConfig, MeaningEstimator};
 pub use measure::{Measure, ScoredValue};
-pub use pipeline::{DeltaStats, DomainNet, DomainNetBuilder};
+pub use pipeline::{DeltaStats, DomainNet, DomainNetBuilder, NetCachesState, NetState};

@@ -732,6 +732,251 @@ impl DomainNet {
     }
 }
 
+/// The memoized score state of a [`DomainNet`], in a plain exportable form.
+///
+/// `raw` and `ranked` are association lists (not maps) so the export order
+/// is explicit and deterministic; [`DomainNet::export_state`] sorts them by
+/// measure. See [`NetState`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetCachesState {
+    /// Per measure: raw score per value node id.
+    pub raw: Vec<(Measure, Vec<f64>)>,
+    /// Per measure: the memoized ranking (live candidates, best first).
+    pub ranked: Vec<(Measure, Vec<ScoredValue>)>,
+    /// `(attribute_count, cardinality)` per value node, if cached.
+    pub meta: Option<Vec<(usize, usize)>>,
+}
+
+/// Everything a [`DomainNet`] holds *besides* its graph and components, in
+/// a plain exportable form for the persistence layer (`dn-store`).
+///
+/// The graph and the component labeling are exported separately (they have
+/// their own on-disk sections); [`DomainNet::from_parts`] reunites the
+/// three and validates every cross-reference between them before a net is
+/// handed back.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetState {
+    /// The configuration the graph was built with.
+    pub config: DomainNetConfig,
+    /// Number of deltas folded in since the initial build.
+    pub generation: u64,
+    /// ValueId -> value node id (`u32::MAX` = no node).
+    pub node_of_value: Vec<u32>,
+    /// AttrId -> attribute index (`u32::MAX` = no node).
+    pub attr_index_of: Vec<u32>,
+    /// Attribute index -> AttrId.
+    pub attr_id_of_index: Vec<AttrId>,
+    /// The memoized per-measure scores and rankings.
+    pub caches: NetCachesState,
+}
+
+impl DomainNet {
+    /// Export the net's non-graph state (id mappings, generation, memoized
+    /// scores and rankings) for persistence. Cache entries are sorted by
+    /// measure so the export — and therefore the on-disk encoding — is
+    /// deterministic across runs.
+    pub fn export_state(&self) -> NetState {
+        let caches = self.caches.lock().expect("score cache mutex");
+        let mut raw: Vec<(Measure, Vec<f64>)> = caches
+            .raw
+            .iter()
+            .map(|(&m, scores)| (m, scores.clone()))
+            .collect();
+        raw.sort_by_key(|(m, _)| format!("{m:?}"));
+        let mut ranked: Vec<(Measure, Vec<ScoredValue>)> = caches
+            .ranked
+            .iter()
+            .map(|(&m, ranking)| (m, ranking.as_ref().clone()))
+            .collect();
+        ranked.sort_by_key(|(m, _)| format!("{m:?}"));
+        NetState {
+            config: self.config,
+            generation: self.generation,
+            node_of_value: self.node_of_value.clone(),
+            attr_index_of: self.attr_index_of.clone(),
+            attr_id_of_index: self.attr_id_of_index.clone(),
+            caches: NetCachesState {
+                raw,
+                ranked,
+                meta: caches.meta.clone(),
+            },
+        }
+    }
+
+    /// Reassemble a net from a persisted graph, component labeling, and
+    /// [`NetState`], validating every cross-reference between the three:
+    ///
+    /// * the components labeling must be consistent with the graph
+    ///   ([`Components::validate_against`]);
+    /// * `node_of_value` must map lake value ids **bijectively** onto the
+    ///   graph's value nodes, and the attribute index maps must be mutual
+    ///   inverses covering every attribute node;
+    /// * every cached raw-score vector must cover exactly the value nodes
+    ///   with finite scores;
+    /// * every memoized ranking must have one entry per live candidate, in
+    ///   the measure's sort order, each resolving to a live value node whose
+    ///   raw score (and cached metadata, when present) agrees.
+    ///
+    /// # Errors
+    /// A description of the first violated invariant; nothing is partially
+    /// constructed on failure.
+    pub fn from_parts(
+        graph: BipartiteGraph,
+        components: Components,
+        state: NetState,
+    ) -> Result<DomainNet, String> {
+        components.validate_against(&graph)?;
+
+        let mut node_seen = vec![false; graph.value_count()];
+        for (vid, &node) in state.node_of_value.iter().enumerate() {
+            if node == u32::MAX {
+                continue;
+            }
+            let slot = node_seen
+                .get_mut(node as usize)
+                .ok_or_else(|| format!("value {vid} maps to node {node} out of range"))?;
+            if *slot {
+                return Err(format!("two lake values map to value node {node}"));
+            }
+            *slot = true;
+        }
+        if node_seen.iter().any(|seen| !seen) {
+            return Err("some graph value nodes have no lake value mapped to them".to_owned());
+        }
+
+        if state.attr_id_of_index.len() != graph.attribute_count() {
+            return Err(format!(
+                "{} attribute ids for {} attribute nodes",
+                state.attr_id_of_index.len(),
+                graph.attribute_count()
+            ));
+        }
+        for (idx, attr) in state.attr_id_of_index.iter().enumerate() {
+            match state.attr_index_of.get(attr.index()) {
+                Some(&back) if back as usize == idx => {}
+                _ => {
+                    return Err(format!(
+                        "attribute index {idx} and attribute id {} are not mutual inverses",
+                        attr.0
+                    ))
+                }
+            }
+        }
+        let mapped = state
+            .attr_index_of
+            .iter()
+            .filter(|&&idx| idx != u32::MAX)
+            .count();
+        if mapped != graph.attribute_count() {
+            return Err(format!(
+                "{mapped} attribute ids map to nodes but the graph has {}",
+                graph.attribute_count()
+            ));
+        }
+
+        let live_candidates = graph.value_nodes().filter(|&v| graph.degree(v) > 0).count();
+        let node_of_label: HashMap<&str, u32> = graph
+            .value_nodes()
+            .filter(|&v| graph.degree(v) > 0)
+            .map(|v| (graph.value_label(v), v))
+            .collect();
+
+        if let Some(meta) = &state.caches.meta {
+            if meta.len() != graph.value_count() {
+                return Err(format!(
+                    "metadata cache covers {} of {} value nodes",
+                    meta.len(),
+                    graph.value_count()
+                ));
+            }
+        }
+        for (measure, scores) in &state.caches.raw {
+            if scores.len() != graph.value_count() {
+                return Err(format!(
+                    "{measure:?}: raw scores cover {} of {} value nodes",
+                    scores.len(),
+                    graph.value_count()
+                ));
+            }
+            if let Some(bad) = scores.iter().find(|s| !s.is_finite()) {
+                return Err(format!("{measure:?}: non-finite raw score {bad}"));
+            }
+        }
+        for (measure, ranking) in &state.caches.ranked {
+            let raw = state
+                .caches
+                .raw
+                .iter()
+                .find(|(m, _)| m == measure)
+                .map(|(_, scores)| scores)
+                .ok_or_else(|| format!("{measure:?}: ranking cached without raw scores"))?;
+            if ranking.len() != live_candidates {
+                return Err(format!(
+                    "{measure:?}: ranking has {} entries for {live_candidates} live candidates",
+                    ranking.len()
+                ));
+            }
+            let higher_first = measure.higher_is_more_homograph_like();
+            for (pos, scored) in ranking.iter().enumerate() {
+                let &node = node_of_label.get(scored.value.as_str()).ok_or_else(|| {
+                    format!(
+                        "{measure:?}: ranked value '{}' has no live node",
+                        scored.value
+                    )
+                })?;
+                if scored.score != raw[node as usize] {
+                    return Err(format!(
+                        "{measure:?}: '{}' ranked with score {} but raw score {}",
+                        scored.value, scored.score, raw[node as usize]
+                    ));
+                }
+                if let Some(meta) = &state.caches.meta {
+                    if meta[node as usize] != (scored.attribute_count, scored.cardinality) {
+                        return Err(format!(
+                            "{measure:?}: '{}' metadata disagrees with the cache",
+                            scored.value
+                        ));
+                    }
+                }
+                if pos > 0 {
+                    let prev = &ranking[pos - 1];
+                    let ordered = if higher_first {
+                        prev.score >= scored.score
+                    } else {
+                        prev.score <= scored.score
+                    };
+                    if !ordered {
+                        return Err(format!(
+                            "{measure:?}: ranking out of order at position {pos}"
+                        ));
+                    }
+                }
+            }
+        }
+
+        let caches = ScoreCaches {
+            raw: state.caches.raw.into_iter().collect(),
+            ranked: state
+                .caches
+                .ranked
+                .into_iter()
+                .map(|(m, ranking)| (m, Arc::new(ranking)))
+                .collect(),
+            meta: state.caches.meta,
+        };
+        Ok(DomainNet {
+            config: state.config,
+            graph,
+            components,
+            node_of_value: state.node_of_value,
+            attr_index_of: state.attr_index_of,
+            attr_id_of_index: state.attr_id_of_index,
+            generation: state.generation,
+            caches: Mutex::new(caches),
+        })
+    }
+}
+
 /// Staging area for one [`DomainNet::apply_delta`] translation: the graph
 /// delta plus every mapping update it implies. Nothing here touches the net
 /// until the graph patch has succeeded, so a failed delta leaves the net

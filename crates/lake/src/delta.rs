@@ -589,6 +589,185 @@ impl MutableLake {
         &self.interner
     }
 
+    // ------------------------------------------------------------------
+    // Persistence (consumed by the `dn-store` crate)
+    // ------------------------------------------------------------------
+
+    /// All table slots in allocation order, tombstones included (`None`).
+    pub fn table_slots(&self) -> &[Option<Table>] {
+        &self.tables
+    }
+
+    /// `(table slot, column index)` per attribute slot, in [`AttrId`] order.
+    /// Tombstoned attributes keep their location for id stability.
+    pub fn attr_locations(&self) -> &[(usize, usize)] {
+        &self.attrs
+    }
+
+    /// Liveness flag per attribute slot, in [`AttrId`] order.
+    pub fn attr_live_flags(&self) -> &[bool] {
+        &self.attr_live
+    }
+
+    /// Reassemble a lake from persisted parts, validating every
+    /// cross-reference before any state becomes observable.
+    ///
+    /// This is the inverse of reading the lake back field-by-field via
+    /// [`MutableLake::table_slots`], [`MutableLake::attr_locations`],
+    /// [`MutableLake::attr_live_flags`], [`MutableLake::attribute_values`],
+    /// and [`MutableLake::interner`]. The checks are deliberately paranoid —
+    /// the inputs come from disk, and a half-loaded lake must never escape:
+    ///
+    /// * the interner values must be distinct (ids are their positions);
+    /// * live table names must be unique; the three attribute-slot arrays
+    ///   must agree in length;
+    /// * every live attribute must point at a live table and a valid column,
+    ///   every live `(table, column)` pair must have exactly one live slot,
+    ///   and tombstoned attributes must hold no values;
+    /// * `attr_values` must be sorted, deduplicated, in interner range, and
+    ///   **equal to the re-derived distinct value set of its column** — the
+    ///   redundancy is what turns a subtly corrupted index into a load
+    ///   error instead of wrong scores.
+    ///
+    /// The `value_attrs` inverted index and the name index are rebuilt from
+    /// the validated parts rather than trusted from disk.
+    ///
+    /// # Errors
+    /// [`LakeError::Serde`] describing the first violated invariant.
+    pub fn from_raw_parts(
+        tables: Vec<Option<Table>>,
+        attr_locations: Vec<(usize, usize)>,
+        attr_live: Vec<bool>,
+        attr_values: Vec<Vec<ValueId>>,
+        interner_values: Vec<String>,
+    ) -> Result<Self> {
+        let corrupt = |msg: String| LakeError::Serde(msg);
+
+        let interner = ValueInterner::from_values(interner_values).map_err(|(kept, dup)| {
+            corrupt(format!("interner value {dup} duplicates value {}", kept.0))
+        })?;
+
+        let mut table_index = HashMap::new();
+        for (slot, table) in tables.iter().enumerate() {
+            if let Some(table) = table {
+                if table_index.insert(table.name().to_owned(), slot).is_some() {
+                    return Err(corrupt(format!(
+                        "live table name '{}' appears in two slots",
+                        table.name()
+                    )));
+                }
+            }
+        }
+
+        if attr_locations.len() != attr_live.len() || attr_locations.len() != attr_values.len() {
+            return Err(corrupt(format!(
+                "attribute arrays disagree: {} locations, {} live flags, {} value sets",
+                attr_locations.len(),
+                attr_live.len(),
+                attr_values.len()
+            )));
+        }
+
+        // Every live (table slot, column) must be claimed by exactly one
+        // live attribute slot, and vice versa.
+        let mut claimed: HashMap<(usize, usize), usize> = HashMap::new();
+        for (idx, &(slot, col)) in attr_locations.iter().enumerate() {
+            if !attr_live[idx] {
+                if !attr_values[idx].is_empty() {
+                    return Err(corrupt(format!(
+                        "tombstoned attribute {idx} still holds {} values",
+                        attr_values[idx].len()
+                    )));
+                }
+                continue;
+            }
+            let table = tables.get(slot).and_then(Option::as_ref).ok_or_else(|| {
+                corrupt(format!("live attribute {idx} points at dead slot {slot}"))
+            })?;
+            let column = table.columns().get(col).ok_or_else(|| {
+                corrupt(format!(
+                    "live attribute {idx} points at missing column {col} of '{}'",
+                    table.name()
+                ))
+            })?;
+            if let Some(prev) = claimed.insert((slot, col), idx) {
+                return Err(corrupt(format!(
+                    "column {col} of slot {slot} is claimed by attributes {prev} and {idx}"
+                )));
+            }
+            // Cross-check the persisted value set against a re-derivation
+            // from the column's cells.
+            let derived: Vec<ValueId> = column
+                .distinct_values()
+                .map(|v| {
+                    interner.get(v).ok_or_else(|| {
+                        corrupt(format!(
+                            "column '{}.{}' holds value {v:?} missing from the interner",
+                            table.name(),
+                            column.name()
+                        ))
+                    })
+                })
+                .collect::<Result<_>>()?;
+            let mut derived = derived;
+            derived.sort_unstable();
+            derived.dedup();
+            if derived != attr_values[idx] {
+                return Err(corrupt(format!(
+                    "attribute {idx} ('{}.{}') value set does not match its column",
+                    table.name(),
+                    column.name()
+                )));
+            }
+        }
+        let live_columns: usize = tables.iter().flatten().map(|t| t.column_count()).sum();
+        if claimed.len() != live_columns {
+            return Err(corrupt(format!(
+                "{} live attribute slots cover {live_columns} live columns",
+                claimed.len()
+            )));
+        }
+
+        // Rebuild the inverted index from the validated forward index,
+        // sizing each per-value list exactly (one counting pass) so the
+        // rebuild does one allocation per value instead of amortized
+        // regrowth.
+        let mut counts = vec![0u32; interner.len()];
+        for (idx, values) in attr_values.iter().enumerate() {
+            for &vid in values {
+                match counts.get_mut(vid.index()) {
+                    Some(count) => *count += 1,
+                    None => {
+                        return Err(corrupt(format!(
+                            "attribute {idx} references value {} outside the interner",
+                            vid.0
+                        )))
+                    }
+                }
+            }
+        }
+        let mut value_attrs: Vec<Vec<AttrId>> = counts
+            .into_iter()
+            .map(|count| Vec::with_capacity(count as usize))
+            .collect();
+        for (idx, values) in attr_values.iter().enumerate() {
+            for &vid in values {
+                value_attrs[vid.index()].push(AttrId(idx as u32));
+            }
+        }
+        // AttrIds were pushed in ascending idx order, so each list is sorted.
+
+        Ok(MutableLake {
+            tables,
+            table_index,
+            attrs: attr_locations,
+            attr_live,
+            attr_values,
+            value_attrs,
+            interner,
+        })
+    }
+
     /// Compact the live state into a fresh [`LakeCatalog`].
     ///
     /// The snapshot re-derives dense ids from scratch, so its [`ValueId`] /
@@ -915,6 +1094,66 @@ mod tests {
         // The first delta stuck, the third never ran.
         assert!(lake.table("zoo").is_some());
         assert!(lake.table("cars").is_none());
+    }
+
+    #[test]
+    fn from_raw_parts_round_trips_a_mutated_lake() {
+        let mut lake = MutableLake::new();
+        lake.apply(&LakeDelta::new().add_table(zoo()).add_table(cars()))
+            .unwrap();
+        lake.apply(
+            &LakeDelta::new()
+                .remove_table("zoo")
+                .replace_value("cars", "brand", "Fiat", "Rover"),
+        )
+        .unwrap();
+
+        let rebuilt = MutableLake::from_raw_parts(
+            lake.table_slots().to_vec(),
+            lake.attr_locations().to_vec(),
+            lake.attr_live_flags().to_vec(),
+            (0..lake.attr_locations().len())
+                .map(|i| lake.attribute_values(AttrId(i as u32)).to_vec())
+                .collect(),
+            lake.interner().iter().map(|(_, v)| v.to_owned()).collect(),
+        )
+        .unwrap();
+
+        assert_eq!(rebuilt.live_table_names(), lake.live_table_names());
+        assert_eq!(
+            LakeView::incidence_count(&rebuilt),
+            LakeView::incidence_count(&lake)
+        );
+        for vid in (0..lake.interner().len() as u32).map(ValueId) {
+            assert_eq!(
+                LakeView::value(&rebuilt, vid),
+                LakeView::value(&lake, vid),
+                "value ids must survive the round trip"
+            );
+            assert_eq!(
+                LakeView::value_attributes(&rebuilt, vid),
+                LakeView::value_attributes(&lake, vid)
+            );
+        }
+    }
+
+    #[test]
+    fn from_raw_parts_rejects_mismatched_value_sets() {
+        let mut lake = MutableLake::new();
+        lake.apply(&LakeDelta::new().add_table(zoo())).unwrap();
+        let mut attr_values: Vec<Vec<ValueId>> = (0..lake.attr_locations().len())
+            .map(|i| lake.attribute_values(AttrId(i as u32)).to_vec())
+            .collect();
+        attr_values[0].pop(); // drop one incidence: no longer matches the column
+        let err = MutableLake::from_raw_parts(
+            lake.table_slots().to_vec(),
+            lake.attr_locations().to_vec(),
+            lake.attr_live_flags().to_vec(),
+            attr_values,
+            lake.interner().iter().map(|(_, v)| v.to_owned()).collect(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, LakeError::Serde(_)), "{err}");
     }
 
     #[test]

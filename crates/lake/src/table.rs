@@ -87,6 +87,39 @@ impl Table {
     pub fn total_distinct(&self) -> usize {
         self.columns.iter().map(Column::distinct_count).sum()
     }
+
+    /// Check the invariants a well-formed table upholds by construction —
+    /// rectangular columns, unique column names, and every column's
+    /// dictionary encoding ([`Column::validate_encoding`]).
+    ///
+    /// Tables normally enter the process through [`TableBuilder`] or the
+    /// loader, which enforce all of this; a table deserialized from an
+    /// untrusted byte stream (a write-ahead-log record) did not, and the
+    /// replay path calls this before applying it.
+    ///
+    /// # Errors
+    /// The corresponding [`LakeError`] for the violated invariant.
+    pub fn validate_encoding(&self) -> Result<()> {
+        let expected = self.row_count();
+        for (i, col) in self.columns.iter().enumerate() {
+            col.validate_encoding()?;
+            if col.len() != expected {
+                return Err(LakeError::ColumnLengthMismatch {
+                    table: self.name.clone(),
+                    column: col.name().to_owned(),
+                    expected,
+                    found: col.len(),
+                });
+            }
+            if self.columns[..i].iter().any(|c| c.name() == col.name()) {
+                return Err(LakeError::DuplicateColumn {
+                    table: self.name.clone(),
+                    column: col.name().to_owned(),
+                });
+            }
+        }
+        Ok(())
+    }
 }
 
 /// Incremental builder for [`Table`] with validation.

@@ -21,9 +21,11 @@
 //! answering from `e` — with full internal consistency — until it re-pins,
 //! which is the database-style snapshot-isolation contract.
 
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
+use dn_store::{Store, StoreError};
 use domainnet::{DeltaStats, DomainNet, DomainNetBuilder, Measure, ScoredValue};
 use lake::delta::{LakeDelta, MutableLake};
 use lake::LakeError;
@@ -61,6 +63,8 @@ pub enum ServiceError {
     Lake(LakeError),
     /// Incremental maintenance rejected the applied effects.
     Maintenance(String),
+    /// The durability layer failed (WAL append, checkpoint, or recovery).
+    Store(StoreError),
 }
 
 impl std::fmt::Display for ServiceError {
@@ -68,6 +72,7 @@ impl std::fmt::Display for ServiceError {
         match self {
             ServiceError::Lake(e) => write!(f, "lake mutation failed: {e}"),
             ServiceError::Maintenance(msg) => write!(f, "incremental maintenance failed: {msg}"),
+            ServiceError::Store(e) => write!(f, "durability layer failed: {e}"),
         }
     }
 }
@@ -78,6 +83,74 @@ impl From<LakeError> for ServiceError {
     fn from(e: LakeError) -> Self {
         ServiceError::Lake(e)
     }
+}
+
+impl From<StoreError> for ServiceError {
+    fn from(e: StoreError) -> Self {
+        ServiceError::Store(e)
+    }
+}
+
+/// When the durable writer checkpoints (writes a snapshot and trims the
+/// WAL). Both triggers are optional and OR-ed; the check runs at the start
+/// of every [`Writer::commit`], so "every N epochs" means "at the first
+/// commit after N epochs have been published since the last checkpoint".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Checkpoint once this many epochs were published since the last one.
+    pub every_epochs: Option<u64>,
+    /// Checkpoint once the WAL holds at least this many bytes of records.
+    pub max_wal_bytes: Option<u64>,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            every_epochs: Some(8),
+            max_wal_bytes: Some(4 << 20),
+        }
+    }
+}
+
+impl CheckpointPolicy {
+    /// Checkpoint every `n` published epochs only.
+    pub fn every_epochs(n: u64) -> Self {
+        CheckpointPolicy {
+            every_epochs: Some(n),
+            max_wal_bytes: None,
+        }
+    }
+
+    /// Checkpoint when the WAL exceeds `bytes` of records only.
+    pub fn max_wal_bytes(bytes: u64) -> Self {
+        CheckpointPolicy {
+            every_epochs: None,
+            max_wal_bytes: Some(bytes),
+        }
+    }
+
+    /// Never checkpoint automatically (use [`Writer::checkpoint_now`]).
+    pub fn manual() -> Self {
+        CheckpointPolicy {
+            every_epochs: None,
+            max_wal_bytes: None,
+        }
+    }
+
+    fn is_due(&self, epochs_since_checkpoint: u64, wal_record_bytes: u64) -> bool {
+        self.every_epochs
+            .is_some_and(|n| epochs_since_checkpoint >= n)
+            || self.max_wal_bytes.is_some_and(|m| wal_record_bytes >= m)
+    }
+}
+
+/// The writer's attachment to a [`Store`]: the open store, the checkpoint
+/// policy, and the epoch the last checkpoint was taken at.
+#[derive(Debug)]
+struct Persistence {
+    store: Store,
+    policy: CheckpointPolicy,
+    last_checkpoint_epoch: u64,
 }
 
 struct Shared {
@@ -101,7 +174,89 @@ pub fn serve(lake: MutableLake, config: ServiceConfig) -> (ServiceHandle, Writer
         .prune_single_attribute_values(config.prune_single_attribute_values)
         .build(&lake);
     net.warm_rankings(&config.measures);
-    let snapshot = Arc::new(Snapshot::extract(&net, &lake, &config.measures, 0));
+    build_service(lake, net, config, 0, None)
+}
+
+/// Like [`serve`], but durable: every committed batch is appended to a
+/// write-ahead log in `dir` before it is applied, and the
+/// [`CheckpointPolicy`] periodically snapshots the engine and trims the
+/// log. `dir` must not already hold a store — reopening one after a crash
+/// (or a clean exit; the two are handled identically) goes through
+/// [`serve_from_dir`].
+///
+/// An initial checkpoint of the freshly built engine is written before the
+/// service comes up, so recovery always has a snapshot to start from.
+///
+/// # Errors
+/// [`ServiceError::Store`] if the directory holds a store already or the
+/// initial checkpoint cannot be written.
+pub fn serve_durable(
+    lake: MutableLake,
+    config: ServiceConfig,
+    dir: impl Into<PathBuf>,
+    policy: CheckpointPolicy,
+) -> Result<(ServiceHandle, Writer), ServiceError> {
+    let mut store = Store::create(dir)?;
+    let net = DomainNetBuilder::new()
+        .prune_single_attribute_values(config.prune_single_attribute_values)
+        .build(&lake);
+    net.warm_rankings(&config.measures);
+    store.checkpoint(&lake, &net, 0, &config.measures)?;
+    let persistence = Persistence {
+        store,
+        policy,
+        last_checkpoint_epoch: 0,
+    };
+    Ok(build_service(lake, net, config, 0, Some(persistence)))
+}
+
+/// Restore a serving engine from a store directory: load the newest valid
+/// snapshot, replay the WAL suffix through the incremental path, and
+/// publish the recovered state as the current epoch (numbering resumes
+/// where the crashed engine left off).
+///
+/// The recovered net keeps the graph configuration it was persisted with
+/// (`config.prune_single_attribute_values` does not re-prune an existing
+/// graph). `config.measures` should match the measures the crashed engine
+/// served — recovery replays and re-warms the *persisted* measure list so
+/// incremental approximate-BC estimates continue their exact sequence;
+/// any additional measures requested here are computed fresh on the
+/// recovered graph, which is deterministic for the exact measures.
+///
+/// # Errors
+/// [`ServiceError::Store`] when the directory holds no usable snapshot or
+/// its contents fail validation.
+pub fn serve_from_dir(
+    dir: impl Into<PathBuf>,
+    config: ServiceConfig,
+    policy: CheckpointPolicy,
+) -> Result<(ServiceHandle, Writer), ServiceError> {
+    let (store, recovered) = Store::recover(dir)?;
+    let epoch = recovered.epoch;
+    let (lake, net) = (recovered.lake, recovered.net);
+    net.warm_rankings(&config.measures);
+    let persistence = Persistence {
+        store,
+        policy,
+        // Measure checkpoint age from the last *on-disk* checkpoint, not
+        // from the recovered epoch: epochs that only live in the WAL must
+        // keep counting toward the policy, or a service that crashes more
+        // often than it checkpoints would replay an ever-growing log.
+        last_checkpoint_epoch: recovered.snapshot_epoch,
+    };
+    Ok(build_service(lake, net, config, epoch, Some(persistence)))
+}
+
+/// Shared tail of the three entry points: publish `net` (already warmed)
+/// as the current snapshot at `epoch` and hand out the handle + writer.
+fn build_service(
+    lake: MutableLake,
+    net: DomainNet,
+    config: ServiceConfig,
+    epoch: u64,
+    persistence: Option<Persistence>,
+) -> (ServiceHandle, Writer) {
+    let snapshot = Arc::new(Snapshot::extract(&net, &lake, &config.measures, epoch));
     let shared = Arc::new(Shared {
         current: RwLock::new(snapshot),
         cache: Mutex::new(TopKCache::new(config.cache_capacity)),
@@ -116,7 +271,8 @@ pub fn serve(lake: MutableLake, config: ServiceConfig) -> (ServiceHandle, Writer
         net,
         measures: config.measures,
         staged: Vec::new(),
-        epoch: 0,
+        epoch,
+        persistence,
     };
     (handle, writer)
 }
@@ -219,6 +375,47 @@ impl Reader {
     pub fn table_summary(&self, table: &str, measure: Measure, k: usize) -> Option<TableSummary> {
         self.pinned.table_summary(table, measure, k)
     }
+
+    /// Dump the top-`k` ranking under `measure` as CSV (header +
+    /// `rank,value,score,attribute_count,cardinality` rows) — the export
+    /// the golden-corpus workflow and external diffing tools consume.
+    /// Scores are rendered with Rust's shortest-round-trip float
+    /// formatting, so re-parsing the CSV recovers them exactly. Returns
+    /// the number of data rows written.
+    ///
+    /// # Errors
+    /// [`lake::LakeError::NotFound`] when the pinned snapshot does not
+    /// serve `measure`; I/O errors from the underlying writer.
+    pub fn export_top_k_csv<W: std::io::Write>(
+        &self,
+        measure: Measure,
+        k: usize,
+        out: &mut W,
+    ) -> lake::Result<usize> {
+        let ranking = self.top_k(measure, k).ok_or_else(|| {
+            LakeError::NotFound(format!(
+                "measure {measure:?} in the snapshot of epoch {}",
+                self.epoch()
+            ))
+        })?;
+        let mut records = Vec::with_capacity(ranking.len() + 1);
+        records.push(
+            ["rank", "value", "score", "attribute_count", "cardinality"]
+                .map(str::to_owned)
+                .to_vec(),
+        );
+        for (i, scored) in ranking.iter().enumerate() {
+            records.push(vec![
+                (i + 1).to_string(),
+                scored.value.clone(),
+                scored.score.to_string(),
+                scored.attribute_count.to_string(),
+                scored.cardinality.to_string(),
+            ]);
+        }
+        lake::csv::write_records(out, &records)?;
+        Ok(ranking.len())
+    }
 }
 
 /// The unique writer: stages delta batches, folds them into the net via the
@@ -230,6 +427,8 @@ pub struct Writer {
     measures: Vec<Measure>,
     staged: Vec<LakeDelta>,
     epoch: u64,
+    /// `Some` for writers created by [`serve_durable`] / [`serve_from_dir`].
+    persistence: Option<Persistence>,
 }
 
 impl Writer {
@@ -247,16 +446,39 @@ impl Writer {
     /// and warm the served measures. Does **not** publish — readers keep
     /// seeing the previous epoch until [`Writer::publish`].
     ///
+    /// For a durable writer the batch is appended to the write-ahead log
+    /// (flushed and synced) **before** it is applied, so an acknowledged
+    /// commit survives a crash at any later instant; the checkpoint policy
+    /// is also evaluated here, snapshotting the pre-batch state and
+    /// trimming the log when due.
+    ///
     /// # Errors
     /// On a lake-level failure the batch stops at the failing op (earlier
     /// ops remain applied, see [`MutableLake::apply_batch`]); the net is
     /// then rebuilt from the lake's live state so writer-side state stays
     /// coherent, and the error is returned. The staged queue is cleared
-    /// either way.
+    /// either way. (The WAL keeps the failed batch: replay reproduces the
+    /// same partial application and the same rebuild, so recovery lands on
+    /// the same state.) A [`ServiceError::Store`] failure, by contrast,
+    /// leaves the lake untouched — nothing was applied that was not first
+    /// made durable.
     pub fn commit(&mut self) -> Result<DeltaStats, ServiceError> {
         let staged = std::mem::take(&mut self.staged);
         if staged.is_empty() {
             return Ok(DeltaStats::default());
+        }
+        if let Some(persistence) = self.persistence.as_mut() {
+            let epochs_since = self.epoch.saturating_sub(persistence.last_checkpoint_epoch);
+            if persistence
+                .policy
+                .is_due(epochs_since, persistence.store.wal_record_bytes())
+            {
+                persistence
+                    .store
+                    .checkpoint(&self.lake, &self.net, self.epoch, &self.measures)?;
+                persistence.last_checkpoint_epoch = self.epoch;
+            }
+            persistence.store.append_batch(self.epoch, &staged)?;
         }
         let effects = match self.lake.apply_batch(staged.iter()) {
             Ok(effects) => effects,
@@ -300,6 +522,38 @@ impl Writer {
         self.stage(delta);
         let stats = self.commit()?;
         Ok((stats, self.publish()))
+    }
+
+    /// Write a checkpoint immediately, regardless of policy. Returns
+    /// `true` when a snapshot was written (`false` for a non-durable
+    /// writer, for which this is a no-op).
+    ///
+    /// # Errors
+    /// [`ServiceError::Store`] if the snapshot cannot be written.
+    pub fn checkpoint_now(&mut self) -> Result<bool, ServiceError> {
+        match self.persistence.as_mut() {
+            None => Ok(false),
+            Some(persistence) => {
+                persistence
+                    .store
+                    .checkpoint(&self.lake, &self.net, self.epoch, &self.measures)?;
+                persistence.last_checkpoint_epoch = self.epoch;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Whether this writer persists commits to a store directory.
+    pub fn is_durable(&self) -> bool {
+        self.persistence.is_some()
+    }
+
+    /// Bytes of batch records currently in the write-ahead log (0 for a
+    /// non-durable writer).
+    pub fn wal_record_bytes(&self) -> u64 {
+        self.persistence
+            .as_ref()
+            .map_or(0, |p| p.store.wal_record_bytes())
     }
 
     /// Rebuild the net from the lake's live state (the escape hatch after a
@@ -489,5 +743,174 @@ mod tests {
         let stats = writer.commit().unwrap();
         assert_eq!(stats, DeltaStats::default());
         assert_eq!(writer.epoch(), 0, "no publish happened");
+    }
+
+    fn store_dir(name: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("dn_store_engine_{name}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_writer_survives_a_drop_mid_stream() {
+        let dir = store_dir("survive");
+        let (service, mut writer) =
+            serve_durable(running_lake(), config(), &dir, CheckpointPolicy::manual()).unwrap();
+        writer.apply_and_publish(zebra_table()).unwrap();
+        writer
+            .apply_and_publish(LakeDelta::new().remove_table("T3"))
+            .unwrap();
+        let reference = service.current();
+        drop(writer); // crash: nothing flushed beyond the WAL appends
+
+        let (recovered_service, recovered_writer) =
+            serve_from_dir(&dir, config(), CheckpointPolicy::manual()).unwrap();
+        assert_eq!(recovered_writer.epoch(), 2, "epoch numbering resumes");
+        let snap = recovered_service.current();
+        snap.verify_consistency().unwrap();
+        for measure in [Measure::lcc(), Measure::exact_bc()] {
+            let a = reference.ranking(measure).unwrap();
+            let b = snap.ranking(measure).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.value, y.value);
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "{}", x.value);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovered_writer_keeps_serving_and_checkpointing() {
+        let dir = store_dir("resume");
+        let (_, mut writer) = serve_durable(
+            running_lake(),
+            config(),
+            &dir,
+            CheckpointPolicy::every_epochs(1),
+        )
+        .unwrap();
+        writer.apply_and_publish(zebra_table()).unwrap();
+        drop(writer);
+
+        let (service, mut writer) =
+            serve_from_dir(&dir, config(), CheckpointPolicy::every_epochs(1)).unwrap();
+        writer
+            .apply_and_publish(LakeDelta::new().replace_value("T4", "Name", "Puma", "Lynx"))
+            .unwrap();
+        assert!(writer.checkpoint_now().unwrap());
+        assert_eq!(writer.wal_record_bytes(), 0, "checkpoint trimmed the log");
+        let snap = service.current();
+        snap.verify_consistency().unwrap();
+        assert!(snap.explain("Lynx").is_some());
+        assert!(snap.explain("Zebra").is_some(), "pre-crash batch survived");
+
+        // The whole lineage — serve_durable, crash, recover, mutate — must
+        // equal a fresh build of the final lake.
+        let fresh = DomainNetBuilder::new()
+            .prune_single_attribute_values(false)
+            .build(writer.lake());
+        for measure in [Measure::lcc(), Measure::exact_bc()] {
+            let a = snap.ranking(measure).unwrap();
+            let b = fresh.rank_shared(measure);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.value, y.value, "{measure:?}");
+                assert!((x.score - y.score).abs() < 1e-9, "{measure:?} {}", x.value);
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_checkpoint_policy_counts_wal_only_epochs() {
+        // Epochs whose batches live only in the WAL (no checkpoint yet)
+        // must keep counting toward the policy after a crash: the age is
+        // measured from the last on-disk checkpoint, not from the
+        // recovered epoch, or frequent crashes would let the WAL grow
+        // without bound.
+        let dir = store_dir("policy_age");
+        let (_, mut writer) = serve_durable(
+            running_lake(),
+            config(),
+            &dir,
+            CheckpointPolicy::every_epochs(1),
+        )
+        .unwrap();
+        writer.apply_and_publish(zebra_table()).unwrap(); // epoch 1, in WAL only
+        assert!(writer.wal_record_bytes() > 0);
+        drop(writer);
+
+        let (_, mut writer) =
+            serve_from_dir(&dir, config(), CheckpointPolicy::every_epochs(1)).unwrap();
+        // First post-recovery commit: one epoch has passed since the last
+        // on-disk checkpoint (epoch 0), so the policy fires *now* — the
+        // pre-batch state is checkpointed and the log trimmed before the
+        // new batch is appended.
+        writer
+            .apply_and_publish(LakeDelta::new().remove_table("T3"))
+            .unwrap();
+        let snaps = dn_store::list_snapshots(writer_store_dir(&writer)).unwrap();
+        assert_eq!(snaps.len(), 2, "initial + post-recovery checkpoint");
+        assert_eq!(snaps[0].0, 1, "checkpoint covers the WAL-only batch");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn size_based_policy_checkpoints_on_commit() {
+        let dir = store_dir("bytes");
+        let (_, mut writer) = serve_durable(
+            running_lake(),
+            config(),
+            &dir,
+            CheckpointPolicy::max_wal_bytes(1),
+        )
+        .unwrap();
+        writer.apply_and_publish(zebra_table()).unwrap();
+        assert!(writer.wal_record_bytes() > 0, "batch logged");
+        // The next commit sees a non-empty WAL >= 1 byte and checkpoints
+        // the pre-batch state before appending.
+        writer
+            .apply_and_publish(LakeDelta::new().remove_table("T9"))
+            .unwrap();
+        let snaps = dn_store::list_snapshots(writer_store_dir(&writer)).unwrap();
+        assert_eq!(snaps.len(), 2, "initial + policy checkpoint");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn writer_store_dir(writer: &Writer) -> &std::path::Path {
+        writer
+            .persistence
+            .as_ref()
+            .expect("durable writer")
+            .store
+            .dir()
+    }
+
+    #[test]
+    fn export_top_k_csv_round_trips() {
+        let (service, _writer) = serve(running_lake(), config());
+        let reader = service.reader();
+        let mut out = Vec::new();
+        let rows = reader
+            .export_top_k_csv(Measure::exact_bc(), 3, &mut out)
+            .unwrap();
+        assert_eq!(rows, 3);
+        let records = lake::csv::parse_str(std::str::from_utf8(&out).unwrap()).unwrap();
+        assert_eq!(records.len(), 4, "header + 3 rows");
+        assert_eq!(records[0][1], "value");
+        assert_eq!(records[1][0], "1");
+        assert_eq!(records[1][1], "JAGUAR");
+        // Shortest-round-trip float formatting: the score re-parses exactly.
+        let top = reader.top_k(Measure::exact_bc(), 3).unwrap();
+        let parsed: f64 = records[1][2].parse().unwrap();
+        assert_eq!(parsed.to_bits(), top[0].score.to_bits());
+
+        // Unserved measures are a typed error, not a panic.
+        let err = reader
+            .export_top_k_csv(Measure::exact_bc_parallel(3), 3, &mut Vec::new())
+            .unwrap_err();
+        assert!(matches!(err, LakeError::NotFound(_)));
     }
 }

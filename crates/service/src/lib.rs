@@ -17,7 +17,13 @@
 //!   per-value score/rank/percentile cards, attribute-neighborhood
 //!   explanations, and per-table summaries;
 //! * a small shared LRU cache ([`cache::CacheStats`]) short-circuits
-//!   repeated top-k queries within an epoch and is invalidated on publish.
+//!   repeated top-k queries within an epoch and is invalidated on publish;
+//! * the writer can be made **durable** ([`serve_durable`]): commits are
+//!   write-ahead logged before they apply, a [`CheckpointPolicy`]
+//!   periodically snapshots the engine (via the `dn-store` crate) and
+//!   trims the log, and [`serve_from_dir`] restores an equal engine from
+//!   disk after a crash — skipping the CSV re-parse and the cold LCC/BC
+//!   scoring pass entirely.
 //!
 //! ## Example
 //!
@@ -52,7 +58,10 @@ pub mod engine;
 pub mod snapshot;
 
 pub use cache::CacheStats;
-pub use engine::{serve, Reader, ServiceConfig, ServiceError, ServiceHandle, Writer};
+pub use engine::{
+    serve, serve_durable, serve_from_dir, CheckpointPolicy, Reader, ServiceConfig, ServiceError,
+    ServiceHandle, Writer,
+};
 pub use snapshot::{
     AttributeNeighborhood, ScoreCard, Snapshot, SnapshotStats, TableSummary, ValueExplanation,
 };

@@ -1,0 +1,753 @@
+//! The versioned, checksummed snapshot file format.
+//!
+//! A snapshot captures the complete durable state of a serving engine at
+//! one instant: the mutable lake (tables, tombstones, the append-only
+//! interner), the CSR bipartite graph with its component labeling, and the
+//! net's cached state (id mappings, generation, per-measure score vectors
+//! and memoized rankings). Scores are stored as raw IEEE-754 bit patterns,
+//! so a write → read → write cycle is **bit-identical**.
+//!
+//! ## File layout
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────┐
+//! │ magic "DNSNAP01" (8)  │ format version u32                 │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ section count u32                                          │
+//! │ section table: { id u32, offset u64, len u64, crc32 u32 }* │
+//! ├────────────────────────────────────────────────────────────┤
+//! │ payloads, in section-table order:                          │
+//! │   1 manifest   last_seq, epoch, served measures            │
+//! │   2 lake       tables (columnar), attr slots, value sets,  │
+//! │                interner                                    │
+//! │   3 graph      CSR offsets + adjacency, labels, components │
+//! │   4 net        config, generation, id maps, score caches   │
+//! └────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! All integers are little-endian; strings are length-prefixed UTF-8. Each
+//! section carries its own CRC-32 so a flipped byte is attributed to the
+//! section it corrupted. Decoding validates every cross-reference — within
+//! the lake ([`MutableLake::from_raw_parts`]), within the graph
+//! ([`BipartiteGraph::try_from_parts`], [`Components::validate_against`]),
+//! within the net ([`DomainNet::from_parts`]), and **between** lake and
+//! graph (value/attribute labels must agree with the interner) — before any
+//! state is returned, so a torn or tampered file yields a typed
+//! [`StoreError`], never a half-loaded engine.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+use dn_graph::bipartite::BipartiteGraph;
+use dn_graph::components::Components;
+use domainnet::{DomainNet, Measure, NetCachesState, NetState, ScoredValue};
+use lake::catalog::AttrId;
+use lake::delta::{LakeView, MutableLake};
+use lake::value::ValueId;
+
+use crate::codec::{
+    crc32, get_measure, put_measure, put_u32_vec, put_u64_vec, ByteReader, ByteWriter,
+};
+use crate::error::{Result, StoreError};
+
+/// The 8-byte magic every snapshot file starts with.
+pub const SNAPSHOT_MAGIC: &[u8; 8] = b"DNSNAP01";
+/// The newest snapshot format version this build reads and writes.
+pub const FORMAT_VERSION: u32 = 1;
+
+const SECTION_MANIFEST: u32 = 1;
+const SECTION_LAKE: u32 = 2;
+const SECTION_GRAPH: u32 = 3;
+const SECTION_NET: u32 = 4;
+
+fn section_name(id: u32) -> &'static str {
+    match id {
+        SECTION_MANIFEST => "manifest",
+        SECTION_LAKE => "lake",
+        SECTION_GRAPH => "graph",
+        SECTION_NET => "net",
+        _ => "unknown",
+    }
+}
+
+/// Snapshot-level metadata: where this snapshot sits relative to the WAL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// The highest WAL batch sequence number folded into this snapshot.
+    /// Recovery replays only records with larger sequence numbers.
+    pub last_seq: u64,
+    /// The serving epoch last published before the snapshot was taken.
+    pub epoch: u64,
+    /// The measures the engine was serving (recovery re-warms exactly
+    /// these after each replayed batch, mirroring the live writer).
+    pub measures: Vec<Measure>,
+}
+
+/// A fully validated snapshot: the lake, the net (graph + components +
+/// caches), and the manifest that situates it in the WAL.
+#[derive(Debug)]
+pub struct PersistedState {
+    /// The restored mutable lake (stable ids intact).
+    pub lake: MutableLake,
+    /// The restored net, caches warm exactly as persisted.
+    pub net: DomainNet,
+    /// Snapshot metadata.
+    pub manifest: Manifest,
+}
+
+/// One entry of a snapshot's section table (exposed for corruption tooling
+/// and tests that need to target a specific section).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SectionInfo {
+    /// Section id.
+    pub id: u32,
+    /// Human-readable section name.
+    pub name: &'static str,
+    /// Absolute byte offset of the payload within the file.
+    pub offset: usize,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// Expected CRC-32 of the payload.
+    pub crc: u32,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn encode_manifest(manifest: &Manifest) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(manifest.last_seq);
+    w.put_u64(manifest.epoch);
+    w.put_u64(manifest.measures.len() as u64);
+    for &m in &manifest.measures {
+        put_measure(&mut w, m);
+    }
+    w.into_inner()
+}
+
+fn encode_lake(lake: &MutableLake) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    let slots = lake.table_slots();
+    w.put_u64(slots.len() as u64);
+    for slot in slots {
+        match slot {
+            None => w.put_bool(false),
+            Some(table) => {
+                w.put_bool(true);
+                w.put_str(table.name());
+                w.put_u32(table.column_count() as u32);
+                for column in table.columns() {
+                    w.put_str(column.name());
+                    // Columns are dictionary-encoded natively; persist the
+                    // dictionary + row indices verbatim (small on disk, and
+                    // the loader normalizes once per distinct raw cell
+                    // instead of once per row).
+                    let dictionary = column.dictionary();
+                    w.put_u64(dictionary.len() as u64);
+                    for entry in dictionary {
+                        w.put_str(entry);
+                    }
+                    put_u32_vec(&mut w, column.cell_indices());
+                }
+            }
+        }
+    }
+    let locations = lake.attr_locations();
+    let live = lake.attr_live_flags();
+    w.put_u64(locations.len() as u64);
+    for (i, &(slot, col)) in locations.iter().enumerate() {
+        w.put_u64(slot as u64);
+        w.put_u32(col as u32);
+        w.put_bool(live[i]);
+    }
+    for i in 0..locations.len() {
+        let values = lake.attribute_values(AttrId(i as u32));
+        w.put_u64(values.len() as u64);
+        for v in values {
+            w.put_u32(v.0);
+        }
+    }
+    w.put_u64(lake.interner().len() as u64);
+    for (_, value) in lake.interner().iter() {
+        w.put_str(value);
+    }
+    w.into_inner()
+}
+
+fn encode_graph(graph: &BipartiteGraph, components: &Components) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u64(graph.value_count() as u64);
+    w.put_u64(graph.attribute_count() as u64);
+    put_u64_vec(&mut w, graph.csr_offsets());
+    put_u32_vec(&mut w, graph.csr_adjacency());
+    for label in graph.value_labels() {
+        w.put_str(label);
+    }
+    for label in graph.attribute_labels() {
+        w.put_str(label);
+    }
+    put_u32_vec(&mut w, &components.labels);
+    w.put_u64(components.sizes.len() as u64);
+    for &size in &components.sizes {
+        w.put_u64(size as u64);
+    }
+    w.into_inner()
+}
+
+fn encode_net(state: &NetState) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_bool(state.config.prune_single_attribute_values);
+    w.put_bool(state.config.drop_empty_attributes);
+    w.put_u64(state.generation);
+    put_u32_vec(&mut w, &state.node_of_value);
+    put_u32_vec(&mut w, &state.attr_index_of);
+    w.put_u64(state.attr_id_of_index.len() as u64);
+    for attr in &state.attr_id_of_index {
+        w.put_u32(attr.0);
+    }
+    w.put_u64(state.caches.raw.len() as u64);
+    for (measure, scores) in &state.caches.raw {
+        put_measure(&mut w, *measure);
+        w.put_u64(scores.len() as u64);
+        for &score in scores {
+            w.put_f64(score);
+        }
+    }
+    w.put_u64(state.caches.ranked.len() as u64);
+    for (measure, ranking) in &state.caches.ranked {
+        put_measure(&mut w, *measure);
+        w.put_u64(ranking.len() as u64);
+        for scored in ranking {
+            w.put_str(&scored.value);
+            w.put_f64(scored.score);
+            w.put_u64(scored.attribute_count as u64);
+            w.put_u64(scored.cardinality as u64);
+        }
+    }
+    match &state.caches.meta {
+        None => w.put_bool(false),
+        Some(meta) => {
+            w.put_bool(true);
+            w.put_u64(meta.len() as u64);
+            for &(attrs, card) in meta {
+                w.put_u64(attrs as u64);
+                w.put_u64(card as u64);
+            }
+        }
+    }
+    w.into_inner()
+}
+
+/// Encode a complete snapshot into bytes. Deterministic: the same state
+/// always produces the same bytes.
+pub fn encode_snapshot(lake: &MutableLake, net: &DomainNet, manifest: &Manifest) -> Vec<u8> {
+    let sections: Vec<(u32, Vec<u8>)> = vec![
+        (SECTION_MANIFEST, encode_manifest(manifest)),
+        (SECTION_LAKE, encode_lake(lake)),
+        (SECTION_GRAPH, encode_graph(net.graph(), net.components())),
+        (SECTION_NET, encode_net(&net.export_state())),
+    ];
+
+    let header_len = SNAPSHOT_MAGIC.len() + 4 + 4 + sections.len() * (4 + 8 + 8 + 4);
+    let mut w = ByteWriter::new();
+    w.put_bytes(SNAPSHOT_MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_u32(sections.len() as u32);
+    let mut offset = header_len as u64;
+    for (id, payload) in &sections {
+        w.put_u32(*id);
+        w.put_u64(offset);
+        w.put_u64(payload.len() as u64);
+        w.put_u32(crc32(payload));
+        offset += payload.len() as u64;
+    }
+    for (_, payload) in &sections {
+        w.put_bytes(payload);
+    }
+    w.into_inner()
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Parse and bounds-check a snapshot's section table without touching the
+/// payloads. Exposed so tests and tooling can locate sections precisely.
+pub fn section_table(bytes: &[u8]) -> Result<Vec<SectionInfo>> {
+    let mut r = ByteReader::new(bytes, "snapshot header");
+    let magic = r.take(SNAPSHOT_MAGIC.len())?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(StoreError::BadMagic {
+            found: magic.to_vec(),
+            expected: SNAPSHOT_MAGIC,
+        });
+    }
+    let version = r.get_u32()?;
+    if version != FORMAT_VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let count = r.get_u32()? as usize;
+    if count.saturating_mul(4 + 8 + 8 + 4) > r.remaining() {
+        return Err(StoreError::Truncated {
+            context: "snapshot header: section table".into(),
+        });
+    }
+    let mut sections = Vec::with_capacity(count);
+    for _ in 0..count {
+        let id = r.get_u32()?;
+        let offset = r.get_u64()?;
+        let len = r.get_u64()?;
+        let crc = r.get_u32()?;
+        let offset =
+            usize::try_from(offset).map_err(|_| StoreError::corrupt("section offset overflows"))?;
+        let len =
+            usize::try_from(len).map_err(|_| StoreError::corrupt("section length overflows"))?;
+        let end = offset.checked_add(len).filter(|&end| end <= bytes.len());
+        if end.is_none() {
+            return Err(StoreError::Truncated {
+                context: format!("section '{}' payload", section_name(id)),
+            });
+        }
+        sections.push(SectionInfo {
+            id,
+            name: section_name(id),
+            offset,
+            len,
+            crc,
+        });
+    }
+    Ok(sections)
+}
+
+fn section_payload<'a>(bytes: &'a [u8], sections: &[SectionInfo], id: u32) -> Result<&'a [u8]> {
+    let info = sections
+        .iter()
+        .find(|s| s.id == id)
+        .ok_or_else(|| StoreError::corrupt(format!("missing section '{}'", section_name(id))))?;
+    let payload = &bytes[info.offset..info.offset + info.len];
+    if crc32(payload) != info.crc {
+        return Err(StoreError::SectionCrc {
+            section: section_name(id),
+        });
+    }
+    Ok(payload)
+}
+
+fn decode_manifest(payload: &[u8]) -> Result<Manifest> {
+    let mut r = ByteReader::new(payload, "manifest");
+    let last_seq = r.get_u64()?;
+    let epoch = r.get_u64()?;
+    let count = r.get_count(1)?;
+    let measures = (0..count)
+        .map(|_| get_measure(&mut r))
+        .collect::<Result<Vec<Measure>>>()?;
+    r.expect_exhausted()?;
+    Ok(Manifest {
+        last_seq,
+        epoch,
+        measures,
+    })
+}
+
+fn decode_lake(payload: &[u8]) -> Result<MutableLake> {
+    let mut r = ByteReader::new(payload, "lake");
+    let slot_count = r.get_count(1)?;
+    let mut tables = Vec::with_capacity(slot_count);
+    for _ in 0..slot_count {
+        if !r.get_bool()? {
+            tables.push(None);
+            continue;
+        }
+        let name = r.get_str()?;
+        let col_count = r.get_u32()? as usize;
+        let mut columns = Vec::with_capacity(col_count.min(r.remaining()));
+        for _ in 0..col_count {
+            let col_name = r.get_str()?;
+            let dict_count = r.get_count(8)?;
+            let dictionary = (0..dict_count)
+                .map(|_| r.get_str())
+                .collect::<Result<Vec<String>>>()?;
+            let indices = r.get_u32_vec()?;
+            let column = lake::Column::from_dictionary(col_name, dictionary, indices)
+                .map_err(|e| StoreError::corrupt(format!("lake: {e}")))?;
+            columns.push(column);
+        }
+        tables.push(Some(lake::Table::from_columns(name, columns)));
+    }
+    let attr_count = r.get_count(8 + 4 + 1)?;
+    let mut locations = Vec::with_capacity(attr_count);
+    let mut live = Vec::with_capacity(attr_count);
+    for _ in 0..attr_count {
+        let slot = r.get_u64()? as usize;
+        let col = r.get_u32()? as usize;
+        locations.push((slot, col));
+        live.push(r.get_bool()?);
+    }
+    let mut attr_values = Vec::with_capacity(attr_count);
+    for _ in 0..attr_count {
+        let values = r.get_u32_vec()?.into_iter().map(ValueId).collect();
+        attr_values.push(values);
+    }
+    let value_count = r.get_count(8)?;
+    let interner_values = (0..value_count)
+        .map(|_| r.get_str())
+        .collect::<Result<Vec<String>>>()?;
+    r.expect_exhausted()?;
+
+    MutableLake::from_raw_parts(tables, locations, live, attr_values, interner_values)
+        .map_err(|e| StoreError::corrupt(format!("lake: {e}")))
+}
+
+fn decode_graph(payload: &[u8]) -> Result<(BipartiteGraph, Components)> {
+    let mut r = ByteReader::new(payload, "graph");
+    let n_values = r.get_u64()? as usize;
+    let n_attrs = r.get_u64()? as usize;
+    let offsets = r.get_u64_vec()?;
+    let adjacency = r.get_u32_vec()?;
+    if n_values
+        .checked_add(n_attrs)
+        .filter(|&n| n <= r.remaining())
+        .is_none()
+    {
+        return Err(StoreError::Truncated {
+            context: "graph: label tables".into(),
+        });
+    }
+    let value_labels = (0..n_values)
+        .map(|_| r.get_str())
+        .collect::<Result<Vec<String>>>()?;
+    let attr_labels = (0..n_attrs)
+        .map(|_| r.get_str())
+        .collect::<Result<Vec<String>>>()?;
+    let labels = r.get_u32_vec()?;
+    let size_count = r.get_count(8)?;
+    let sizes = (0..size_count)
+        .map(|_| r.get_u64().map(|s| s as usize))
+        .collect::<Result<Vec<usize>>>()?;
+    r.expect_exhausted()?;
+
+    let graph = BipartiteGraph::try_from_parts(
+        n_values,
+        n_attrs,
+        offsets,
+        adjacency,
+        value_labels,
+        attr_labels,
+    )
+    .map_err(|e| StoreError::corrupt(format!("graph: {e}")))?;
+    let components = Components { labels, sizes };
+    components
+        .validate_against(&graph)
+        .map_err(|e| StoreError::corrupt(format!("components: {e}")))?;
+    Ok((graph, components))
+}
+
+fn decode_net_state(payload: &[u8]) -> Result<NetState> {
+    let mut r = ByteReader::new(payload, "net");
+    let prune_single_attribute_values = r.get_bool()?;
+    let drop_empty_attributes = r.get_bool()?;
+    let generation = r.get_u64()?;
+    let node_of_value = r.get_u32_vec()?;
+    let attr_index_of = r.get_u32_vec()?;
+    let attr_id_of_index = r.get_u32_vec()?.into_iter().map(AttrId).collect();
+    let raw_count = r.get_count(1)?;
+    let mut raw = Vec::with_capacity(raw_count);
+    for _ in 0..raw_count {
+        let measure = get_measure(&mut r)?;
+        let len = r.get_count(8)?;
+        let scores = (0..len)
+            .map(|_| r.get_f64())
+            .collect::<Result<Vec<f64>>>()?;
+        raw.push((measure, scores));
+    }
+    let ranked_count = r.get_count(1)?;
+    let mut ranked = Vec::with_capacity(ranked_count);
+    for _ in 0..ranked_count {
+        let measure = get_measure(&mut r)?;
+        let len = r.get_count(8 + 8 + 8 + 8)?;
+        let mut ranking = Vec::with_capacity(len);
+        for _ in 0..len {
+            let value = r.get_str()?;
+            let score = r.get_f64()?;
+            let attribute_count = r.get_u64()? as usize;
+            let cardinality = r.get_u64()? as usize;
+            ranking.push(ScoredValue {
+                value,
+                score,
+                attribute_count,
+                cardinality,
+            });
+        }
+        ranked.push((measure, ranking));
+    }
+    let meta = if r.get_bool()? {
+        let len = r.get_count(16)?;
+        let pairs = (0..len)
+            .map(|_| {
+                let attrs = r.get_u64()? as usize;
+                let card = r.get_u64()? as usize;
+                Ok((attrs, card))
+            })
+            .collect::<Result<Vec<(usize, usize)>>>()?;
+        Some(pairs)
+    } else {
+        None
+    };
+    r.expect_exhausted()?;
+
+    let config = domainnet::pipeline::DomainNetConfig {
+        prune_single_attribute_values,
+        drop_empty_attributes,
+    };
+    Ok(NetState {
+        config,
+        generation,
+        node_of_value,
+        attr_index_of,
+        attr_id_of_index,
+        caches: NetCachesState { raw, ranked, meta },
+    })
+}
+
+/// Cross-check the restored lake against the restored graph + net state:
+/// every mapped value id must carry the same label on both sides, ditto
+/// for live attributes, and the id spaces must line up. Runs against the
+/// decoded [`NetState`] *before* it is consumed by
+/// [`DomainNet::from_parts`], so the check reads the id maps in place
+/// instead of cloning the score caches back out.
+fn validate_lake_net_agreement(
+    lake: &MutableLake,
+    graph: &BipartiteGraph,
+    state: &NetState,
+) -> Result<()> {
+    let state_len = |what: &str, got: usize, want: usize| -> Result<()> {
+        if got != want {
+            return Err(StoreError::corrupt(format!(
+                "net {what} covers {got} ids but the lake has {want}"
+            )));
+        }
+        Ok(())
+    };
+    // The net's id maps must span exactly the lake's id spaces.
+    state_len("value map", state.node_of_value.len(), lake.value_count())?;
+    state_len(
+        "attribute map",
+        state.attr_index_of.len(),
+        LakeView::attribute_count(lake),
+    )?;
+    for (vid, &node) in state.node_of_value.iter().enumerate() {
+        if node == u32::MAX {
+            continue;
+        }
+        let lake_label = LakeView::value(lake, ValueId(vid as u32));
+        let graph_label = graph
+            .value_labels()
+            .get(node as usize)
+            .map(String::as_str)
+            .ok_or_else(|| {
+                StoreError::corrupt(format!("value {vid} maps to node {node} out of range"))
+            })?;
+        if lake_label != Some(graph_label) {
+            return Err(StoreError::corrupt(format!(
+                "value {vid}: lake says {lake_label:?}, graph node {node} says {graph_label:?}"
+            )));
+        }
+    }
+    for (attr_idx, &index) in state.attr_index_of.iter().enumerate() {
+        if index == u32::MAX {
+            continue;
+        }
+        let attr = AttrId(attr_idx as u32);
+        // Tombstoned lake attributes legitimately keep a (stale-labeled)
+        // graph node; only live ones must agree on the label.
+        if let Some(aref) = lake.attribute_ref(attr) {
+            let graph_label = graph
+                .attribute_labels()
+                .get(index as usize)
+                .map(String::as_str)
+                .ok_or_else(|| {
+                    StoreError::corrupt(format!(
+                        "attribute {attr_idx} maps to index {index} out of range"
+                    ))
+                })?;
+            if aref.qualified() != graph_label {
+                return Err(StoreError::corrupt(format!(
+                    "attribute {attr_idx}: lake says '{}', graph says '{graph_label}'",
+                    aref.qualified()
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Decode and fully validate a snapshot from bytes.
+pub fn decode_snapshot(bytes: &[u8]) -> Result<PersistedState> {
+    let sections = section_table(bytes)?;
+    let manifest = decode_manifest(section_payload(bytes, &sections, SECTION_MANIFEST)?)?;
+    let lake = decode_lake(section_payload(bytes, &sections, SECTION_LAKE)?)?;
+    let (graph, components) = decode_graph(section_payload(bytes, &sections, SECTION_GRAPH)?)?;
+    let state = decode_net_state(section_payload(bytes, &sections, SECTION_NET)?)?;
+    validate_lake_net_agreement(&lake, &graph, &state)?;
+    let net = DomainNet::from_parts(graph, components, state)
+        .map_err(|e| StoreError::corrupt(format!("net: {e}")))?;
+    Ok(PersistedState {
+        lake,
+        net,
+        manifest,
+    })
+}
+
+/// Write a snapshot atomically: encode, write to a sibling temp file,
+/// fsync, then rename into place. Returns the snapshot size in bytes.
+pub fn write_snapshot(
+    path: &Path,
+    lake: &MutableLake,
+    net: &DomainNet,
+    manifest: &Manifest,
+) -> Result<u64> {
+    let bytes = encode_snapshot(lake, net, manifest);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs::File::create(&tmp).map_err(|e| StoreError::io_with_path(e, &tmp))?;
+        file.write_all(&bytes)
+            .map_err(|e| StoreError::io_with_path(e, &tmp))?;
+        file.sync_all()
+            .map_err(|e| StoreError::io_with_path(e, &tmp))?;
+    }
+    fs::rename(&tmp, path).map_err(|e| StoreError::io_with_path(e, path))?;
+    Ok(bytes.len() as u64)
+}
+
+/// Read and fully validate a snapshot file.
+pub fn read_snapshot(path: &Path) -> Result<PersistedState> {
+    let bytes = fs::read(path).map_err(|e| StoreError::io_with_path(e, path))?;
+    decode_snapshot(&bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domainnet::DomainNetBuilder;
+    use lake::delta::LakeDelta;
+    use lake::table::TableBuilder;
+
+    fn sample_state() -> (MutableLake, DomainNet, Manifest) {
+        let mut lake = MutableLake::from_catalog(&lake::fixtures::running_example());
+        let mut net = DomainNetBuilder::new()
+            .prune_single_attribute_values(false)
+            .build(&lake);
+        let measures = vec![Measure::lcc(), Measure::exact_bc()];
+        net.warm_rankings(&measures);
+        // Fold in a mutation so tombstones and generation > 0 are exercised.
+        let effects = lake
+            .apply(
+                &LakeDelta::new().remove_table("T3").add_table(
+                    TableBuilder::new("T9")
+                        .column("animal", ["Jaguar", "Okapi"])
+                        .build()
+                        .unwrap(),
+                ),
+            )
+            .unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        net.warm_rankings(&measures);
+        let manifest = Manifest {
+            last_seq: 17,
+            epoch: 3,
+            measures,
+        };
+        (lake, net, manifest)
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let (lake, net, manifest) = sample_state();
+        let bytes = encode_snapshot(&lake, &net, &manifest);
+        let restored = decode_snapshot(&bytes).unwrap();
+
+        assert_eq!(restored.manifest, manifest);
+        // Lake: identical id spaces and live structure.
+        assert_eq!(restored.lake.live_table_names(), lake.live_table_names());
+        assert_eq!(
+            LakeView::incidence_count(&restored.lake),
+            LakeView::incidence_count(&lake)
+        );
+        for vid in (0..lake.value_count() as u32).map(ValueId) {
+            assert_eq!(
+                LakeView::value(&restored.lake, vid),
+                LakeView::value(&lake, vid)
+            );
+        }
+        // Graph: identical CSR arrays.
+        assert_eq!(
+            restored.net.graph().csr_offsets(),
+            net.graph().csr_offsets()
+        );
+        assert_eq!(
+            restored.net.graph().csr_adjacency(),
+            net.graph().csr_adjacency()
+        );
+        // Net state (scores compared via PartialEq on the export).
+        assert_eq!(restored.net.export_state(), net.export_state());
+        // Re-encoding the restored state is byte-identical: the format is
+        // deterministic and nothing was lost.
+        assert_eq!(
+            encode_snapshot(&restored.lake, &restored.net, &restored.manifest),
+            bytes
+        );
+    }
+
+    #[test]
+    fn restored_rankings_are_served_from_the_memo() {
+        let (lake, net, manifest) = sample_state();
+        let bytes = encode_snapshot(&lake, &net, &manifest);
+        let restored = decode_snapshot(&bytes).unwrap();
+        for &measure in &manifest.measures {
+            let a = net.rank_shared(measure);
+            let b = restored.net.rank_shared(measure);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.value, y.value);
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "{}", x.value);
+            }
+        }
+    }
+
+    #[test]
+    fn section_table_locates_all_four_sections() {
+        let (lake, net, manifest) = sample_state();
+        let bytes = encode_snapshot(&lake, &net, &manifest);
+        let sections = section_table(&bytes).unwrap();
+        let ids: Vec<u32> = sections.iter().map(|s| s.id).collect();
+        assert_eq!(
+            ids,
+            vec![SECTION_MANIFEST, SECTION_LAKE, SECTION_GRAPH, SECTION_NET]
+        );
+        let total: usize = sections.iter().map(|s| s.len).sum();
+        let last = sections.last().unwrap();
+        assert_eq!(last.offset + last.len, bytes.len());
+        assert!(total < bytes.len());
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_exact() {
+        let dir = crate::testutil::scratch_dir("snapfile");
+        let (lake, net, manifest) = sample_state();
+        let path = dir.join("snap.dnsnap");
+        let bytes_written = write_snapshot(&path, &lake, &net, &manifest).unwrap();
+        assert_eq!(bytes_written, fs::metadata(&path).unwrap().len());
+        assert!(
+            !path.with_extension("tmp").exists(),
+            "temp file renamed away"
+        );
+        let restored = read_snapshot(&path).unwrap();
+        assert_eq!(restored.net.export_state(), net.export_state());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,550 @@
+//! The on-disk store: a directory holding snapshots and one WAL, plus the
+//! crash-recovery path that reunites them.
+//!
+//! ## Directory layout and lifecycle
+//!
+//! ```text
+//! <dir>/
+//!   snapshot-00000000000000000000.dnsnap   initial checkpoint (batch seq 0)
+//!   snapshot-00000000000000000042.dnsnap   latest checkpoint  (≤ 2 kept)
+//!   wal.dnlog                              batches after the newest snapshot
+//! ```
+//!
+//! * [`Store::create`] initializes an empty directory (fresh WAL; the
+//!   caller writes the initial checkpoint).
+//! * [`Store::append_batch`] durably logs one committed batch and assigns
+//!   it the next sequence number.
+//! * [`Store::checkpoint`] writes a new snapshot (atomic temp-file +
+//!   rename), **then** trims the WAL and prunes old snapshots — the log is
+//!   only shortened once the snapshot that replaces it is on disk.
+//! * [`Store::recover`] loads the newest readable snapshot (falling back
+//!   to older ones if the newest is corrupt), replays the WAL suffix
+//!   through the same incremental path the live writer uses, truncates any
+//!   torn tail, and returns a lake + net equal to a never-crashed run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use domainnet::{DomainNet, Measure};
+use lake::delta::{LakeDelta, MutableLake};
+
+use crate::error::{Result, StoreError};
+use crate::snapshot::{read_snapshot, write_snapshot, Manifest};
+use crate::wal::{scan_wal, Wal};
+
+const SNAPSHOT_PREFIX: &str = "snapshot-";
+const SNAPSHOT_SUFFIX: &str = ".dnsnap";
+const WAL_FILE: &str = "wal.dnlog";
+/// How many snapshot generations survive a checkpoint (the newest plus one
+/// fallback, so a crash *during* corruption of the newest file still
+/// recovers).
+const SNAPSHOTS_KEPT: usize = 2;
+
+/// A handle on one store directory with an open, append-ready WAL.
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+    wal: Wal,
+    next_seq: u64,
+}
+
+/// The outcome of [`Store::recover`]: engine state equal (to the bit) to
+/// what a never-crashed writer held after its last durable commit.
+#[derive(Debug)]
+pub struct Recovered {
+    /// The recovered lake, stable ids intact.
+    pub lake: MutableLake,
+    /// The recovered net, caches warmed for [`Recovered::measures`].
+    pub net: DomainNet,
+    /// The serving epoch the engine resumes publishing from (the highest
+    /// of the snapshot's epoch and the replayed records' epoch tags + 1).
+    pub epoch: u64,
+    /// The epoch recorded in the snapshot recovery started from (i.e. the
+    /// epoch of the last on-disk checkpoint; checkpoint policies measure
+    /// from here).
+    pub snapshot_epoch: u64,
+    /// The measures the crashed engine was serving.
+    pub measures: Vec<Measure>,
+    /// The last batch sequence number folded into the recovered state.
+    pub last_seq: u64,
+    /// WAL batches replayed on top of the snapshot.
+    pub replayed_batches: usize,
+    /// Replayed batches that failed mid-apply and triggered the same
+    /// rebuild-from-live-state escape hatch the live writer uses.
+    pub resyncs: usize,
+    /// Snapshot files that were present but unreadable and skipped.
+    pub snapshots_skipped: usize,
+    /// WAL batches that chained onto a skipped (corrupt) newer snapshot
+    /// and were truncated away during a fallback recovery.
+    pub wal_batches_discarded: usize,
+}
+
+fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("{SNAPSHOT_PREFIX}{seq:020}{SNAPSHOT_SUFFIX}"))
+}
+
+/// List `(seq, path)` of the snapshot files in `dir`, newest first.
+pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir).map_err(|e| StoreError::io_with_path(e, dir))? {
+        let entry = entry.map_err(|e| StoreError::io_with_path(e, dir))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(stem) = name
+            .strip_prefix(SNAPSHOT_PREFIX)
+            .and_then(|s| s.strip_suffix(SNAPSHOT_SUFFIX))
+        else {
+            continue;
+        };
+        if let Ok(seq) = stem.parse::<u64>() {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort_by_key(|&(seq, _)| std::cmp::Reverse(seq));
+    Ok(out)
+}
+
+impl Store {
+    /// Initialize a store in `dir` (created if missing). Fails with a
+    /// typed error if the directory already holds store files — opening an
+    /// existing store goes through [`Store::recover`].
+    pub fn create(dir: impl Into<PathBuf>) -> Result<Store> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir).map_err(|e| StoreError::io_with_path(e, &dir))?;
+        if !list_snapshots(&dir)?.is_empty() || dir.join(WAL_FILE).exists() {
+            return Err(StoreError::corrupt(format!(
+                "{} already contains a store; recover it instead of re-creating",
+                dir.display()
+            )));
+        }
+        let wal = Wal::create(&dir.join(WAL_FILE))?;
+        Ok(Store {
+            dir,
+            wal,
+            next_seq: 1,
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The sequence number the next appended batch will get.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The highest sequence number handed out so far (0 before the first
+    /// append).
+    pub fn last_seq(&self) -> u64 {
+        self.next_seq - 1
+    }
+
+    /// Bytes of batch records currently in the WAL (what the size-based
+    /// checkpoint policy meters).
+    pub fn wal_record_bytes(&self) -> u64 {
+        self.wal.record_bytes()
+    }
+
+    /// Durably append one committed batch, tagged with the writer's
+    /// current serving `epoch`, returning its assigned sequence number.
+    /// When this returns `Ok`, the batch survives a crash.
+    pub fn append_batch(&mut self, epoch: u64, batch: &[LakeDelta]) -> Result<u64> {
+        let seq = self.next_seq;
+        self.wal.append(seq, epoch, batch)?;
+        self.next_seq += 1;
+        Ok(seq)
+    }
+
+    /// Write a checkpoint of the given engine state, then trim the WAL and
+    /// prune snapshots beyond the newest two. Returns the
+    /// snapshot size in bytes.
+    ///
+    /// The ordering is the crash-safety argument: the snapshot lands via
+    /// temp-file + rename *before* the WAL shrinks, so at every instant the
+    /// directory holds a snapshot + WAL-suffix pair that reproduces the
+    /// full state.
+    pub fn checkpoint(
+        &mut self,
+        lake: &MutableLake,
+        net: &DomainNet,
+        epoch: u64,
+        measures: &[Measure],
+    ) -> Result<u64> {
+        let manifest = Manifest {
+            last_seq: self.last_seq(),
+            epoch,
+            measures: measures.to_vec(),
+        };
+        let path = snapshot_path(&self.dir, manifest.last_seq);
+        let bytes = write_snapshot(&path, lake, net, &manifest)?;
+        self.wal.reset()?;
+        for (_, old) in list_snapshots(&self.dir)?.into_iter().skip(SNAPSHOTS_KEPT) {
+            fs::remove_file(&old).map_err(|e| StoreError::io_with_path(e, &old))?;
+        }
+        Ok(bytes)
+    }
+
+    /// Recover a store directory after a crash (or a clean shutdown — the
+    /// two are indistinguishable and handled identically).
+    ///
+    /// Loads the newest snapshot that validates (skipping corrupt ones),
+    /// then replays every WAL batch with a sequence number beyond the
+    /// snapshot through `MutableLake::apply_batch` →
+    /// [`DomainNet::apply_delta`] — the exact code path the live writer
+    /// runs, including its failure semantics (a batch that fails mid-apply
+    /// leaves its earlier ops applied and triggers a rebuild from live
+    /// state) and its re-warming of the served measures after every batch,
+    /// so incremental approximate-BC estimates continue the same
+    /// generation-salted sequence. Any torn WAL tail is truncated.
+    ///
+    /// When the newest snapshot is unreadable and recovery falls back to
+    /// an older one, WAL records that chained onto the *newest* snapshot
+    /// cannot apply to the older base; replay stops at the first such
+    /// record and the unreplayable suffix is truncated (reported via
+    /// [`Recovered::wal_batches_discarded`]) — recovering the older state
+    /// beats refusing outright. A sequence gap while recovering from the
+    /// newest snapshot, by contrast, means acknowledged batches vanished
+    /// and stays a hard [`StoreError::Corrupt`].
+    pub fn recover(dir: impl Into<PathBuf>) -> Result<(Store, Recovered)> {
+        let dir = dir.into();
+        let snapshots = list_snapshots(&dir)?;
+        if snapshots.is_empty() {
+            return Err(StoreError::MissingSnapshot { dir });
+        }
+        let mut skipped = 0usize;
+        let mut loaded = None;
+        let mut last_error = None;
+        for (_, path) in &snapshots {
+            match read_snapshot(path) {
+                Ok(state) => {
+                    loaded = Some(state);
+                    break;
+                }
+                Err(err) => {
+                    skipped += 1;
+                    last_error = Some(err);
+                }
+            }
+        }
+        let Some(state) = loaded else {
+            return Err(last_error.expect("at least one snapshot was tried"));
+        };
+        let (mut lake, mut net, manifest) = (state.lake, state.net, state.manifest);
+
+        let wal_path = dir.join(WAL_FILE);
+        let scan = if wal_path.exists() {
+            scan_wal(&wal_path)?
+        } else {
+            // The WAL can be legitimately absent only if a crash hit the
+            // instant between snapshot rename and WAL creation; recover
+            // from the snapshot alone.
+            crate::wal::WalScan {
+                records: Vec::new(),
+                valid_len: 0,
+                file_len: 0,
+                torn: None,
+            }
+        };
+
+        let mut last_seq = manifest.last_seq;
+        let mut epoch = manifest.epoch;
+        let mut replayed = 0usize;
+        let mut resyncs = 0usize;
+        let mut discarded = 0usize;
+        let mut truncate_to = scan.valid_len;
+        for record in &scan.records {
+            if record.seq <= manifest.last_seq {
+                continue; // already folded into the snapshot
+            }
+            if record.seq != last_seq + 1 {
+                if skipped == 0 {
+                    return Err(StoreError::corrupt(format!(
+                        "WAL gap: batch {} follows batch {last_seq}",
+                        record.seq
+                    )));
+                }
+                // Fallback past the snapshot these records extended: drop
+                // the unreplayable suffix so future appends (which resume
+                // at last_seq + 1) keep the on-disk sequence monotone.
+                truncate_to = record.offset;
+                discarded = scan
+                    .records
+                    .iter()
+                    .filter(|r| r.offset >= record.offset)
+                    .count();
+                break;
+            }
+            match lake.apply_batch(record.batch.iter()) {
+                Ok(effects) => {
+                    if net.apply_delta(&lake, &effects).is_err() {
+                        net.refresh(&lake);
+                        resyncs += 1;
+                    }
+                }
+                Err(_) => {
+                    // Mirror `Writer::commit`: the failing op stopped the
+                    // batch with earlier ops applied; rebuild the net from
+                    // the lake's live state and carry on.
+                    net.refresh(&lake);
+                    resyncs += 1;
+                }
+            }
+            net.warm_rankings(&manifest.measures);
+            last_seq = record.seq;
+            // The record was committed while `record.epoch` was published;
+            // the live writer's next publish would have been epoch + 1, so
+            // recovery resumes numbering there (never below the snapshot's).
+            epoch = epoch.max(record.epoch + 1);
+            replayed += 1;
+        }
+
+        let wal = Wal::open_truncated(&wal_path, truncate_to)?;
+        let store = Store {
+            dir,
+            wal,
+            next_seq: last_seq + 1,
+        };
+        let recovered = Recovered {
+            lake,
+            net,
+            epoch,
+            snapshot_epoch: manifest.epoch,
+            measures: manifest.measures,
+            last_seq,
+            replayed_batches: replayed,
+            resyncs,
+            snapshots_skipped: skipped,
+            wal_batches_discarded: discarded,
+        };
+        Ok((store, recovered))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use domainnet::DomainNetBuilder;
+    use lake::delta::LakeView;
+    use lake::table::TableBuilder;
+
+    fn test_dir(name: &str) -> PathBuf {
+        // Store::create wants to create the directory itself.
+        let dir = crate::testutil::scratch_dir(name);
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn engine() -> (MutableLake, DomainNet, Vec<Measure>) {
+        let lake = MutableLake::from_catalog(&lake::fixtures::running_example());
+        let net = DomainNetBuilder::new()
+            .prune_single_attribute_values(false)
+            .build(&lake);
+        let measures = vec![Measure::lcc(), Measure::exact_bc()];
+        net.warm_rankings(&measures);
+        (lake, net, measures)
+    }
+
+    fn delta(i: u32) -> LakeDelta {
+        LakeDelta::new().add_table(
+            TableBuilder::new(format!("extra_{i}"))
+                .column("animal", ["Jaguar", "Okapi", "Zebra"])
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn create_checkpoint_recover_round_trip() {
+        let dir = test_dir("roundtrip");
+        let (mut lake, mut net, measures) = engine();
+        let mut store = Store::create(&dir).unwrap();
+        store.checkpoint(&lake, &net, 0, &measures).unwrap();
+
+        // Two durable batches after the checkpoint.
+        for i in 0..2u32 {
+            let batch = vec![delta(i)];
+            store.append_batch(0, &batch).unwrap();
+            let effects = lake.apply_batch(batch.iter()).unwrap();
+            net.apply_delta(&lake, &effects).unwrap();
+            net.warm_rankings(&measures);
+        }
+        drop(store); // "crash"
+
+        let (store, recovered) = Store::recover(&dir).unwrap();
+        assert_eq!(recovered.replayed_batches, 2);
+        assert_eq!(recovered.resyncs, 0);
+        assert_eq!(recovered.last_seq, 2);
+        assert_eq!(store.next_seq(), 3);
+        assert_eq!(recovered.lake.live_table_names(), lake.live_table_names());
+        assert_eq!(recovered.net.export_state(), net.export_state());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_trims_wal_and_prunes_snapshots() {
+        let dir = test_dir("trim");
+        let (mut lake, mut net, measures) = engine();
+        let mut store = Store::create(&dir).unwrap();
+        store.checkpoint(&lake, &net, 0, &measures).unwrap();
+        for i in 0..3u32 {
+            let batch = vec![delta(i)];
+            store.append_batch(0, &batch).unwrap();
+            let effects = lake.apply_batch(batch.iter()).unwrap();
+            net.apply_delta(&lake, &effects).unwrap();
+            net.warm_rankings(&measures);
+            store
+                .checkpoint(&lake, &net, u64::from(i) + 1, &measures)
+                .unwrap();
+            assert_eq!(store.wal_record_bytes(), 0, "checkpoint trims the log");
+        }
+        let snaps = list_snapshots(&dir).unwrap();
+        assert_eq!(snaps.len(), SNAPSHOTS_KEPT, "old snapshots pruned");
+        assert_eq!(snaps[0].0, 3, "newest snapshot covers the last batch");
+
+        let (_, recovered) = Store::recover(&dir).unwrap();
+        assert_eq!(recovered.replayed_batches, 0, "everything checkpointed");
+        assert_eq!(recovered.net.export_state(), net.export_state());
+        assert_eq!(recovered.epoch, 3);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recovery_falls_back_to_an_older_snapshot() {
+        let dir = test_dir("fallback");
+        let (mut lake, mut net, measures) = engine();
+        let mut store = Store::create(&dir).unwrap();
+        store.checkpoint(&lake, &net, 0, &measures).unwrap();
+        let batch = vec![delta(0)];
+        store.append_batch(0, &batch).unwrap();
+        let effects = lake.apply_batch(batch.iter()).unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        net.warm_rankings(&measures);
+        store.checkpoint(&lake, &net, 1, &measures).unwrap();
+        drop(store);
+
+        // Corrupt the newest snapshot; recovery must fall back to seq 0.
+        // The WAL was trimmed at the newest checkpoint, so the fallback
+        // recovers the *older* state — strictly better than refusing.
+        let newest = list_snapshots(&dir).unwrap()[0].1.clone();
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+
+        let (_, recovered) = Store::recover(&dir).unwrap();
+        assert_eq!(recovered.snapshots_skipped, 1);
+        assert_eq!(recovered.epoch, 0);
+        assert_eq!(
+            LakeView::value_count(&recovered.lake),
+            lake::fixtures::running_example().value_count()
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fallback_with_unreplayable_wal_suffix_truncates_it() {
+        // Checkpoint at seq 1 trimmed the WAL; batches 2 and 3 were then
+        // appended. If snapshot-1 rots, those records cannot chain onto
+        // the older snapshot-0 — recovery must return the snapshot-0
+        // state and truncate the unreplayable suffix instead of refusing.
+        let dir = test_dir("fallback_wal");
+        let (mut lake, mut net, measures) = engine();
+        let mut store = Store::create(&dir).unwrap();
+        store.checkpoint(&lake, &net, 0, &measures).unwrap();
+        let baseline_tables = lake.live_table_names().len();
+        for i in 0..3u32 {
+            let batch = vec![delta(i)];
+            store.append_batch(0, &batch).unwrap();
+            let effects = lake.apply_batch(batch.iter()).unwrap();
+            net.apply_delta(&lake, &effects).unwrap();
+            net.warm_rankings(&measures);
+            if i == 0 {
+                store.checkpoint(&lake, &net, 1, &measures).unwrap();
+            }
+        }
+        drop(store);
+
+        let newest = list_snapshots(&dir).unwrap()[0].1.clone();
+        let mut bytes = fs::read(&newest).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&newest, &bytes).unwrap();
+
+        let (mut store, recovered) = Store::recover(&dir).unwrap();
+        assert_eq!(recovered.snapshots_skipped, 1);
+        assert_eq!(recovered.replayed_batches, 0);
+        assert_eq!(recovered.wal_batches_discarded, 2, "seqs 2 and 3 dropped");
+        assert_eq!(recovered.last_seq, 0);
+        assert_eq!(
+            recovered.lake.live_table_names().len(),
+            baseline_tables,
+            "the snapshot-0 state came back"
+        );
+        assert_eq!(store.wal_record_bytes(), 0, "suffix truncated");
+        // The store keeps working: appends resume at seq 1 and a fresh
+        // recovery replays them.
+        let batch = vec![delta(9)];
+        assert_eq!(store.append_batch(0, &batch).unwrap(), 1);
+        drop(store);
+        let newest = list_snapshots(&dir).unwrap()[0].1.clone();
+        fs::remove_file(&newest).unwrap(); // drop the corrupt file entirely
+        let (_, recovered) = Store::recover(&dir).unwrap();
+        assert_eq!(recovered.replayed_batches, 1);
+        assert!(recovered.lake.table("extra_9").is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn create_refuses_an_existing_store() {
+        let dir = test_dir("refuse");
+        let (lake, net, measures) = engine();
+        let mut store = Store::create(&dir).unwrap();
+        store.checkpoint(&lake, &net, 0, &measures).unwrap();
+        drop(store);
+        assert!(matches!(
+            Store::create(&dir).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_on_an_empty_dir_is_missing_snapshot() {
+        let dir = test_dir("empty");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(matches!(
+            Store::recover(&dir).unwrap_err(),
+            StoreError::MissingSnapshot { .. }
+        ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failed_batches_replay_with_the_live_resync_semantics() {
+        let dir = test_dir("resync");
+        let (mut lake, mut net, measures) = engine();
+        let mut store = Store::create(&dir).unwrap();
+        store.checkpoint(&lake, &net, 0, &measures).unwrap();
+
+        // A batch whose second delta fails: the first sticks, live path
+        // resyncs. Log it exactly as the live writer would have.
+        let batch = vec![delta(0), LakeDelta::new().remove_table("ghost")];
+        store.append_batch(0, &batch).unwrap();
+        assert!(lake.apply_batch(batch.iter()).is_err());
+        net.refresh(&lake);
+        net.warm_rankings(&measures);
+        drop(store);
+
+        let (_, recovered) = Store::recover(&dir).unwrap();
+        assert_eq!(recovered.resyncs, 1);
+        assert_eq!(
+            recovered.lake.live_table_names(),
+            lake.live_table_names(),
+            "partial batch application is reproduced"
+        );
+        assert_eq!(recovered.net.export_state(), net.export_state());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -18,10 +18,14 @@
 //! * [`domainnet`] — the DomainNet pipeline (the paper's contribution).
 //! * [`d4`] — the D4 domain-discovery baseline.
 //! * [`datagen`] — benchmark and workload generators.
+//! * [`dn_store`] — durable snapshots + delta WAL with crash recovery.
+//! * [`dn_service`] — the concurrent (optionally durable) serving engine.
 
 pub use d4;
 pub use datagen;
 pub use dn_graph;
+pub use dn_service;
+pub use dn_store;
 pub use domainnet;
 pub use lake;
 
@@ -30,6 +34,8 @@ pub mod prelude {
     pub use d4;
     pub use datagen;
     pub use dn_graph;
+    pub use dn_service;
+    pub use dn_store;
     pub use domainnet;
     pub use lake;
 
