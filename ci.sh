@@ -5,11 +5,13 @@
 # warnings denied (so documentation rot fails the gate), the doc-test suite,
 # a release build, the test suite, and then explicitly labeled gates: the
 # golden-ranking regression corpus, the concurrency stress test, the
-# dn-store corruption-hardening suite, the crash-recovery suite, and a
-# tempdir-hygiene check. The main `cargo test -q` pass skips the gated
-# suites (they run once, in their own labeled steps, so a ranking drift, a
-# consistency violation, or a recovery regression fails CI with an
-# unambiguous gate name instead of being buried in the full run); the union
+# dn-store corruption-hardening suite, the crash-recovery suite, a
+# tempdir-hygiene check, and an end-to-end HTTP smoke (dn-serve started on
+# a loopback port and driven through the dn-server client module). The
+# main `cargo test -q` pass skips the gated suites (they run once, in
+# their own labeled steps, so a ranking drift, a consistency violation,
+# or a recovery regression fails CI with an unambiguous gate name instead
+# of being buried in the full run); the union
 # of the test steps is at least the coverage of the repo's tier-1 command
 # (`cargo build --release && cargo test -q`).
 #
@@ -20,8 +22,9 @@
 # only starts mattering as more stress tests are added to that binary.
 #
 # Usage: ./ci.sh [--quick]
-#   --quick   skip the criterion benches and the exp_serving smoke run
-#             (keeps everything tier-1: build, tests, golden, stress)
+#   --quick   skip the criterion benches and the exp_serving/exp_http
+#             smoke runs (keeps everything tier-1: build, tests, golden,
+#             stress, recovery, HTTP smoke)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -76,7 +79,7 @@ cargo test -q --test serving_stress -- --test-threads "${CORES}"
 # are the labeled corruption-hardening and crash-recovery regressions.
 # Clear residue a *previous* (possibly failed) run may have left so the
 # hygiene gate below judges only this run.
-rm -rf target/tmp/dn_store_* 2>/dev/null || true
+rm -rf target/tmp/dn_store_* target/tmp/dn_http_gate 2>/dev/null || true
 
 echo "==> gate: store corruption hardening (typed errors, no panics)"
 cargo test -q -p dn-store --test corruption
@@ -95,13 +98,55 @@ if [[ -n "${STRAY}" ]]; then
     exit 1
 fi
 
+# HTTP serving smoke: start a real dn-serve process on a loopback port,
+# then drive healthz → mutation → top-k → checkpoint → shutdown through
+# the client module (dn-serve --smoke; no curl involved). Self-cleaning
+# under target/tmp, total runtime bounded by the polling loops below
+# (~30s worst case) plus the cargo build above.
+echo "==> gate: HTTP serving smoke (dn-serve + client module)"
+rm -rf target/tmp/dn_http_gate 2>/dev/null || true
+mkdir -p target/tmp/dn_http_gate
+HTTP_LOG=target/tmp/dn_http_gate/server.log
+./target/release/dn-serve \
+    --data-dir target/tmp/dn_http_gate/store \
+    --addr 127.0.0.1:0 --workers 2 >"${HTTP_LOG}" 2>&1 &
+HTTP_PID=$!
+http_gate_fail() {
+    echo "HTTP gate failed: $1" >&2
+    [[ -f "${HTTP_LOG}" ]] && sed 's/^/  server: /' "${HTTP_LOG}" >&2
+    kill -9 "${HTTP_PID}" 2>/dev/null || true
+    exit 1
+}
+HTTP_ADDR=""
+for _ in $(seq 1 100); do
+    HTTP_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\) .*#\1#p' "${HTTP_LOG}" | head -1)
+    [[ -n "${HTTP_ADDR}" ]] && break
+    kill -0 "${HTTP_PID}" 2>/dev/null || http_gate_fail "server exited before binding"
+    sleep 0.1
+done
+[[ -n "${HTTP_ADDR}" ]] || http_gate_fail "server never logged its address"
+./target/release/dn-serve --smoke "${HTTP_ADDR}" || http_gate_fail "smoke client reported failure"
+# The smoke ends with POST /v1/admin/shutdown; the server must drain and
+# exit on its own (and leave no stray process behind).
+for _ in $(seq 1 200); do
+    kill -0 "${HTTP_PID}" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "${HTTP_PID}" 2>/dev/null; then
+    http_gate_fail "server did not shut down after the smoke"
+fi
+wait "${HTTP_PID}" || http_gate_fail "server exited non-zero"
+rm -rf target/tmp/dn_http_gate
+
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> criterion benches (offline shim, indicative timings)"
     cargo bench -q
     echo "==> exp_serving smoke (--scale 0.3)"
     cargo run --release -q -p dn-bench --bin exp_serving -- --scale 0.3
+    echo "==> exp_http smoke (--scale 0.3)"
+    cargo run --release -q -p dn-bench --bin exp_http -- --scale 0.3
 else
-    echo "==> --quick: skipping benches and exp_serving smoke"
+    echo "==> --quick: skipping benches and the exp_serving/exp_http smoke runs"
 fi
 
 echo "CI OK"

@@ -20,6 +20,7 @@
 //! | `exp_incremental` | beyond the paper — incremental vs full-rebuild maintenance latency |
 //! | `exp_serving` | beyond the paper — concurrent snapshot-serving throughput (N readers vs 1 writer) |
 //! | `exp_cold_start` | beyond the paper — restart latency: CSV rebuild vs snapshot load vs snapshot + WAL replay |
+//! | `exp_http` | beyond the paper — HTTP serving throughput through `dn-server` (M closed-loop clients vs 1 HTTP writer) |
 //!
 //! All binaries accept `--scale <f64>` (default 1.0) to shrink or grow the
 //! generated workloads, and `--seed <u64>` to change the data seed. See

@@ -1,0 +1,170 @@
+//! Request/response body types for the `/v1` JSON API.
+//!
+//! One struct per endpoint payload, shared by the server handlers, the
+//! blocking [`crate::client`], the wire tests, and the `exp_http` load
+//! generator — so both sides of the socket agree on the schema by
+//! construction. Every response carries the `epoch` it was answered at:
+//! each request pins one immutable snapshot, and the epoch is how a client
+//! reasons about cross-request consistency.
+
+use domainnet::{DeltaStats, ScoredValue};
+use serde::{Deserialize, Serialize};
+
+pub use dn_service::{AttributeNeighborhood, ScoreCard, TableSummary, ValueExplanation};
+
+/// `GET /healthz` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HealthResponse {
+    /// Always `"ok"` when the server is accepting requests.
+    pub status: String,
+    /// The currently published epoch.
+    pub epoch: u64,
+}
+
+/// `GET /v1/top-k` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopKResponse {
+    /// Epoch the answering snapshot was pinned at.
+    pub epoch: u64,
+    /// Short name of the measure that ranked the results.
+    pub measure: String,
+    /// The `k` that was requested (the result may be shorter).
+    pub k: usize,
+    /// Most homograph-like values first.
+    pub results: Vec<ScoredValue>,
+}
+
+/// `GET /v1/score/{value}` response: one card per served measure.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScoreResponse {
+    /// Epoch the answering snapshot was pinned at.
+    pub epoch: u64,
+    /// The normalized value the cards describe.
+    pub value: String,
+    /// Score/rank/percentile under each measure the card exists for.
+    pub cards: Vec<ScoreCard>,
+}
+
+/// `GET /v1/explain/{value}` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExplainResponse {
+    /// Epoch the answering snapshot was pinned at.
+    pub epoch: u64,
+    /// The attribute-neighborhood breakdown.
+    pub explanation: ValueExplanation,
+}
+
+/// `GET /v1/tables` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TablesResponse {
+    /// Epoch the answering snapshot was pinned at.
+    pub epoch: u64,
+    /// Names of tables with at least one live attribute, sorted.
+    pub tables: Vec<String>,
+}
+
+/// `GET /v1/tables/{name}` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TableSummaryResponse {
+    /// Epoch the answering snapshot was pinned at.
+    pub epoch: u64,
+    /// Short name of the measure that ranked `summary.top`.
+    pub measure: String,
+    /// The table's aggregate view.
+    pub summary: TableSummary,
+}
+
+/// `POST /v1/mutations` request body: a batch of lake deltas, applied as
+/// one commit and published as one new epoch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MutationRequest {
+    /// The deltas, applied in order within one batch.
+    pub deltas: Vec<lake::delta::LakeDelta>,
+}
+
+/// `POST /v1/mutations` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MutationResponse {
+    /// The epoch the batch was published as (readers see it from now on).
+    pub epoch: u64,
+    /// Number of deltas in the applied batch.
+    pub batches: usize,
+    /// Incremental-maintenance effect counters for the batch.
+    pub stats: DeltaStats,
+}
+
+/// `POST /v1/admin/checkpoint` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CheckpointResponse {
+    /// Whether a snapshot was written (`false` never happens over HTTP —
+    /// a non-durable server answers `409` instead).
+    pub checkpointed: bool,
+    /// The epoch the checkpoint covers.
+    pub epoch: u64,
+}
+
+/// `POST /v1/admin/shutdown` response (sent while the drain begins).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShutdownResponse {
+    /// Always `"shutting down"`.
+    pub status: String,
+}
+
+/// The JSON error envelope every non-2xx response carries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorBody {
+    /// The error detail.
+    pub error: ErrorDetail,
+}
+
+/// Machine-readable error description.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ErrorDetail {
+    /// The HTTP status code, repeated in the body.
+    pub status: u16,
+    /// A stable kind tag (`bad_request`, `not_found`, `conflict`, ...).
+    pub kind: String,
+    /// Human-readable context.
+    pub message: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_body_round_trips() {
+        let body = ErrorBody {
+            error: ErrorDetail {
+                status: 404,
+                kind: "not_found".into(),
+                message: "no such value".into(),
+            },
+        };
+        let json = serde_json::to_string(&body).unwrap();
+        let back: ErrorBody = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.error.status, 404);
+        assert_eq!(back.error.kind, "not_found");
+    }
+
+    #[test]
+    fn mutation_request_round_trips() {
+        use lake::delta::LakeDelta;
+        use lake::table::TableBuilder;
+        let req = MutationRequest {
+            deltas: vec![
+                LakeDelta::new().add_table(
+                    TableBuilder::new("T9")
+                        .column("animal", ["Jaguar", "Okapi"])
+                        .build()
+                        .unwrap(),
+                ),
+                LakeDelta::new().remove_table("T1"),
+            ],
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        let back: MutationRequest = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.deltas.len(), 2);
+        assert_eq!(serde_json::to_string(&back).unwrap(), json);
+    }
+}

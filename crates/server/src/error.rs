@@ -1,0 +1,145 @@
+//! Typed API errors and their mapping from engine errors to HTTP status
+//! codes + JSON bodies.
+//!
+//! The mapping contract (documented in `docs/API.md`):
+//!
+//! | source | status |
+//! |---|---|
+//! | bad parameters, bad JSON, truncated body | `400` |
+//! | unknown route / value / table / unserved measure | `404` |
+//! | wrong method on a known route | `405` |
+//! | duplicate table/column, checkpoint on a non-durable server | `409` |
+//! | body over the configured limit | `413` |
+//! | head over the configured limit | `431` |
+//! | maintenance or durability failure | `500` |
+//! | chunked transfer encoding | `501` |
+
+use dn_service::ServiceError;
+use lake::LakeError;
+
+use crate::api::{ErrorBody, ErrorDetail};
+use crate::http::Response;
+
+/// An error ready to become an HTTP response.
+#[derive(Debug)]
+pub struct ApiError {
+    /// HTTP status code.
+    pub status: u16,
+    /// Stable machine-readable tag.
+    pub kind: &'static str,
+    /// Human-readable context.
+    pub message: String,
+}
+
+impl ApiError {
+    /// `400` — the client sent something unusable.
+    pub fn bad_request(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 400,
+            kind: "bad_request",
+            message: message.into(),
+        }
+    }
+
+    /// `404` — the route, value, table, or measure does not exist here.
+    pub fn not_found(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 404,
+            kind: "not_found",
+            message: message.into(),
+        }
+    }
+
+    /// `405` — known route, wrong method.
+    pub fn method_not_allowed(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 405,
+            kind: "method_not_allowed",
+            message: message.into(),
+        }
+    }
+
+    /// `409` — the request conflicts with current state.
+    pub fn conflict(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 409,
+            kind: "conflict",
+            message: message.into(),
+        }
+    }
+
+    /// `500` — the engine failed; the client did nothing wrong.
+    pub fn internal(message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 500,
+            kind: "internal",
+            message: message.into(),
+        }
+    }
+
+    /// Map a writer-path failure onto the documented statuses.
+    pub fn from_service(err: &ServiceError) -> ApiError {
+        match err {
+            ServiceError::Lake(lake_err) => match lake_err {
+                LakeError::NotFound(what) => ApiError::not_found(format!("not found: {what}")),
+                LakeError::DuplicateTable(name) => {
+                    ApiError::conflict(format!("table {name:?} already exists"))
+                }
+                LakeError::DuplicateColumn { .. } => ApiError::conflict(lake_err.to_string()),
+                LakeError::Io { .. } => ApiError::internal(lake_err.to_string()),
+                // Ragged rows, CSV problems, serde problems: the client's
+                // payload was structurally valid JSON but not a valid lake
+                // mutation.
+                other => ApiError::bad_request(other.to_string()),
+            },
+            ServiceError::Maintenance(msg) => {
+                ApiError::internal(format!("incremental maintenance failed: {msg}"))
+            }
+            ServiceError::Store(store_err) => {
+                ApiError::internal(format!("durability layer failed: {store_err}"))
+            }
+        }
+    }
+
+    /// Render the JSON error envelope.
+    pub fn into_response(self) -> Response {
+        let body = ErrorBody {
+            error: ErrorDetail {
+                status: self.status,
+                kind: self.kind.to_owned(),
+                message: self.message,
+            },
+        };
+        let json = serde_json::to_string(&body)
+            .unwrap_or_else(|_| format!("{{\"error\":{{\"status\":{}}}}}", self.status));
+        Response::json(self.status, json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn service_errors_map_to_documented_statuses() {
+        let not_found = ServiceError::Lake(LakeError::NotFound("T9".into()));
+        assert_eq!(ApiError::from_service(&not_found).status, 404);
+        let dup = ServiceError::Lake(LakeError::DuplicateTable("T1".into()));
+        assert_eq!(ApiError::from_service(&dup).status, 409);
+        let maint = ServiceError::Maintenance("bad effects".into());
+        assert_eq!(ApiError::from_service(&maint).status, 500);
+        let empty = ServiceError::Lake(LakeError::EmptyTable("T0".into()));
+        assert_eq!(ApiError::from_service(&empty).status, 400);
+    }
+
+    #[test]
+    fn error_response_is_json_with_matching_status() {
+        let resp = ApiError::not_found("no such value").into_response();
+        assert_eq!(resp.status, 404);
+        let body: ErrorBody =
+            serde_json::from_str(std::str::from_utf8(&resp.body).unwrap()).unwrap();
+        assert_eq!(body.error.status, 404);
+        assert_eq!(body.error.kind, "not_found");
+        assert!(body.error.message.contains("no such value"));
+    }
+}

@@ -1,0 +1,322 @@
+//! Lock-free request metrics and the `/metrics` text exposition.
+//!
+//! Every route gets a request counter per status class and a fixed-bucket
+//! latency histogram, all plain `AtomicU64`s — recording a request is a
+//! handful of relaxed increments, so the metrics path adds nothing
+//! measurable to request latency. The exposition format is the Prometheus
+//! text format (counters + cumulative `_bucket{le=...}` histograms), which
+//! is also trivially greppable by eye.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Histogram bucket upper bounds, in microseconds. The last implicit
+/// bucket is `+Inf`.
+pub const BUCKET_BOUNDS_US: [u64; 10] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000,
+];
+
+/// The fixed set of routes the server exposes (used as metric labels and
+/// for dispatch bookkeeping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Route {
+    /// `GET /healthz`
+    Healthz,
+    /// `GET /metrics`
+    Metrics,
+    /// `GET /v1/top-k`
+    TopK,
+    /// `GET /v1/score/{value}`
+    Score,
+    /// `GET /v1/explain/{value}`
+    Explain,
+    /// `GET /v1/tables`
+    Tables,
+    /// `GET /v1/tables/{name}`
+    TableSummary,
+    /// `POST /v1/mutations`
+    Mutations,
+    /// `POST /v1/admin/checkpoint`
+    Checkpoint,
+    /// `POST /v1/admin/shutdown`
+    Shutdown,
+    /// Anything that matched no route (404s, 405s, parse failures).
+    Other,
+}
+
+/// All routes, in exposition order.
+pub const ROUTES: [Route; 11] = [
+    Route::Healthz,
+    Route::Metrics,
+    Route::TopK,
+    Route::Score,
+    Route::Explain,
+    Route::Tables,
+    Route::TableSummary,
+    Route::Mutations,
+    Route::Checkpoint,
+    Route::Shutdown,
+    Route::Other,
+];
+
+impl Route {
+    /// The metric label for this route.
+    pub fn label(self) -> &'static str {
+        match self {
+            Route::Healthz => "healthz",
+            Route::Metrics => "metrics",
+            Route::TopK => "top_k",
+            Route::Score => "score",
+            Route::Explain => "explain",
+            Route::Tables => "tables",
+            Route::TableSummary => "table_summary",
+            Route::Mutations => "mutations",
+            Route::Checkpoint => "checkpoint",
+            Route::Shutdown => "shutdown",
+            Route::Other => "other",
+        }
+    }
+
+    fn index(self) -> usize {
+        ROUTES.iter().position(|&r| r == self).expect("known route")
+    }
+}
+
+#[derive(Debug)]
+struct RouteMetrics {
+    /// Requests by status class: 2xx, 4xx, 5xx.
+    by_class: [AtomicU64; 3],
+    /// Cumulative-style histogram counts per bucket (stored per-bucket,
+    /// accumulated at render time) + the +Inf bucket.
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    /// Sum of observed latencies, microseconds.
+    sum_us: AtomicU64,
+}
+
+impl RouteMetrics {
+    fn new() -> RouteMetrics {
+        RouteMetrics {
+            by_class: std::array::from_fn(|_| AtomicU64::new(0)),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, status: u16, micros: u64) {
+        let class = match status {
+            200..=299 => 0,
+            500..=599 => 2,
+            _ => 1,
+        };
+        self.by_class[class].fetch_add(1, Ordering::Relaxed);
+        let bucket = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| micros <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    fn total(&self) -> u64 {
+        self.by_class
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Engine-level gauges the handler samples at render time and passes in.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineGauges {
+    /// The currently published epoch.
+    pub epoch: u64,
+    /// Snapshots published so far.
+    pub epochs_published: u64,
+    /// Top-k cache hits.
+    pub cache_hits: u64,
+    /// Top-k cache misses.
+    pub cache_misses: u64,
+    /// Top-k cache hit rate in `[0, 1]`.
+    pub cache_hit_rate: f64,
+    /// Bytes of batch records in the WAL (`None` on a non-durable server
+    /// or when the writer lock was contended at render time).
+    pub wal_record_bytes: Option<u64>,
+    /// Snapshot files on disk (same availability caveat).
+    pub store_snapshots: Option<u64>,
+}
+
+/// The server-wide metrics registry.
+#[derive(Debug)]
+pub struct Metrics {
+    routes: Vec<RouteMetrics>,
+    connections_accepted: AtomicU64,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
+    }
+}
+
+impl Metrics {
+    /// A fresh registry with every counter at zero.
+    pub fn new() -> Metrics {
+        Metrics {
+            routes: ROUTES.iter().map(|_| RouteMetrics::new()).collect(),
+            connections_accepted: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one handled request.
+    pub fn record(&self, route: Route, status: u16, micros: u64) {
+        self.routes[route.index()].record(status, micros);
+    }
+
+    /// Record one accepted connection.
+    pub fn record_connection(&self) {
+        self.connections_accepted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total requests handled across all routes.
+    pub fn requests_total(&self) -> u64 {
+        self.routes.iter().map(RouteMetrics::total).sum()
+    }
+
+    /// Requests handled on one route.
+    pub fn route_total(&self, route: Route) -> u64 {
+        self.routes[route.index()].total()
+    }
+
+    /// Render the Prometheus-style text exposition, folding in the
+    /// engine gauges sampled by the caller.
+    pub fn render(&self, gauges: &EngineGauges) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("# TYPE dn_http_requests_total counter\n");
+        for (i, route) in ROUTES.iter().enumerate() {
+            let m = &self.routes[i];
+            for (class, label) in [(0, "2xx"), (1, "4xx"), (2, "5xx")] {
+                let n = m.by_class[class].load(Ordering::Relaxed);
+                if n > 0 {
+                    out.push_str(&format!(
+                        "dn_http_requests_total{{route=\"{}\",class=\"{label}\"}} {n}\n",
+                        route.label()
+                    ));
+                }
+            }
+        }
+        out.push_str("# TYPE dn_http_request_duration_us histogram\n");
+        for (i, route) in ROUTES.iter().enumerate() {
+            let m = &self.routes[i];
+            let total = m.total();
+            if total == 0 {
+                continue;
+            }
+            let mut cumulative = 0u64;
+            for (b, bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+                cumulative += m.buckets[b].load(Ordering::Relaxed);
+                out.push_str(&format!(
+                    "dn_http_request_duration_us_bucket{{route=\"{}\",le=\"{bound}\"}} {cumulative}\n",
+                    route.label()
+                ));
+            }
+            cumulative += m.buckets[BUCKET_BOUNDS_US.len()].load(Ordering::Relaxed);
+            out.push_str(&format!(
+                "dn_http_request_duration_us_bucket{{route=\"{}\",le=\"+Inf\"}} {cumulative}\n",
+                route.label()
+            ));
+            out.push_str(&format!(
+                "dn_http_request_duration_us_sum{{route=\"{}\"}} {}\n",
+                route.label(),
+                m.sum_us.load(Ordering::Relaxed)
+            ));
+            out.push_str(&format!(
+                "dn_http_request_duration_us_count{{route=\"{}\"}} {total}\n",
+                route.label()
+            ));
+        }
+        out.push_str("# TYPE dn_http_connections_accepted_total counter\n");
+        out.push_str(&format!(
+            "dn_http_connections_accepted_total {}\n",
+            self.connections_accepted.load(Ordering::Relaxed)
+        ));
+        out.push_str("# TYPE dn_server_epoch gauge\n");
+        out.push_str(&format!("dn_server_epoch {}\n", gauges.epoch));
+        out.push_str("# TYPE dn_server_epochs_published_total counter\n");
+        out.push_str(&format!(
+            "dn_server_epochs_published_total {}\n",
+            gauges.epochs_published
+        ));
+        out.push_str("# TYPE dn_cache_hits_total counter\n");
+        out.push_str(&format!("dn_cache_hits_total {}\n", gauges.cache_hits));
+        out.push_str("# TYPE dn_cache_misses_total counter\n");
+        out.push_str(&format!("dn_cache_misses_total {}\n", gauges.cache_misses));
+        out.push_str("# TYPE dn_cache_hit_rate gauge\n");
+        out.push_str(&format!("dn_cache_hit_rate {:.6}\n", gauges.cache_hit_rate));
+        if let Some(bytes) = gauges.wal_record_bytes {
+            out.push_str("# TYPE dn_wal_record_bytes gauge\n");
+            out.push_str(&format!("dn_wal_record_bytes {bytes}\n"));
+        }
+        if let Some(snaps) = gauges.store_snapshots {
+            out.push_str("# TYPE dn_store_snapshots gauge\n");
+            out.push_str(&format!("dn_store_snapshots {snaps}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_show_up_in_the_exposition() {
+        let metrics = Metrics::new();
+        metrics.record(Route::TopK, 200, 120);
+        metrics.record(Route::TopK, 200, 3_000);
+        metrics.record(Route::Score, 404, 40);
+        metrics.record(Route::Mutations, 500, 900_000);
+        metrics.record_connection();
+
+        assert_eq!(metrics.requests_total(), 4);
+        assert_eq!(metrics.route_total(Route::TopK), 2);
+
+        let text = metrics.render(&EngineGauges {
+            epoch: 7,
+            epochs_published: 8,
+            cache_hits: 10,
+            cache_misses: 5,
+            cache_hit_rate: 10.0 / 15.0,
+            wal_record_bytes: Some(4096),
+            store_snapshots: Some(2),
+        });
+        assert!(text.contains("dn_http_requests_total{route=\"top_k\",class=\"2xx\"} 2"));
+        assert!(text.contains("dn_http_requests_total{route=\"score\",class=\"4xx\"} 1"));
+        assert!(text.contains("dn_http_requests_total{route=\"mutations\",class=\"5xx\"} 1"));
+        // Histogram cumulativeness: the 250us bucket holds the 120us obs,
+        // the +Inf bucket holds both.
+        assert!(text.contains("dn_http_request_duration_us_bucket{route=\"top_k\",le=\"250\"} 1"));
+        assert!(text.contains("dn_http_request_duration_us_bucket{route=\"top_k\",le=\"+Inf\"} 2"));
+        assert!(text.contains("dn_http_request_duration_us_count{route=\"top_k\"} 2"));
+        // The 900ms observation lands in +Inf only.
+        assert!(text
+            .contains("dn_http_request_duration_us_bucket{route=\"mutations\",le=\"250000\"} 0"));
+        assert!(text.contains("dn_server_epoch 7\n"));
+        assert!(text.contains("dn_wal_record_bytes 4096\n"));
+        assert!(text.contains("dn_store_snapshots 2\n"));
+        assert!(text.contains("dn_http_connections_accepted_total 1\n"));
+    }
+
+    #[test]
+    fn absent_gauges_are_omitted() {
+        let metrics = Metrics::new();
+        let text = metrics.render(&EngineGauges::default());
+        assert!(!text.contains("dn_wal_record_bytes"));
+        assert!(!text.contains("dn_store_snapshots"));
+        assert!(text.contains("dn_server_epoch 0\n"));
+    }
+
+    #[test]
+    fn route_labels_are_unique() {
+        let labels: std::collections::HashSet<&str> = ROUTES.iter().map(|r| r.label()).collect();
+        assert_eq!(labels.len(), ROUTES.len());
+    }
+}

@@ -1,0 +1,370 @@
+//! Route resolution and the per-endpoint handlers.
+//!
+//! Every read handler mints a [`dn_service::Reader`] (or clones the
+//! current snapshot `Arc`), which pins one immutable epoch for the whole
+//! request — exactly the in-process consistency contract, now over a
+//! socket. Write handlers serialize on the single `Mutex<Writer>`;
+//! readers never touch it, so a slow commit never blocks a query.
+
+use dn_service::Snapshot;
+use domainnet::Measure;
+
+use crate::api::{
+    CheckpointResponse, ExplainResponse, HealthResponse, MutationRequest, MutationResponse,
+    ScoreResponse, ShutdownResponse, TableSummaryResponse, TablesResponse, TopKResponse,
+};
+use crate::error::ApiError;
+use crate::http::{percent_decode, Request, Response};
+use crate::metrics::{EngineGauges, Route};
+use crate::server::ServerState;
+
+/// Default `k` when the query string does not pass one.
+const DEFAULT_K: usize = 20;
+/// Hard ceiling on `k` (a request for more is clamped, not refused — the
+/// ranking is finite anyway and the cap bounds response allocation).
+const MAX_K: usize = 100_000;
+
+/// Resolve the path to a route and its allowed method, then dispatch.
+/// Returns the route (for metrics labeling) together with the response.
+pub(crate) fn handle(state: &ServerState, req: &Request) -> (Route, Response) {
+    let segments: Vec<&str> = req.path.split('/').filter(|s| !s.is_empty()).collect();
+    let resolved: Option<(Route, &'static str)> = match segments.as_slice() {
+        ["healthz"] => Some((Route::Healthz, "GET")),
+        ["metrics"] => Some((Route::Metrics, "GET")),
+        ["v1", "top-k"] => Some((Route::TopK, "GET")),
+        ["v1", "score", _] => Some((Route::Score, "GET")),
+        ["v1", "explain", _] => Some((Route::Explain, "GET")),
+        ["v1", "tables"] => Some((Route::Tables, "GET")),
+        ["v1", "tables", _] => Some((Route::TableSummary, "GET")),
+        ["v1", "mutations"] => Some((Route::Mutations, "POST")),
+        ["v1", "admin", "checkpoint"] => Some((Route::Checkpoint, "POST")),
+        ["v1", "admin", "shutdown"] => Some((Route::Shutdown, "POST")),
+        _ => None,
+    };
+    let Some((route, allowed)) = resolved else {
+        return (
+            Route::Other,
+            ApiError::not_found(format!("no route for {}", req.path)).into_response(),
+        );
+    };
+    if req.method != allowed {
+        return (
+            route,
+            ApiError::method_not_allowed(format!(
+                "{} does not allow {} (use {allowed})",
+                req.path, req.method
+            ))
+            .into_response(),
+        );
+    }
+
+    let result = match route {
+        Route::Healthz => healthz(state),
+        Route::Metrics => metrics(state),
+        Route::TopK => top_k(state, req),
+        Route::Score => score(state, segments[2]),
+        Route::Explain => explain(state, segments[2]),
+        Route::Tables => tables(state),
+        Route::TableSummary => table_summary(state, req, segments[2]),
+        Route::Mutations => mutations(state, req),
+        Route::Checkpoint => checkpoint(state),
+        Route::Shutdown => shutdown(state),
+        Route::Other => unreachable!("resolved routes are concrete"),
+    };
+    (
+        route,
+        result.unwrap_or_else(|api_error| api_error.into_response()),
+    )
+}
+
+fn ok_json<T: serde::Serialize>(body: &T) -> Result<Response, ApiError> {
+    let json = serde_json::to_string(body)
+        .map_err(|e| ApiError::internal(format!("response serialization failed: {e}")))?;
+    Ok(Response::json(200, json))
+}
+
+fn decode_segment(raw: &str) -> Result<String, ApiError> {
+    percent_decode(raw, false)
+        .ok_or_else(|| ApiError::bad_request(format!("invalid percent-encoding in {raw:?}")))
+}
+
+/// Resolve the `measure` query parameter against the snapshot's served
+/// measures. An unknown token is a `400`; a recognized token whose
+/// measure this server does not serve is a `404`.
+fn resolve_measure(snapshot: &Snapshot, param: Option<&str>) -> Result<Measure, ApiError> {
+    let served = snapshot.measures();
+    let Some(token) = param else {
+        return served
+            .first()
+            .copied()
+            .ok_or_else(|| ApiError::not_found("this server serves no measures"));
+    };
+    let canonical = match token.to_ascii_lowercase().replace('-', "_").as_str() {
+        "lcc" => "LCC",
+        "lcc_attr" | "lcc(attr)" => "LCC(attr)",
+        "bc" | "exact_bc" => "BC",
+        "bc_approx" | "approx_bc" | "bc(approx)" => "BC(approx)",
+        _ => {
+            return Err(ApiError::bad_request(format!(
+                "unknown measure {token:?} (expected one of: lcc, lcc_attr, bc, approx_bc)"
+            )))
+        }
+    };
+    served
+        .iter()
+        .copied()
+        .find(|m| m.name() == canonical)
+        .ok_or_else(|| {
+            let names: Vec<&str> = served.iter().map(|m| m.name()).collect();
+            ApiError::not_found(format!(
+                "measure {canonical} is not served here (served: {names:?})"
+            ))
+        })
+}
+
+fn parse_k(req: &Request) -> Result<usize, ApiError> {
+    match req.query_value("k") {
+        None => Ok(DEFAULT_K),
+        Some(raw) => {
+            let k: usize = raw.parse().map_err(|_| {
+                ApiError::bad_request(format!("k must be a non-negative integer, got {raw:?}"))
+            })?;
+            Ok(k.min(MAX_K))
+        }
+    }
+}
+
+fn healthz(state: &ServerState) -> Result<Response, ApiError> {
+    ok_json(&HealthResponse {
+        status: "ok".to_owned(),
+        epoch: state.service.epoch(),
+    })
+}
+
+fn metrics(state: &ServerState) -> Result<Response, ApiError> {
+    let cache = state.service.cache_stats();
+    let mut gauges = EngineGauges {
+        epoch: state.service.epoch(),
+        epochs_published: state.service.epochs_published(),
+        cache_hits: cache.hits,
+        cache_misses: cache.misses,
+        cache_hit_rate: cache.hit_rate(),
+        wal_record_bytes: None,
+        store_snapshots: None,
+    };
+    // Sample store gauges opportunistically: /metrics must never queue
+    // behind a long commit, so a contended writer lock just omits them
+    // for this scrape.
+    if let Ok(writer) = state.writer.try_lock() {
+        if let Ok(Some(stats)) = writer.store_stats() {
+            gauges.wal_record_bytes = Some(stats.wal_record_bytes);
+            gauges.store_snapshots = Some(stats.snapshot_count as u64);
+        }
+    }
+    Ok(Response::text(200, state.metrics.render(&gauges)))
+}
+
+fn top_k(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
+    let reader = state.service.reader();
+    let snapshot = reader.snapshot();
+    let measure = resolve_measure(snapshot, req.query_value("measure"))?;
+    let k = parse_k(req)?;
+    let results: Vec<domainnet::ScoredValue> = match req.query_value("table") {
+        None => {
+            let ranking = reader
+                .top_k(measure, k)
+                .ok_or_else(|| ApiError::not_found("measure not served"))?;
+            ranking.as_ref().clone()
+        }
+        Some(table) => {
+            let summary = snapshot.table_summary(table, measure, k).ok_or_else(|| {
+                ApiError::not_found(format!("no table named {table:?} in this epoch"))
+            })?;
+            summary.top
+        }
+    };
+    ok_json(&TopKResponse {
+        epoch: snapshot.epoch(),
+        measure: measure.name().to_owned(),
+        k,
+        results,
+    })
+}
+
+fn score(state: &ServerState, raw_value: &str) -> Result<Response, ApiError> {
+    let value = decode_segment(raw_value)?;
+    let snapshot = state.service.current();
+    let cards: Vec<_> = snapshot
+        .measures()
+        .iter()
+        .filter_map(|&m| snapshot.score_card(m, &value))
+        .collect();
+    if cards.is_empty() {
+        return Err(ApiError::not_found(format!(
+            "value {value:?} is not a live candidate in epoch {}",
+            snapshot.epoch()
+        )));
+    }
+    ok_json(&ScoreResponse {
+        epoch: snapshot.epoch(),
+        value: cards[0].value.clone(),
+        cards,
+    })
+}
+
+fn explain(state: &ServerState, raw_value: &str) -> Result<Response, ApiError> {
+    let value = decode_segment(raw_value)?;
+    let snapshot = state.service.current();
+    let explanation = snapshot.explain(&value).ok_or_else(|| {
+        ApiError::not_found(format!(
+            "value {value:?} is not a live candidate in epoch {}",
+            snapshot.epoch()
+        ))
+    })?;
+    ok_json(&ExplainResponse {
+        epoch: snapshot.epoch(),
+        explanation,
+    })
+}
+
+fn tables(state: &ServerState) -> Result<Response, ApiError> {
+    let snapshot = state.service.current();
+    ok_json(&TablesResponse {
+        epoch: snapshot.epoch(),
+        tables: snapshot.table_names().map(str::to_owned).collect(),
+    })
+}
+
+fn table_summary(state: &ServerState, req: &Request, raw_name: &str) -> Result<Response, ApiError> {
+    let name = decode_segment(raw_name)?;
+    let snapshot = state.service.current();
+    let measure = resolve_measure(&snapshot, req.query_value("measure"))?;
+    let k = parse_k(req)?;
+    let summary = snapshot
+        .table_summary(&name, measure, k)
+        .ok_or_else(|| ApiError::not_found(format!("no table named {name:?} in this epoch")))?;
+    ok_json(&TableSummaryResponse {
+        epoch: snapshot.epoch(),
+        measure: measure.name().to_owned(),
+        summary,
+    })
+}
+
+fn mutations(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
+    let text = std::str::from_utf8(&req.body)
+        .map_err(|_| ApiError::bad_request("request body is not UTF-8"))?;
+    let parsed: MutationRequest = serde_json::from_str(text)
+        .map_err(|e| ApiError::bad_request(format!("invalid mutation JSON: {e}")))?;
+    if parsed.deltas.is_empty() {
+        return Err(ApiError::bad_request("empty mutation batch"));
+    }
+    // Serde's derived decode trusts whatever the JSON said; tables ride
+    // inside AddTable ops, so re-check their construction invariants
+    // (dictionary encoding, rectangularity, unique column names) exactly
+    // like WAL replay does — a structurally impossible table must be a
+    // 400, never a panic inside the engine.
+    for delta in &parsed.deltas {
+        for op in delta.ops() {
+            if let lake::delta::LakeOp::AddTable(table) = op {
+                table
+                    .validate_encoding()
+                    .map_err(|e| ApiError::bad_request(format!("invalid table payload: {e}")))?;
+            }
+        }
+    }
+    let batches = parsed.deltas.len();
+    let mut writer = state
+        .writer
+        .lock()
+        .map_err(|_| ApiError::internal("writer lock poisoned"))?;
+    for delta in parsed.deltas {
+        writer.stage(delta);
+    }
+    // A failed commit is NOT published: the writer already resynced its
+    // net from the partially applied lake (the engine's documented batch
+    // semantics), and readers keep the previous epoch until the next
+    // successful batch publishes.
+    let stats = writer.commit().map_err(|e| ApiError::from_service(&e))?;
+    let epoch = writer.publish();
+    ok_json(&MutationResponse {
+        epoch,
+        batches,
+        stats,
+    })
+}
+
+fn checkpoint(state: &ServerState) -> Result<Response, ApiError> {
+    let mut writer = state
+        .writer
+        .lock()
+        .map_err(|_| ApiError::internal("writer lock poisoned"))?;
+    match writer.checkpoint_now() {
+        Ok(true) => ok_json(&CheckpointResponse {
+            checkpointed: true,
+            epoch: writer.epoch(),
+        }),
+        Ok(false) => Err(ApiError::conflict(
+            "this server is not durable (no --data-dir store); nothing to checkpoint",
+        )),
+        Err(e) => Err(ApiError::from_service(&e)),
+    }
+}
+
+fn shutdown(state: &ServerState) -> Result<Response, ApiError> {
+    state.begin_shutdown();
+    ok_json(&ShutdownResponse {
+        status: "shutting down".to_owned(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dn_service::{serve, ServiceConfig};
+    use lake::delta::MutableLake;
+    use std::sync::Arc;
+
+    fn snapshot() -> Arc<Snapshot> {
+        let lake = MutableLake::from_catalog(&lake::fixtures::running_example());
+        let (service, _writer) = serve(
+            lake,
+            ServiceConfig {
+                measures: vec![Measure::lcc(), Measure::exact_bc()],
+                cache_capacity: 4,
+                prune_single_attribute_values: false,
+            },
+        );
+        service.current()
+    }
+
+    #[test]
+    fn measure_resolution() {
+        let snap = snapshot();
+        assert_eq!(
+            resolve_measure(&snap, None).unwrap(),
+            Measure::lcc(),
+            "default = first served"
+        );
+        assert_eq!(
+            resolve_measure(&snap, Some("bc")).unwrap(),
+            Measure::exact_bc()
+        );
+        assert_eq!(
+            resolve_measure(&snap, Some("BC")).unwrap(),
+            Measure::exact_bc()
+        );
+        assert_eq!(resolve_measure(&snap, Some("lcc")).unwrap(), Measure::lcc());
+        // Recognized but unserved → 404.
+        assert_eq!(
+            resolve_measure(&snap, Some("approx_bc"))
+                .unwrap_err()
+                .status,
+            404
+        );
+        // Unknown token → 400.
+        assert_eq!(
+            resolve_measure(&snap, Some("pagerank")).unwrap_err().status,
+            400
+        );
+    }
+}

@@ -548,6 +548,21 @@ impl Writer {
         self.persistence.is_some()
     }
 
+    /// The measures this writer warms and publishes with every epoch.
+    pub fn measures(&self) -> &[Measure] {
+        &self.measures
+    }
+
+    /// Size/progress counters of the backing store: `None` for a
+    /// non-durable writer, `Err` when the store directory cannot be
+    /// listed. Exposed for observability surfaces (`/metrics`).
+    pub fn store_stats(&self) -> Result<Option<dn_store::StoreStats>, ServiceError> {
+        match self.persistence.as_ref() {
+            None => Ok(None),
+            Some(p) => Ok(Some(p.store.stats()?)),
+        }
+    }
+
     /// Bytes of batch records currently in the write-ahead log (0 for a
     /// non-durable writer).
     pub fn wal_record_bytes(&self) -> u64 {
@@ -743,6 +758,11 @@ mod tests {
         let stats = writer.commit().unwrap();
         assert_eq!(stats, DeltaStats::default());
         assert_eq!(writer.epoch(), 0, "no publish happened");
+        assert_eq!(writer.measures(), &[Measure::lcc(), Measure::exact_bc()]);
+        assert!(
+            writer.store_stats().unwrap().is_none(),
+            "non-durable writers report no store stats"
+        );
     }
 
     fn store_dir(name: &str) -> std::path::PathBuf {
@@ -869,6 +889,12 @@ mod tests {
         .unwrap();
         writer.apply_and_publish(zebra_table()).unwrap();
         assert!(writer.wal_record_bytes() > 0, "batch logged");
+        let stats = writer.store_stats().unwrap().expect("durable writer");
+        assert_eq!(stats.wal_record_bytes, writer.wal_record_bytes());
+        assert!(stats.wal_file_bytes >= stats.wal_record_bytes);
+        assert_eq!(stats.snapshot_count, 1, "only the initial checkpoint");
+        assert_eq!(stats.newest_snapshot_seq, Some(0));
+        assert_eq!(stats.last_seq, 1);
         // The next commit sees a non-empty WAL >= 1 byte and checkpoints
         // the pre-batch state before appending.
         writer

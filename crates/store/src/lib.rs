@@ -79,7 +79,7 @@ pub use snapshot::{
     read_snapshot, write_snapshot, Manifest, PersistedState, SectionInfo, FORMAT_VERSION,
     SNAPSHOT_MAGIC,
 };
-pub use store::{list_snapshots, Recovered, Store};
+pub use store::{list_snapshots, Recovered, Store, StorePresence, StoreStats};
 pub use wal::{scan_wal, Wal, WalRecord, WalScan};
 
 #[cfg(test)]

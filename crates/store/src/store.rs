@@ -48,6 +48,41 @@ pub struct Store {
     next_seq: u64,
 }
 
+/// Point-in-time size/progress counters of one store directory, exposed
+/// for observability surfaces (the HTTP server's `/metrics` endpoint and
+/// the `dn-serve` startup log).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct StoreStats {
+    /// Bytes of batch records in the WAL (what the size-based checkpoint
+    /// policy meters; excludes the file header).
+    pub wal_record_bytes: u64,
+    /// Total WAL file length in bytes, header included.
+    pub wal_file_bytes: u64,
+    /// Snapshot files currently on disk.
+    pub snapshot_count: usize,
+    /// Sequence number of the newest snapshot (`None` when the directory
+    /// holds no snapshot yet).
+    pub newest_snapshot_seq: Option<u64>,
+    /// The highest batch sequence number handed out so far.
+    pub last_seq: u64,
+}
+
+/// What [`Store::probe`] found in a directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorePresence {
+    /// No store files: initialize with [`Store::create`].
+    Fresh,
+    /// A usable store (or one whose problems must surface as recovery
+    /// errors): open with [`Store::recover`].
+    Recoverable,
+    /// Only a record-free WAL from an initialization that crashed before
+    /// its first checkpoint; delete `wal_path` and initialize fresh.
+    AbortedInit {
+        /// The leftover WAL file.
+        wal_path: PathBuf,
+    },
+}
+
 /// The outcome of [`Store::recover`]: engine state equal (to the bit) to
 /// what a never-crashed writer held after its last durable commit.
 #[derive(Debug)]
@@ -145,6 +180,64 @@ impl Store {
     /// checkpoint policy meters).
     pub fn wal_record_bytes(&self) -> u64 {
         self.wal.record_bytes()
+    }
+
+    /// Whether `dir` already holds store files (snapshots or a WAL) — the
+    /// probe `dn-serve` uses to choose between creating a fresh store and
+    /// recovering an existing one.
+    pub fn exists(dir: &Path) -> bool {
+        dir.join(WAL_FILE).exists() || list_snapshots(dir).map(|s| !s.is_empty()).unwrap_or(false)
+    }
+
+    /// Classify `dir` for a serving host. [`Store::exists`] alone cannot
+    /// distinguish a recoverable store from the residue of an **aborted
+    /// initialization**: [`Store::create`] writes the WAL before the
+    /// caller writes the initial checkpoint, so a crash in that window
+    /// leaves a record-free WAL and no snapshot — a state both
+    /// [`Store::create`] (refuses: "already contains a store") and
+    /// [`Store::recover`] (fails: `MissingSnapshot`) reject. Hosts should
+    /// delete the leftover WAL and initialize fresh in that case.
+    ///
+    /// A WAL *with* records but no snapshot is still classified
+    /// [`StorePresence::Recoverable`] — it holds acknowledged batches,
+    /// and the resulting recovery error must reach an operator rather
+    /// than the data being silently discarded.
+    ///
+    /// # Errors
+    /// I/O errors from listing the directory or scanning the WAL.
+    pub fn probe(dir: &Path) -> Result<StorePresence> {
+        if !dir.exists() {
+            return Ok(StorePresence::Fresh);
+        }
+        if !list_snapshots(dir)?.is_empty() {
+            return Ok(StorePresence::Recoverable);
+        }
+        let wal_path = dir.join(WAL_FILE);
+        if !wal_path.exists() {
+            return Ok(StorePresence::Fresh);
+        }
+        let scan = scan_wal(&wal_path)?;
+        if scan.records.is_empty() {
+            Ok(StorePresence::AbortedInit { wal_path })
+        } else {
+            Ok(StorePresence::Recoverable)
+        }
+    }
+
+    /// Current size/progress counters of this store (one directory scan
+    /// for the snapshot census).
+    ///
+    /// # Errors
+    /// I/O errors from listing the directory.
+    pub fn stats(&self) -> Result<StoreStats> {
+        let snapshots = list_snapshots(&self.dir)?;
+        Ok(StoreStats {
+            wal_record_bytes: self.wal.record_bytes(),
+            wal_file_bytes: self.wal.len_bytes(),
+            snapshot_count: snapshots.len(),
+            newest_snapshot_seq: snapshots.first().map(|&(seq, _)| seq),
+            last_seq: self.last_seq(),
+        })
     }
 
     /// Durably append one committed batch, tagged with the writer's
@@ -493,6 +586,48 @@ mod tests {
         let (_, recovered) = Store::recover(&dir).unwrap();
         assert_eq!(recovered.replayed_batches, 1);
         assert!(recovered.lake.table("extra_9").is_some());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn probe_classifies_every_directory_state() {
+        let dir = test_dir("probe");
+        assert_eq!(
+            Store::probe(&dir).unwrap(),
+            StorePresence::Fresh,
+            "missing directory"
+        );
+        fs::create_dir_all(&dir).unwrap();
+        assert_eq!(Store::probe(&dir).unwrap(), StorePresence::Fresh);
+
+        // Store::create writes the WAL; before the initial checkpoint the
+        // directory is an aborted init (exactly the crash window a host
+        // must recover from by clearing the record-free WAL).
+        let (mut lake, mut net, measures) = engine();
+        let mut store = Store::create(&dir).unwrap();
+        match Store::probe(&dir).unwrap() {
+            StorePresence::AbortedInit { wal_path } => assert!(wal_path.exists()),
+            other => panic!("expected AbortedInit, got {other:?}"),
+        }
+
+        store.checkpoint(&lake, &net, 0, &measures).unwrap();
+        assert_eq!(Store::probe(&dir).unwrap(), StorePresence::Recoverable);
+
+        // A WAL with records but no snapshot holds acknowledged batches:
+        // still Recoverable, so the recovery error reaches an operator.
+        let batch = vec![delta(0)];
+        store.append_batch(0, &batch).unwrap();
+        let effects = lake.apply_batch(batch.iter()).unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        drop(store);
+        for (_, snap) in list_snapshots(&dir).unwrap() {
+            fs::remove_file(snap).unwrap();
+        }
+        assert_eq!(Store::probe(&dir).unwrap(), StorePresence::Recoverable);
+        assert!(matches!(
+            Store::recover(&dir).unwrap_err(),
+            StoreError::MissingSnapshot { .. }
+        ));
         fs::remove_dir_all(&dir).unwrap();
     }
 

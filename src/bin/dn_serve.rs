@@ -1,0 +1,312 @@
+//! `dn-serve` — serve a durable DomainNet engine over HTTP.
+//!
+//! ```text
+//! dn-serve --data-dir DIR [--addr 127.0.0.1:8080] [--workers 4]
+//!          [--checkpoint-every 8] [--cache-capacity 64] [--max-body-bytes N]
+//! dn-serve --smoke ADDR
+//! ```
+//!
+//! Server mode: if `--data-dir` already holds a store, the engine is
+//! recovered from it (`serve_from_dir` — snapshot load + WAL replay,
+//! epoch numbering resumes); otherwise a fresh durable store is
+//! initialized over an empty lake and populated via `POST /v1/mutations`.
+//! The bound address and the serving epoch are logged on startup; the
+//! process exits after a graceful drain once `POST /v1/admin/shutdown`
+//! arrives.
+//!
+//! Smoke mode (`--smoke ADDR`): a client-only self-check against a
+//! running server — healthz → mutation → top-k → checkpoint → shutdown —
+//! exiting non-zero on the first unexpected answer. This is the curl-free
+//! probe `ci.sh` drives.
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use dn_server::{serve_http, Client, Limits, ServerConfig};
+use dn_service::{serve_durable, serve_from_dir, CheckpointPolicy, ServiceConfig};
+use domainnet::Measure;
+use lake::delta::MutableLake;
+
+#[derive(Debug)]
+struct Args {
+    data_dir: Option<String>,
+    addr: String,
+    workers: usize,
+    checkpoint_every: u64,
+    cache_capacity: usize,
+    max_body_bytes: usize,
+    smoke: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            data_dir: None,
+            addr: "127.0.0.1:8080".to_owned(),
+            workers: 4,
+            checkpoint_every: 8,
+            cache_capacity: 64,
+            max_body_bytes: 1 << 20,
+            smoke: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: dn-serve --data-dir DIR [--addr HOST:PORT] [--workers N] \
+[--checkpoint-every EPOCHS] [--cache-capacity N] [--max-body-bytes N]\n       \
+dn-serve --smoke HOST:PORT";
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args::default();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--data-dir" => out.data_dir = Some(value("--data-dir")?),
+            "--addr" => out.addr = value("--addr")?,
+            "--workers" => {
+                out.workers = value("--workers")?
+                    .parse()
+                    .map_err(|_| "--workers must be a positive integer".to_owned())?;
+                if out.workers == 0 {
+                    return Err("--workers must be at least 1".to_owned());
+                }
+            }
+            "--checkpoint-every" => {
+                out.checkpoint_every = value("--checkpoint-every")?
+                    .parse()
+                    .map_err(|_| "--checkpoint-every must be an integer".to_owned())?;
+            }
+            "--cache-capacity" => {
+                out.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|_| "--cache-capacity must be an integer".to_owned())?;
+            }
+            "--max-body-bytes" => {
+                out.max_body_bytes = value("--max-body-bytes")?
+                    .parse()
+                    .map_err(|_| "--max-body-bytes must be an integer".to_owned())?;
+            }
+            "--smoke" => out.smoke = Some(value("--smoke")?),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if out.smoke.is_none() && out.data_dir.is_none() {
+        return Err("--data-dir is required in server mode".to_owned());
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("dn-serve: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    if let Some(addr) = &args.smoke {
+        return match run_smoke(addr) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("dn-serve --smoke FAILED: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    match run_server(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dn-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_server(args: &Args) -> Result<(), String> {
+    let data_dir = args.data_dir.as_deref().expect("checked in parse_args");
+    let service_config = ServiceConfig {
+        measures: vec![Measure::lcc(), Measure::exact_bc()],
+        cache_capacity: args.cache_capacity,
+        prune_single_attribute_values: true,
+    };
+    let policy = if args.checkpoint_every == 0 {
+        CheckpointPolicy::manual()
+    } else {
+        CheckpointPolicy {
+            every_epochs: Some(args.checkpoint_every),
+            max_wal_bytes: Some(16 << 20),
+        }
+    };
+
+    let presence = dn_store::Store::probe(std::path::Path::new(data_dir))
+        .map_err(|e| format!("probing {data_dir}: {e}"))?;
+    if let dn_store::StorePresence::AbortedInit { wal_path } = &presence {
+        // A previous start crashed between Store::create and the initial
+        // checkpoint: the WAL is record-free, so nothing acknowledged is
+        // lost by clearing it and initializing fresh.
+        eprintln!(
+            "dn-serve: removing record-free WAL from an aborted initialization ({})",
+            wal_path.display()
+        );
+        std::fs::remove_file(wal_path).map_err(|e| format!("clearing aborted init: {e}"))?;
+    }
+    let recovering = presence == dn_store::StorePresence::Recoverable;
+    let (service, writer) = if recovering {
+        serve_from_dir(data_dir, service_config, policy)
+            .map_err(|e| format!("recovering {data_dir}: {e}"))?
+    } else {
+        serve_durable(MutableLake::new(), service_config, data_dir, policy)
+            .map_err(|e| format!("initializing {data_dir}: {e}"))?
+    };
+    let epoch = service.epoch();
+
+    let server = serve_http(
+        service,
+        writer,
+        ServerConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            limits: Limits {
+                max_body_bytes: args.max_body_bytes,
+                ..Limits::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .map_err(|e| format!("binding {}: {e}", args.addr))?;
+
+    println!(
+        "dn-serve listening on http://{} epoch={epoch} workers={} data_dir={data_dir} ({})",
+        server.local_addr(),
+        args.workers,
+        if recovering { "recovered" } else { "fresh" },
+    );
+
+    // Block until a graceful shutdown (POST /v1/admin/shutdown) drains
+    // the workers, then checkpoint the final state so the next start
+    // recovers without a WAL replay.
+    let mut writer = server.join();
+    match writer.checkpoint_now() {
+        Ok(true) => println!("dn-serve: final checkpoint written, exiting"),
+        Ok(false) => println!("dn-serve: exiting"),
+        Err(e) => eprintln!("dn-serve: final checkpoint failed: {e}"),
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Smoke mode
+// ---------------------------------------------------------------------
+
+fn check(condition: bool, message: &str) -> Result<(), String> {
+    if condition {
+        println!("smoke: {message}: ok");
+        Ok(())
+    } else {
+        Err(message.to_owned())
+    }
+}
+
+/// The `ci.sh` wire probe: drive one full ingest-query-persist-drain
+/// cycle through the client module against a freshly started server.
+fn run_smoke(addr: &str) -> Result<(), String> {
+    use dn_server::api::{
+        CheckpointResponse, HealthResponse, MutationRequest, MutationResponse, ShutdownResponse,
+        TopKResponse,
+    };
+    use lake::table::TableBuilder;
+
+    let addr: std::net::SocketAddr = addr
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+        .parse()
+        .map_err(|e| format!("bad server address: {e}"))?;
+    let mut client = Client::new(addr).with_timeout(Duration::from_secs(10));
+
+    // 1. healthz
+    let health = client
+        .get("/healthz")
+        .map_err(|e| format!("healthz: {e}"))?;
+    check(health.status == 200, "healthz answers 200")?;
+    let health: HealthResponse = health.json().map_err(|e| format!("healthz body: {e}"))?;
+    check(health.status == "ok", "healthz body says ok")?;
+
+    // 2. mutation: two tables sharing JAGUAR across semantic domains —
+    // the paper's running homograph, ingested over the wire.
+    let request = MutationRequest {
+        deltas: vec![
+            lake::delta::LakeDelta::new().add_table(
+                TableBuilder::new("smoke_zoo")
+                    .column("animal", ["Jaguar", "Okapi", "Zebra"])
+                    .build()
+                    .map_err(|e| format!("build table: {e}"))?,
+            ),
+            lake::delta::LakeDelta::new().add_table(
+                TableBuilder::new("smoke_cars")
+                    .column("make", ["Jaguar", "Fiat", "Kia"])
+                    .build()
+                    .map_err(|e| format!("build table: {e}"))?,
+            ),
+        ],
+    };
+    let body = serde_json::to_string(&request).map_err(|e| format!("encode mutation: {e}"))?;
+    let response = client
+        .post_json("/v1/mutations", &body)
+        .map_err(|e| format!("mutations: {e}"))?;
+    check(response.status == 200, "mutation batch answers 200")?;
+    let mutation: MutationResponse = response.json().map_err(|e| format!("mutation body: {e}"))?;
+    check(
+        mutation.epoch > health.epoch,
+        "mutation published a new epoch",
+    )?;
+    check(mutation.stats.edges_added > 0, "mutation added graph edges")?;
+
+    // 3. top-k reflects the ingested homograph
+    let top = client
+        .get("/v1/top-k?measure=bc&k=5")
+        .map_err(|e| format!("top-k: {e}"))?;
+    check(top.status == 200, "top-k answers 200")?;
+    let top: TopKResponse = top.json().map_err(|e| format!("top-k body: {e}"))?;
+    check(
+        top.epoch >= mutation.epoch,
+        "top-k sees the published epoch",
+    )?;
+    check(
+        top.results.iter().any(|s| s.value == "JAGUAR"),
+        "top-k surfaces the injected homograph JAGUAR",
+    )?;
+
+    // 4. checkpoint
+    let response = client
+        .post_json("/v1/admin/checkpoint", "")
+        .map_err(|e| format!("checkpoint: {e}"))?;
+    check(response.status == 200, "checkpoint answers 200")?;
+    let checkpoint: CheckpointResponse = response
+        .json()
+        .map_err(|e| format!("checkpoint body: {e}"))?;
+    check(checkpoint.checkpointed, "checkpoint was written")?;
+
+    // 5. graceful shutdown
+    let response = client
+        .post_json("/v1/admin/shutdown", "")
+        .map_err(|e| format!("shutdown: {e}"))?;
+    check(response.status == 200, "shutdown answers 200")?;
+    let shutdown: ShutdownResponse = response.json().map_err(|e| format!("shutdown body: {e}"))?;
+    check(shutdown.status == "shutting down", "shutdown acknowledged")?;
+
+    println!("smoke: all checks passed");
+    Ok(())
+}

@@ -20,10 +20,12 @@
 //! * [`datagen`] — benchmark and workload generators.
 //! * [`dn_store`] — durable snapshots + delta WAL with crash recovery.
 //! * [`dn_service`] — the concurrent (optionally durable) serving engine.
+//! * [`dn_server`] — the zero-dependency HTTP/JSON query + ingest server.
 
 pub use d4;
 pub use datagen;
 pub use dn_graph;
+pub use dn_server;
 pub use dn_service;
 pub use dn_store;
 pub use domainnet;
@@ -34,6 +36,7 @@ pub mod prelude {
     pub use d4;
     pub use datagen;
     pub use dn_graph;
+    pub use dn_server;
     pub use dn_service;
     pub use dn_store;
     pub use domainnet;
