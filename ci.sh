@@ -7,7 +7,8 @@
 # golden-ranking regression corpus, the concurrency stress test, the
 # dn-store corruption-hardening suite, the crash-recovery suite, a
 # tempdir-hygiene check, and an end-to-end HTTP smoke (dn-serve started on
-# a loopback port and driven through the dn-server client module). The
+# a loopback port and driven through the dn-server client module — once
+# single-shard, once with --shards 2 through the coordinator). The
 # main `cargo test -q` pass skips the gated suites (they run once, in
 # their own labeled steps, so a ranking drift, a consistency violation,
 # or a recovery regression fails CI with an unambiguous gate name instead
@@ -99,44 +100,57 @@ if [[ -n "${STRAY}" ]]; then
 fi
 
 # HTTP serving smoke: start a real dn-serve process on a loopback port,
-# then drive healthz → mutation → top-k → checkpoint → shutdown through
-# the client module (dn-serve --smoke; no curl involved). Self-cleaning
-# under target/tmp, total runtime bounded by the polling loops below
-# (~30s worst case) plus the cargo build above.
-echo "==> gate: HTTP serving smoke (dn-serve + client module)"
-rm -rf target/tmp/dn_http_gate 2>/dev/null || true
-mkdir -p target/tmp/dn_http_gate
-HTTP_LOG=target/tmp/dn_http_gate/server.log
-./target/release/dn-serve \
-    --data-dir target/tmp/dn_http_gate/store \
-    --addr 127.0.0.1:0 --workers 2 >"${HTTP_LOG}" 2>&1 &
-HTTP_PID=$!
+# then drive healthz → mutation → top-k → metrics → checkpoint → shutdown
+# through the client module (dn-serve --smoke; no curl involved). Runs
+# twice — once in default single-shard mode and once with --shards 2, so
+# the scatter-gather coordinator is smoked end-to-end over the same wire.
+# Self-cleaning under target/tmp, total runtime bounded by the polling
+# loops below (~30s worst case per mode) plus the cargo build above.
 http_gate_fail() {
-    echo "HTTP gate failed: $1" >&2
+    echo "HTTP gate (${HTTP_MODE}) failed: $1" >&2
     [[ -f "${HTTP_LOG}" ]] && sed 's/^/  server: /' "${HTTP_LOG}" >&2
     kill -9 "${HTTP_PID}" 2>/dev/null || true
     exit 1
 }
-HTTP_ADDR=""
-for _ in $(seq 1 100); do
-    HTTP_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\) .*#\1#p' "${HTTP_LOG}" | head -1)
-    [[ -n "${HTTP_ADDR}" ]] && break
-    kill -0 "${HTTP_PID}" 2>/dev/null || http_gate_fail "server exited before binding"
-    sleep 0.1
+for HTTP_MODE in single sharded; do
+    HTTP_FLAGS=""
+    [[ "${HTTP_MODE}" == "sharded" ]] && HTTP_FLAGS="--shards 2"
+    echo "==> gate: HTTP serving smoke (dn-serve ${HTTP_FLAGS:-"--shards 1"} + client module)"
+    HTTP_DIR="target/tmp/dn_http_gate_${HTTP_MODE}"
+    rm -rf "${HTTP_DIR}" 2>/dev/null || true
+    mkdir -p "${HTTP_DIR}"
+    HTTP_LOG="${HTTP_DIR}/server.log"
+    # shellcheck disable=SC2086  # HTTP_FLAGS is intentionally word-split
+    ./target/release/dn-serve \
+        --data-dir "${HTTP_DIR}/store" \
+        --addr 127.0.0.1:0 --workers 2 ${HTTP_FLAGS} >"${HTTP_LOG}" 2>&1 &
+    HTTP_PID=$!
+    HTTP_ADDR=""
+    for _ in $(seq 1 100); do
+        HTTP_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\) .*#\1#p' "${HTTP_LOG}" | head -1)
+        [[ -n "${HTTP_ADDR}" ]] && break
+        kill -0 "${HTTP_PID}" 2>/dev/null || http_gate_fail "server exited before binding"
+        sleep 0.1
+    done
+    [[ -n "${HTTP_ADDR}" ]] || http_gate_fail "server never logged its address"
+    ./target/release/dn-serve --smoke "${HTTP_ADDR}" || http_gate_fail "smoke client reported failure"
+    # The smoke ends with POST /v1/admin/shutdown; the server must drain
+    # and exit on its own (and leave no stray process behind).
+    for _ in $(seq 1 200); do
+        kill -0 "${HTTP_PID}" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "${HTTP_PID}" 2>/dev/null; then
+        http_gate_fail "server did not shut down after the smoke"
+    fi
+    wait "${HTTP_PID}" || http_gate_fail "server exited non-zero"
+    if [[ "${HTTP_MODE}" == "sharded" ]]; then
+        [[ -f "${HTTP_DIR}/store/shards.json" ]] || http_gate_fail "sharded store wrote no manifest"
+        [[ -d "${HTTP_DIR}/store/shard-1" ]] || http_gate_fail "sharded store wrote no shard-1 directory"
+        grep -q "shards=2" "${HTTP_LOG}" || http_gate_fail "server did not start in 2-shard mode"
+    fi
+    rm -rf "${HTTP_DIR}"
 done
-[[ -n "${HTTP_ADDR}" ]] || http_gate_fail "server never logged its address"
-./target/release/dn-serve --smoke "${HTTP_ADDR}" || http_gate_fail "smoke client reported failure"
-# The smoke ends with POST /v1/admin/shutdown; the server must drain and
-# exit on its own (and leave no stray process behind).
-for _ in $(seq 1 200); do
-    kill -0 "${HTTP_PID}" 2>/dev/null || break
-    sleep 0.1
-done
-if kill -0 "${HTTP_PID}" 2>/dev/null; then
-    http_gate_fail "server did not shut down after the smoke"
-fi
-wait "${HTTP_PID}" || http_gate_fail "server exited non-zero"
-rm -rf target/tmp/dn_http_gate
 
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> criterion benches (offline shim, indicative timings)"

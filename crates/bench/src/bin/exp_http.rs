@@ -5,9 +5,12 @@
 //! `dn-server` HTTP layer: M client threads drive a mixed query load
 //! (top-k / score / explain / table summaries) against a loopback server
 //! while one writer thread POSTs seeded mutation batches, all through the
-//! blocking `dn_server::Client` — no external load tool needed. Reported
-//! per (workload, M): aggregate requests/sec, p50/p99 latency overall and
-//! per route, epochs published, and the server-side cache hit rate.
+//! blocking `dn_server::Client` — no external load tool needed. The server
+//! always fronts the sharded coordinator; `--shards <n>` (default 1, which
+//! is bit-identical to the single engine) sets how many component shards
+//! it scatter-gathers over. Reported per (workload, M): aggregate
+//! requests/sec, p50/p99 latency overall and per route, epochs published,
+//! and the server-side cache hit rate.
 //!
 //! The acceptance target is *hardware-aware* and anchored to the
 //! in-process numbers: the same binary first measures a single in-process
@@ -23,14 +26,14 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bench::{default_samples, print_header, print_row, tus_config, write_report, ExpArgs};
+use bench::{default_samples, print_header, print_row, tus_config, write_bench_report, ExpArgs};
 use datagen::mutate::{MutationConfig, MutationStream};
 use datagen::sb::{SbConfig, SbGenerator};
 use datagen::tus::TusGenerator;
 use dn_graph::approx_bc::{ApproxBcConfig, SamplingStrategy};
 use dn_server::api::{MutationRequest, TablesResponse, TopKResponse};
 use dn_server::{percent_encode, serve_http, Client, Limits, Route, Server, ServerConfig};
-use dn_service::{serve, ServiceConfig};
+use dn_service::{serve, serve_sharded, ServiceConfig};
 use domainnet::Measure;
 use lake::delta::{LakeView, MutableLake};
 use rand::rngs::StdRng;
@@ -52,6 +55,7 @@ struct RouteLatency {
 #[derive(Debug, Serialize)]
 struct HttpPoint {
     workload: String,
+    shards: usize,
     clients: usize,
     duration_s: f64,
     requests: u64,
@@ -74,6 +78,7 @@ struct InProcessBaseline {
 struct HttpReport {
     seed: u64,
     scale: f64,
+    shards: usize,
     available_parallelism: usize,
     workers: usize,
     overhead_budget: f64,
@@ -236,23 +241,25 @@ fn run_config(
     workload: &str,
     base: &MutableLake,
     measures: &[Measure],
+    shards: usize,
     clients: usize,
     workers: usize,
     window: Duration,
     seed: u64,
     mutation_seed: u64,
 ) -> HttpPoint {
-    let (service, writer) = serve(
+    let (service, coordinator) = serve_sharded(
         base.clone(),
         ServiceConfig {
             measures: measures.to_vec(),
             cache_capacity: 64,
             prune_single_attribute_values: true,
         },
+        shards,
     );
     let server: Server = serve_http(
         service,
-        writer,
+        coordinator,
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers,
@@ -359,6 +366,7 @@ fn run_config(
     let requests = all.len() as u64;
     HttpPoint {
         workload: workload.to_owned(),
+        shards,
         clients,
         duration_s: elapsed,
         requests,
@@ -379,7 +387,10 @@ fn main() {
         .unwrap_or(1);
     let workers = cores.clamp(2, 8);
     println!("== HTTP serving: M closed-loop clients vs 1 HTTP writer ==");
-    println!("available parallelism: {cores} core(s), server workers: {workers}\n");
+    println!(
+        "available parallelism: {cores} core(s), server workers: {workers}, shards: {}\n",
+        args.shards
+    );
 
     let sb = SbGenerator::with_config(SbConfig {
         seed: args.seed,
@@ -401,6 +412,7 @@ fn main() {
     let mut points: Vec<HttpPoint> = Vec::new();
     print_header(&[
         "Workload",
+        "Shards",
         "Clients",
         "Requests",
         "QPS",
@@ -428,6 +440,7 @@ fn main() {
                 workload,
                 base,
                 &measures,
+                args.shards,
                 clients,
                 workers,
                 window,
@@ -444,6 +457,7 @@ fn main() {
             };
             print_row(&[
                 point.workload.clone(),
+                point.shards.to_string(),
                 point.clients.to_string(),
                 point.requests.to_string(),
                 format!("{:.0}", point.qps),
@@ -485,6 +499,7 @@ fn main() {
     let report = HttpReport {
         seed: args.seed,
         scale: args.scale,
+        shards: args.shards,
         available_parallelism: cores,
         workers,
         overhead_budget: OVERHEAD_BUDGET,
@@ -494,5 +509,5 @@ fn main() {
         target_qps,
         pass,
     };
-    write_report("http", &report);
+    write_bench_report("http", &report);
 }

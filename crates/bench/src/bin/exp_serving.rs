@@ -6,7 +6,9 @@
 //! publishes epochs, while N reader threads fire a mixed query load —
 //! top-k rankings (LRU-cached), score/rank/percentile cards, attribute-
 //! neighborhood explanations, and per-table summaries — against whatever
-//! snapshot they pinned. Reported per (workload, N): aggregate queries/sec,
+//! snapshot they pinned. `--shards <n>` serves the same lake through the
+//! component-sharded coordinator (`--shards 1`, the default, is
+//! bit-identical to the single engine). Reported per (workload, N): aggregate queries/sec,
 //! p50/p99 latency, epochs published during the window, cache hit rate,
 //! and throughput scaling relative to the single-reader run.
 //!
@@ -22,12 +24,12 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use bench::{default_samples, print_header, print_row, tus_config, write_report, ExpArgs};
+use bench::{default_samples, print_header, print_row, tus_config, write_bench_report, ExpArgs};
 use datagen::mutate::{MutationConfig, MutationStream};
 use datagen::sb::{SbConfig, SbGenerator};
 use datagen::tus::TusGenerator;
 use dn_graph::approx_bc::{ApproxBcConfig, SamplingStrategy};
-use dn_service::{serve, Reader, ServiceConfig};
+use dn_service::{serve_sharded, CoordinatorReader, ServiceConfig};
 use domainnet::Measure;
 use lake::delta::{LakeView, MutableLake};
 use rand::rngs::StdRng;
@@ -39,6 +41,7 @@ const READER_COUNTS: [usize; 4] = [1, 2, 4, 8];
 #[derive(Debug, Serialize)]
 struct ServingPoint {
     workload: String,
+    shards: usize,
     readers: usize,
     duration_s: f64,
     queries: u64,
@@ -54,6 +57,7 @@ struct ServingPoint {
 struct ServingReport {
     seed: u64,
     scale: f64,
+    shards: usize,
     available_parallelism: usize,
     scaling_target: f64,
     points: Vec<ServingPoint>,
@@ -64,7 +68,7 @@ struct ServingReport {
 /// One reader thread's seeded query mix against its pinned snapshots.
 /// Returns per-query latencies in nanoseconds.
 fn reader_loop(
-    mut reader: Reader,
+    mut reader: CoordinatorReader,
     measures: Vec<Measure>,
     hot_values: Vec<String>,
     tables: Vec<String>,
@@ -115,32 +119,33 @@ fn run_config(
     workload: &str,
     base: &MutableLake,
     measures: &[Measure],
+    shards: usize,
     readers: usize,
     duration: Duration,
     seed: u64,
     mutation_seed: u64,
 ) -> ServingPoint {
-    let (service, mut writer) = serve(
+    let (service, mut writer) = serve_sharded(
         base.clone(),
         ServiceConfig {
             measures: measures.to_vec(),
             cache_capacity: 64,
             prune_single_attribute_values: true,
         },
+        shards,
     );
 
     // Hot query targets, fixed from epoch 0 so every run asks comparable
     // questions.
-    let snapshot = service.current();
-    let hot_values: Vec<String> = snapshot
-        .ranking(measures[0])
+    let view = service.current();
+    let hot_values: Vec<String> = view
+        .top_k(measures[0], 64)
         .expect("served measure")
         .iter()
-        .take(64)
         .map(|s| s.value.clone())
         .collect();
-    let tables: Vec<String> = snapshot.table_names().map(str::to_owned).collect();
-    drop(snapshot);
+    let tables: Vec<String> = view.table_names();
+    drop(view);
 
     let stop = Arc::new(AtomicBool::new(false));
     let reader_handles: Vec<_> = (0..readers)
@@ -158,6 +163,7 @@ fn run_config(
 
     // The single mutating writer: batched commits, steady publish cadence.
     let writer_stop = Arc::clone(&stop);
+    let writer_base = base.clone();
     let writer_handle = std::thread::spawn(move || {
         let mut stream = MutationStream::new(MutationConfig {
             seed: mutation_seed,
@@ -165,7 +171,7 @@ fn run_config(
             rows_per_table: 40,
             ..MutationConfig::default()
         });
-        let mut shadow = writer.lake().clone();
+        let mut shadow = writer_base;
         while !writer_stop.load(Ordering::Relaxed) {
             for _ in 0..2 {
                 let delta = stream.next_delta(&shadow);
@@ -198,6 +204,7 @@ fn run_config(
     let stats = service.cache_stats();
     ServingPoint {
         workload: workload.to_owned(),
+        shards,
         readers,
         duration_s: elapsed,
         queries,
@@ -232,7 +239,10 @@ fn main() {
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1);
     println!("== Concurrent snapshot serving: N readers vs 1 mutating writer ==");
-    println!("available parallelism: {cores} core(s)\n");
+    println!(
+        "available parallelism: {cores} core(s), shards: {}\n",
+        args.shards
+    );
 
     let sb = SbGenerator::with_config(SbConfig {
         seed: args.seed,
@@ -253,6 +263,7 @@ fn main() {
     let mut points: Vec<ServingPoint> = Vec::new();
     print_header(&[
         "Workload",
+        "Shards",
         "Readers",
         "Queries",
         "QPS",
@@ -272,6 +283,7 @@ fn main() {
                 workload,
                 base,
                 &measures,
+                args.shards,
                 readers,
                 window,
                 args.seed,
@@ -287,6 +299,7 @@ fn main() {
             };
             print_row(&[
                 point.workload.clone(),
+                point.shards.to_string(),
                 point.readers.to_string(),
                 point.queries.to_string(),
                 format!("{:.0}", point.qps),
@@ -327,11 +340,12 @@ fn main() {
     let report = ServingReport {
         seed: args.seed,
         scale: args.scale,
+        shards: args.shards,
         available_parallelism: cores,
         scaling_target,
         points,
         sb_8_reader_scaling,
         pass,
     };
-    write_report("serving", &report);
+    write_bench_report("serving", &report);
 }

@@ -1,0 +1,259 @@
+//! Shard sweep: coordinator cost & equivalence at 1 / 2 / 4 shards.
+//!
+//! The serving engine can be partitioned by connected component behind the
+//! scatter-gather coordinator (`dn_service::serve_sharded`). Sharding must
+//! be free where it should be free — a merged top-k over N shards is a
+//! k-way merge of already-ranked lists, and every score is computed by the
+//! one shard owning the value's component — so this experiment measures
+//! exactly that: for shards ∈ {1, 2, 4} on the same SB lake and the same
+//! seeded mutation stream, it reports initial build time, total mutation
+//! commit+publish time, merged-read throughput, and the maximum absolute
+//! score deviation of the merged ranking from the unsharded run.
+//!
+//! The acceptance gate is correctness, not speed: every sharded ranking
+//! must agree with `--shards 1` per value to 1e-9 (exact measures are
+//! served, so the only legal deviation is float summation order after a
+//! cross-shard component migration), and the ranked value sets must be
+//! identical. The whole sweep is written to `BENCH_shard.json` in the
+//! workspace root so the cost of the coordinator layer is tracked per PR.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use bench::{print_header, print_row, timed, write_bench_report, ExpArgs};
+use datagen::mutate::{MutationConfig, MutationStream};
+use datagen::sb::{SbConfig, SbGenerator};
+use dn_service::{serve_sharded, ServiceConfig};
+use domainnet::Measure;
+use lake::delta::MutableLake;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+/// Scores of exact measures may differ across shard counts only by float
+/// summation order after a component migration rebuilds a shard's graph.
+const EQUIVALENCE_EPS: f64 = 1e-9;
+
+#[derive(Debug, Serialize)]
+struct ShardPoint {
+    shards: usize,
+    build_s: f64,
+    mutate_s: f64,
+    queries: u64,
+    qps: f64,
+    p50_us: f64,
+    p99_us: f64,
+    epoch: u64,
+    max_abs_score_delta: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ShardReport {
+    seed: u64,
+    scale: f64,
+    deltas: usize,
+    equivalence_eps: f64,
+    points: Vec<ShardPoint>,
+    max_abs_score_delta: f64,
+    pass: bool,
+}
+
+fn percentile_us(sorted_ns: &[u64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_ns.len() - 1) as f64 * q).round() as usize;
+    sorted_ns[idx] as f64 / 1_000.0
+}
+
+/// Final merged rankings, one `value -> score` map per served measure.
+type Rankings = Vec<HashMap<String, f64>>;
+
+fn run_shards(
+    base: &MutableLake,
+    measures: &[Measure],
+    shards: usize,
+    delta_count: usize,
+    query_count: u64,
+    seed: u64,
+) -> (ShardPoint, Rankings) {
+    let ((service, mut coordinator), build_s) = timed(|| {
+        serve_sharded(
+            base.clone(),
+            ServiceConfig {
+                measures: measures.to_vec(),
+                cache_capacity: 64,
+                prune_single_attribute_values: true,
+            },
+            shards,
+        )
+    });
+
+    // Same seeded mutation stream for every shard count, so the final
+    // lakes — and therefore the final rankings — are comparable.
+    let mut stream = MutationStream::new(MutationConfig {
+        seed: seed.wrapping_add(1),
+        tables_per_delta: 2,
+        rows_per_table: 40,
+        ..MutationConfig::default()
+    });
+    let mut shadow = base.clone();
+    let ((), mutate_s) = timed(|| {
+        for _ in 0..delta_count {
+            let delta = stream.next_delta(&shadow);
+            shadow.apply(&delta).expect("stream deltas apply");
+            coordinator.stage(delta);
+            coordinator.commit().expect("batch commits cleanly");
+            coordinator.publish();
+        }
+    });
+
+    // Merged-read throughput over the final epoch: top-k + score cards,
+    // the two routes whose cost the coordinator actually changes.
+    let mut reader = service.reader();
+    reader.pin();
+    let hot: Vec<String> = reader
+        .top_k(measures[0], 64)
+        .expect("served measure")
+        .iter()
+        .map(|s| s.value.clone())
+        .collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5AD);
+    let mut latencies = Vec::with_capacity(query_count as usize);
+    let ks = [10usize, 20, 50];
+    for _ in 0..query_count {
+        let measure = measures[rng.gen_range(0..measures.len())];
+        let start = Instant::now();
+        if rng.gen_range(0..100u32) < 60 {
+            let _ = reader.top_k(measure, ks[rng.gen_range(0..ks.len())]);
+        } else {
+            let _ = reader.score_card(measure, &hot[rng.gen_range(0..hot.len())]);
+        }
+        latencies.push(start.elapsed().as_nanos() as u64);
+    }
+    let elapsed_s = latencies.iter().sum::<u64>() as f64 / 1e9;
+    latencies.sort_unstable();
+
+    let view = reader.view().clone();
+    let rankings: Rankings = measures
+        .iter()
+        .map(|&m| {
+            view.top_k(m, usize::MAX)
+                .expect("served measure")
+                .into_iter()
+                .map(|s| (s.value, s.score))
+                .collect()
+        })
+        .collect();
+
+    (
+        ShardPoint {
+            shards,
+            build_s,
+            mutate_s,
+            queries: query_count,
+            qps: query_count as f64 / elapsed_s.max(1e-9),
+            p50_us: percentile_us(&latencies, 0.50),
+            p99_us: percentile_us(&latencies, 0.99),
+            epoch: service.epoch(),
+            max_abs_score_delta: 0.0, // filled in against the shards=1 run
+        },
+        rankings,
+    )
+}
+
+/// Largest per-value |score delta| vs the reference, or `f64::INFINITY`
+/// when the ranked value sets differ at all.
+fn max_delta(reference: &Rankings, other: &Rankings) -> f64 {
+    let mut worst = 0.0f64;
+    for (ref_map, other_map) in reference.iter().zip(other) {
+        if ref_map.len() != other_map.len() {
+            return f64::INFINITY;
+        }
+        for (value, score) in ref_map {
+            match other_map.get(value) {
+                Some(other_score) => worst = worst.max((score - other_score).abs()),
+                None => return f64::INFINITY,
+            }
+        }
+    }
+    worst
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("== Shard sweep: coordinator cost & equivalence at 1/2/4 shards ==\n");
+
+    let sb = SbGenerator::with_config(SbConfig {
+        seed: args.seed,
+        rows_per_table: args.scaled(200, 60),
+    })
+    .generate();
+    let base = MutableLake::from_catalog(&sb.catalog);
+    // Exact measures only: equivalence to 1e-9 is the headline, and the
+    // approximate-BC sampler is salted by generation, not comparable.
+    let measures = [Measure::lcc(), Measure::exact_bc()];
+    let delta_count = args.scaled(12, 4);
+    let query_count = args.scaled(2_000, 200) as u64;
+
+    print_header(&[
+        "Shards",
+        "Build (s)",
+        "Mutate (s)",
+        "QPS",
+        "p50 (us)",
+        "p99 (us)",
+        "Epoch",
+        "Max |Δscore|",
+    ]);
+    let mut points: Vec<ShardPoint> = Vec::new();
+    let mut reference: Option<Rankings> = None;
+    for shards in SHARD_COUNTS {
+        let (mut point, rankings) = run_shards(
+            &base,
+            &measures,
+            shards,
+            delta_count,
+            query_count,
+            args.seed,
+        );
+        match &reference {
+            None => reference = Some(rankings),
+            Some(baseline) => point.max_abs_score_delta = max_delta(baseline, &rankings),
+        }
+        print_row(&[
+            point.shards.to_string(),
+            format!("{:.3}", point.build_s),
+            format!("{:.3}", point.mutate_s),
+            format!("{:.0}", point.qps),
+            format!("{:.1}", point.p50_us),
+            format!("{:.1}", point.p99_us),
+            point.epoch.to_string(),
+            format!("{:.3e}", point.max_abs_score_delta),
+        ]);
+        points.push(point);
+    }
+
+    let max_abs_score_delta = points
+        .iter()
+        .map(|p| p.max_abs_score_delta)
+        .fold(0.0f64, f64::max);
+    let pass = max_abs_score_delta <= EQUIVALENCE_EPS;
+    println!(
+        "\nHeadline: max merged-ranking deviation across shard counts: \
+         {max_abs_score_delta:.3e} (target <= {EQUIVALENCE_EPS:.0e}: {})",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let report = ShardReport {
+        seed: args.seed,
+        scale: args.scale,
+        deltas: delta_count,
+        equivalence_eps: EQUIVALENCE_EPS,
+        points,
+        max_abs_score_delta,
+        pass,
+    };
+    write_bench_report("shard", &report);
+}

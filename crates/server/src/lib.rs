@@ -11,9 +11,12 @@
 //! * [`server`] — the accept loop, worker pool, and shutdown semantics
 //!   ([`serve_http`] is the entry point).
 //! * `router` (internal) — dispatch from method + path to the engine:
-//!   every read handler pins one snapshot for the whole request, so a
-//!   response is internally consistent exactly like an in-process reader;
-//!   writes serialize on the single `Mutex<`[`dn_service::Writer`]`>`.
+//!   every read handler pins one cross-shard view for the whole request,
+//!   so a response is internally consistent exactly like an in-process
+//!   reader; writes serialize on the single
+//!   `Mutex<`[`dn_service::Coordinator`]`>`. The server always talks to
+//!   a coordinator — a single-engine deployment is just `--shards 1`,
+//!   which is bit-identical to the unsharded engine.
 //! * [`http`] — the wire subset: strict request parsing with bounded
 //!   head/body reads, percent/query decoding, response framing.
 //! * [`api`] — the JSON request/response schema, shared by server and
@@ -30,12 +33,12 @@
 //!
 //! ```
 //! use dn_server::{serve_http, Client, ServerConfig};
-//! use dn_service::{serve, ServiceConfig};
+//! use dn_service::{serve_sharded, ServiceConfig};
 //! use lake::delta::MutableLake;
 //!
 //! let lake = MutableLake::from_catalog(&lake::fixtures::running_example());
-//! let (service, writer) = serve(lake, ServiceConfig::default());
-//! let server = serve_http(service, writer, ServerConfig::default()).unwrap();
+//! let (service, coordinator) = serve_sharded(lake, ServiceConfig::default(), 1);
+//! let server = serve_http(service, coordinator, ServerConfig::default()).unwrap();
 //!
 //! let mut client = Client::new(server.local_addr());
 //! let health = client.get("/healthz").unwrap();

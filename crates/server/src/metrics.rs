@@ -124,24 +124,45 @@ impl RouteMetrics {
     }
 }
 
-/// Engine-level gauges the handler samples at render time and passes in.
+/// Gauges of one shard engine, exposed with a `shard="<i>"` label.
 #[derive(Debug, Clone, Copy, Default)]
+pub struct ShardGauges {
+    /// The shard's own published epoch.
+    pub epoch: u64,
+    /// The shard engine's own top-k cache hits (the merged coordinator
+    /// cache is the unlabeled `dn_cache_*` family).
+    pub cache_hits: u64,
+    /// The shard engine's own top-k cache misses.
+    pub cache_misses: u64,
+    /// Bytes of batch records in the shard's WAL (`None` on a
+    /// non-durable server or when the coordinator lock was contended at
+    /// render time).
+    pub wal_record_bytes: Option<u64>,
+    /// Snapshot files in the shard's store directory (same caveat).
+    pub store_snapshots: Option<u64>,
+}
+
+/// Engine-level gauges the handler samples at render time and passes in.
+#[derive(Debug, Clone, Default)]
 pub struct EngineGauges {
-    /// The currently published epoch.
+    /// The currently published (coordinator) epoch.
     pub epoch: u64,
     /// Snapshots published so far.
     pub epochs_published: u64,
-    /// Top-k cache hits.
+    /// Top-k cache hits (the coordinator's merged cache).
     pub cache_hits: u64,
     /// Top-k cache misses.
     pub cache_misses: u64,
     /// Top-k cache hit rate in `[0, 1]`.
     pub cache_hit_rate: f64,
-    /// Bytes of batch records in the WAL (`None` on a non-durable server
-    /// or when the writer lock was contended at render time).
+    /// Total bytes of batch records across the shard WALs (`None` on a
+    /// non-durable server or when the coordinator lock was contended at
+    /// render time).
     pub wal_record_bytes: Option<u64>,
-    /// Snapshot files on disk (same availability caveat).
+    /// Snapshot files on disk across the shard stores (same caveat).
     pub store_snapshots: Option<u64>,
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardGauges>,
 }
 
 /// The server-wide metrics registry.
@@ -259,6 +280,49 @@ impl Metrics {
             out.push_str("# TYPE dn_store_snapshots gauge\n");
             out.push_str(&format!("dn_store_snapshots {snaps}\n"));
         }
+        if !gauges.shards.is_empty() {
+            out.push_str("# TYPE dn_shard_epoch gauge\n");
+            for (i, shard) in gauges.shards.iter().enumerate() {
+                out.push_str(&format!(
+                    "dn_shard_epoch{{shard=\"{i}\"}} {}\n",
+                    shard.epoch
+                ));
+            }
+            out.push_str("# TYPE dn_shard_cache_hits_total counter\n");
+            for (i, shard) in gauges.shards.iter().enumerate() {
+                out.push_str(&format!(
+                    "dn_shard_cache_hits_total{{shard=\"{i}\"}} {}\n",
+                    shard.cache_hits
+                ));
+            }
+            out.push_str("# TYPE dn_shard_cache_misses_total counter\n");
+            for (i, shard) in gauges.shards.iter().enumerate() {
+                out.push_str(&format!(
+                    "dn_shard_cache_misses_total{{shard=\"{i}\"}} {}\n",
+                    shard.cache_misses
+                ));
+            }
+            if gauges.shards.iter().any(|s| s.wal_record_bytes.is_some()) {
+                out.push_str("# TYPE dn_shard_wal_record_bytes gauge\n");
+                for (i, shard) in gauges.shards.iter().enumerate() {
+                    if let Some(bytes) = shard.wal_record_bytes {
+                        out.push_str(&format!(
+                            "dn_shard_wal_record_bytes{{shard=\"{i}\"}} {bytes}\n"
+                        ));
+                    }
+                }
+            }
+            if gauges.shards.iter().any(|s| s.store_snapshots.is_some()) {
+                out.push_str("# TYPE dn_shard_store_snapshots gauge\n");
+                for (i, shard) in gauges.shards.iter().enumerate() {
+                    if let Some(snaps) = shard.store_snapshots {
+                        out.push_str(&format!(
+                            "dn_shard_store_snapshots{{shard=\"{i}\"}} {snaps}\n"
+                        ));
+                    }
+                }
+            }
+        }
         out
     }
 }
@@ -287,6 +351,22 @@ mod tests {
             cache_hit_rate: 10.0 / 15.0,
             wal_record_bytes: Some(4096),
             store_snapshots: Some(2),
+            shards: vec![
+                ShardGauges {
+                    epoch: 4,
+                    cache_hits: 1,
+                    cache_misses: 2,
+                    wal_record_bytes: Some(1024),
+                    store_snapshots: Some(1),
+                },
+                ShardGauges {
+                    epoch: 3,
+                    cache_hits: 0,
+                    cache_misses: 0,
+                    wal_record_bytes: Some(3072),
+                    store_snapshots: Some(1),
+                },
+            ],
         });
         assert!(text.contains("dn_http_requests_total{route=\"top_k\",class=\"2xx\"} 2"));
         assert!(text.contains("dn_http_requests_total{route=\"score\",class=\"4xx\"} 1"));
@@ -303,6 +383,12 @@ mod tests {
         assert!(text.contains("dn_wal_record_bytes 4096\n"));
         assert!(text.contains("dn_store_snapshots 2\n"));
         assert!(text.contains("dn_http_connections_accepted_total 1\n"));
+        // Per-shard families carry the shard label.
+        assert!(text.contains("dn_shard_epoch{shard=\"0\"} 4\n"));
+        assert!(text.contains("dn_shard_epoch{shard=\"1\"} 3\n"));
+        assert!(text.contains("dn_shard_cache_hits_total{shard=\"0\"} 1\n"));
+        assert!(text.contains("dn_shard_wal_record_bytes{shard=\"1\"} 3072\n"));
+        assert!(text.contains("dn_shard_store_snapshots{shard=\"0\"} 1\n"));
     }
 
     #[test]
@@ -311,6 +397,7 @@ mod tests {
         let text = metrics.render(&EngineGauges::default());
         assert!(!text.contains("dn_wal_record_bytes"));
         assert!(!text.contains("dn_store_snapshots"));
+        assert!(!text.contains("dn_shard_epoch"));
         assert!(text.contains("dn_server_epoch 0\n"));
     }
 

@@ -1,12 +1,15 @@
 //! Route resolution and the per-endpoint handlers.
 //!
-//! Every read handler mints a [`dn_service::Reader`] (or clones the
-//! current snapshot `Arc`), which pins one immutable epoch for the whole
-//! request — exactly the in-process consistency contract, now over a
-//! socket. Write handlers serialize on the single `Mutex<Writer>`;
-//! readers never touch it, so a slow commit never blocks a query.
+//! Every read handler mints a [`dn_service::CoordinatorReader`] (or
+//! clones the current [`dn_service::MultiView`] `Arc`), which pins one
+//! immutable cross-shard epoch for the whole request — exactly the
+//! in-process consistency contract, now over a socket. Write handlers
+//! serialize on the single `Mutex<Coordinator>`; readers never touch it,
+//! so a slow commit (or cross-shard rebalance) never blocks a query. The
+//! wire format is unchanged from the unsharded server: merged rankings,
+//! global ranks/percentiles, and the coordinator epoch are
+//! indistinguishable from a single bigger engine.
 
-use dn_service::Snapshot;
 use domainnet::Measure;
 
 use crate::api::{
@@ -15,7 +18,7 @@ use crate::api::{
 };
 use crate::error::ApiError;
 use crate::http::{percent_decode, Request, Response};
-use crate::metrics::{EngineGauges, Route};
+use crate::metrics::{EngineGauges, Route, ShardGauges};
 use crate::server::ServerState;
 
 /// Default `k` when the query string does not pass one.
@@ -88,11 +91,10 @@ fn decode_segment(raw: &str) -> Result<String, ApiError> {
         .ok_or_else(|| ApiError::bad_request(format!("invalid percent-encoding in {raw:?}")))
 }
 
-/// Resolve the `measure` query parameter against the snapshot's served
-/// measures. An unknown token is a `400`; a recognized token whose
-/// measure this server does not serve is a `404`.
-fn resolve_measure(snapshot: &Snapshot, param: Option<&str>) -> Result<Measure, ApiError> {
-    let served = snapshot.measures();
+/// Resolve the `measure` query parameter against the served measures.
+/// An unknown token is a `400`; a recognized token whose measure this
+/// server does not serve is a `404`.
+fn resolve_measure(served: &[Measure], param: Option<&str>) -> Result<Measure, ApiError> {
     let Some(token) = param else {
         return served
             .first()
@@ -142,23 +144,46 @@ fn healthz(state: &ServerState) -> Result<Response, ApiError> {
 }
 
 fn metrics(state: &ServerState) -> Result<Response, ApiError> {
+    let view = state.service.current();
     let cache = state.service.cache_stats();
     let mut gauges = EngineGauges {
-        epoch: state.service.epoch(),
+        epoch: view.epoch(),
         epochs_published: state.service.epochs_published(),
         cache_hits: cache.hits,
         cache_misses: cache.misses,
         cache_hit_rate: cache.hit_rate(),
         wal_record_bytes: None,
         store_snapshots: None,
+        // Shard epochs come from the pinned view — always available.
+        shards: (0..view.shard_count())
+            .map(|i| ShardGauges {
+                epoch: view.shard(i).epoch(),
+                ..ShardGauges::default()
+            })
+            .collect(),
     };
-    // Sample store gauges opportunistically: /metrics must never queue
-    // behind a long commit, so a contended writer lock just omits them
-    // for this scrape.
-    if let Ok(writer) = state.writer.try_lock() {
-        if let Ok(Some(stats)) = writer.store_stats() {
-            gauges.wal_record_bytes = Some(stats.wal_record_bytes);
-            gauges.store_snapshots = Some(stats.snapshot_count as u64);
+    // Sample store/cache gauges opportunistically: /metrics must never
+    // queue behind a long commit, so a contended coordinator lock just
+    // omits them for this scrape.
+    if let Ok(coordinator) = state.coordinator.try_lock() {
+        let mut total_wal = 0u64;
+        let mut total_snapshots = 0u64;
+        let mut durable = false;
+        for (i, shard) in gauges.shards.iter_mut().enumerate() {
+            let shard_cache = coordinator.shard_cache_stats(i);
+            shard.cache_hits = shard_cache.hits;
+            shard.cache_misses = shard_cache.misses;
+            if let Ok(Some(stats)) = coordinator.shard_store_stats(i) {
+                durable = true;
+                shard.wal_record_bytes = Some(stats.wal_record_bytes);
+                shard.store_snapshots = Some(stats.snapshot_count as u64);
+                total_wal += stats.wal_record_bytes;
+                total_snapshots += stats.snapshot_count as u64;
+            }
+        }
+        if durable {
+            gauges.wal_record_bytes = Some(total_wal);
+            gauges.store_snapshots = Some(total_snapshots);
         }
     }
     Ok(Response::text(200, state.metrics.render(&gauges)))
@@ -166,8 +191,8 @@ fn metrics(state: &ServerState) -> Result<Response, ApiError> {
 
 fn top_k(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
     let reader = state.service.reader();
-    let snapshot = reader.snapshot();
-    let measure = resolve_measure(snapshot, req.query_value("measure"))?;
+    let view = reader.view();
+    let measure = resolve_measure(view.measures(), req.query_value("measure"))?;
     let k = parse_k(req)?;
     let results: Vec<domainnet::ScoredValue> = match req.query_value("table") {
         None => {
@@ -177,14 +202,14 @@ fn top_k(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
             ranking.as_ref().clone()
         }
         Some(table) => {
-            let summary = snapshot.table_summary(table, measure, k).ok_or_else(|| {
+            let summary = view.table_summary(table, measure, k).ok_or_else(|| {
                 ApiError::not_found(format!("no table named {table:?} in this epoch"))
             })?;
             summary.top
         }
     };
     ok_json(&TopKResponse {
-        epoch: snapshot.epoch(),
+        epoch: view.epoch(),
         measure: measure.name().to_owned(),
         k,
         results,
@@ -193,20 +218,21 @@ fn top_k(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
 
 fn score(state: &ServerState, raw_value: &str) -> Result<Response, ApiError> {
     let value = decode_segment(raw_value)?;
-    let snapshot = state.service.current();
-    let cards: Vec<_> = snapshot
+    let view = state.service.current();
+    let cards: Vec<_> = view
         .measures()
-        .iter()
-        .filter_map(|&m| snapshot.score_card(m, &value))
+        .to_vec()
+        .into_iter()
+        .filter_map(|m| view.score_card(m, &value))
         .collect();
     if cards.is_empty() {
         return Err(ApiError::not_found(format!(
             "value {value:?} is not a live candidate in epoch {}",
-            snapshot.epoch()
+            view.epoch()
         )));
     }
     ok_json(&ScoreResponse {
-        epoch: snapshot.epoch(),
+        epoch: view.epoch(),
         value: cards[0].value.clone(),
         cards,
     })
@@ -214,37 +240,37 @@ fn score(state: &ServerState, raw_value: &str) -> Result<Response, ApiError> {
 
 fn explain(state: &ServerState, raw_value: &str) -> Result<Response, ApiError> {
     let value = decode_segment(raw_value)?;
-    let snapshot = state.service.current();
-    let explanation = snapshot.explain(&value).ok_or_else(|| {
+    let view = state.service.current();
+    let explanation = view.explain(&value).ok_or_else(|| {
         ApiError::not_found(format!(
             "value {value:?} is not a live candidate in epoch {}",
-            snapshot.epoch()
+            view.epoch()
         ))
     })?;
     ok_json(&ExplainResponse {
-        epoch: snapshot.epoch(),
+        epoch: view.epoch(),
         explanation,
     })
 }
 
 fn tables(state: &ServerState) -> Result<Response, ApiError> {
-    let snapshot = state.service.current();
+    let view = state.service.current();
     ok_json(&TablesResponse {
-        epoch: snapshot.epoch(),
-        tables: snapshot.table_names().map(str::to_owned).collect(),
+        epoch: view.epoch(),
+        tables: view.table_names(),
     })
 }
 
 fn table_summary(state: &ServerState, req: &Request, raw_name: &str) -> Result<Response, ApiError> {
     let name = decode_segment(raw_name)?;
-    let snapshot = state.service.current();
-    let measure = resolve_measure(&snapshot, req.query_value("measure"))?;
+    let view = state.service.current();
+    let measure = resolve_measure(view.measures(), req.query_value("measure"))?;
     let k = parse_k(req)?;
-    let summary = snapshot
+    let summary = view
         .table_summary(&name, measure, k)
         .ok_or_else(|| ApiError::not_found(format!("no table named {name:?} in this epoch")))?;
     ok_json(&TableSummaryResponse {
-        epoch: snapshot.epoch(),
+        epoch: view.epoch(),
         measure: measure.name().to_owned(),
         summary,
     })
@@ -273,19 +299,22 @@ fn mutations(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
         }
     }
     let batches = parsed.deltas.len();
-    let mut writer = state
-        .writer
+    let mut coordinator = state
+        .coordinator
         .lock()
-        .map_err(|_| ApiError::internal("writer lock poisoned"))?;
+        .map_err(|_| ApiError::internal("coordinator lock poisoned"))?;
     for delta in parsed.deltas {
-        writer.stage(delta);
+        coordinator.stage(delta);
     }
-    // A failed commit is NOT published: the writer already resynced its
-    // net from the partially applied lake (the engine's documented batch
-    // semantics), and readers keep the previous epoch until the next
-    // successful batch publishes.
-    let stats = writer.commit().map_err(|e| ApiError::from_service(&e))?;
-    let epoch = writer.publish();
+    // A failed commit is NOT published: every shard that applied part of
+    // the batch already resynced its net from its partially applied lake
+    // (the engine's documented batch semantics), and readers keep the
+    // previous coordinator epoch until the next successful batch
+    // publishes.
+    let stats = coordinator
+        .commit()
+        .map_err(|e| ApiError::from_service(&e))?;
+    let epoch = coordinator.publish();
     ok_json(&MutationResponse {
         epoch,
         batches,
@@ -294,14 +323,14 @@ fn mutations(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
 }
 
 fn checkpoint(state: &ServerState) -> Result<Response, ApiError> {
-    let mut writer = state
-        .writer
+    let mut coordinator = state
+        .coordinator
         .lock()
-        .map_err(|_| ApiError::internal("writer lock poisoned"))?;
-    match writer.checkpoint_now() {
+        .map_err(|_| ApiError::internal("coordinator lock poisoned"))?;
+    match coordinator.checkpoint_now() {
         Ok(true) => ok_json(&CheckpointResponse {
             checkpointed: true,
-            epoch: writer.epoch(),
+            epoch: coordinator.epoch(),
         }),
         Ok(false) => Err(ApiError::conflict(
             "this server is not durable (no --data-dir store); nothing to checkpoint",
@@ -320,50 +349,39 @@ fn shutdown(state: &ServerState) -> Result<Response, ApiError> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dn_service::{serve, ServiceConfig};
-    use lake::delta::MutableLake;
-    use std::sync::Arc;
-
-    fn snapshot() -> Arc<Snapshot> {
-        let lake = MutableLake::from_catalog(&lake::fixtures::running_example());
-        let (service, _writer) = serve(
-            lake,
-            ServiceConfig {
-                measures: vec![Measure::lcc(), Measure::exact_bc()],
-                cache_capacity: 4,
-                prune_single_attribute_values: false,
-            },
-        );
-        service.current()
-    }
 
     #[test]
     fn measure_resolution() {
-        let snap = snapshot();
+        let served = [Measure::lcc(), Measure::exact_bc()];
         assert_eq!(
-            resolve_measure(&snap, None).unwrap(),
+            resolve_measure(&served, None).unwrap(),
             Measure::lcc(),
             "default = first served"
         );
         assert_eq!(
-            resolve_measure(&snap, Some("bc")).unwrap(),
+            resolve_measure(&served, Some("bc")).unwrap(),
             Measure::exact_bc()
         );
         assert_eq!(
-            resolve_measure(&snap, Some("BC")).unwrap(),
+            resolve_measure(&served, Some("BC")).unwrap(),
             Measure::exact_bc()
         );
-        assert_eq!(resolve_measure(&snap, Some("lcc")).unwrap(), Measure::lcc());
+        assert_eq!(
+            resolve_measure(&served, Some("lcc")).unwrap(),
+            Measure::lcc()
+        );
         // Recognized but unserved → 404.
         assert_eq!(
-            resolve_measure(&snap, Some("approx_bc"))
+            resolve_measure(&served, Some("approx_bc"))
                 .unwrap_err()
                 .status,
             404
         );
         // Unknown token → 400.
         assert_eq!(
-            resolve_measure(&snap, Some("pagerank")).unwrap_err().status,
+            resolve_measure(&served, Some("pagerank"))
+                .unwrap_err()
+                .status,
             400
         );
     }

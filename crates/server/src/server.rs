@@ -8,8 +8,8 @@
 //!            ┌────────────┐  shared ConnQueue  ┌───────────┐
 //!  clients ─►│ accept loop├───────────────────►│ worker 0  │──┐
 //!            │ (1 thread) │ (Mutex<VecDeque> + │   ...     │  ├─► ServerState
-//!            └────────────┘        Condvar)    │ worker N-1│──┘   (ServiceHandle,
-//!                        ▲                     └─────┬─────┘      Mutex<Writer>,
+//!            └────────────┘        Condvar)    │ worker N-1│──┘   (CoordinatorHandle,
+//!                        ▲                     └─────┬─────┘      Mutex<Coordinator>,
 //!                        └── idle keep-alive conns ──┘            Metrics, shutdown)
 //! ```
 //!
@@ -32,8 +32,8 @@
 //! reading the next keep-alive request; queued-but-unserved connections
 //! are drained and closed without a response. [`Server::join`] returns
 //! once every worker has exited, so after it returns no request is in
-//! flight and the [`dn_service::Writer`] can be dropped (flushing nothing
-//! — commits are durable at append time).
+//! flight and the [`dn_service::Coordinator`] can be dropped (flushing
+//! nothing — commits are durable at append time).
 
 use std::collections::VecDeque;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use dn_service::{ServiceHandle, Writer};
+use dn_service::{Coordinator, CoordinatorHandle};
 
 use crate::error::ApiError;
 use crate::http::{read_request, write_response, Limits, ReadError, Response};
@@ -76,8 +76,8 @@ impl Default for ServerConfig {
 
 /// Shared state every worker sees.
 pub(crate) struct ServerState {
-    pub(crate) service: ServiceHandle,
-    pub(crate) writer: Mutex<Writer>,
+    pub(crate) service: CoordinatorHandle,
+    pub(crate) coordinator: Mutex<Coordinator>,
     pub(crate) metrics: Metrics,
     pub(crate) shutdown: AtomicBool,
     pub(crate) limits: Limits,
@@ -112,23 +112,25 @@ pub struct Server {
 
 /// Bind, spawn the workers, and start accepting.
 ///
-/// The writer moves into the server (it is the process's single writer;
-/// mutations arrive via `POST /v1/mutations`). The cloneable
-/// [`ServiceHandle`] stays shareable — keep one outside to observe epochs
-/// and cache stats from the hosting process.
+/// The coordinator moves into the server (it is the process's single
+/// write side; mutations arrive via `POST /v1/mutations`). The cloneable
+/// [`CoordinatorHandle`] stays shareable — keep one outside to observe
+/// epochs and cache stats from the hosting process. A single-engine host
+/// wraps its lake with `serve_sharded(lake, config, 1)`, which is
+/// bit-identical to the unsharded engine.
 ///
 /// # Errors
 /// Binding the listener may fail (address in use, permission).
 pub fn serve_http(
-    service: ServiceHandle,
-    writer: Writer,
+    service: CoordinatorHandle,
+    coordinator: Coordinator,
     config: ServerConfig,
 ) -> std::io::Result<Server> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let state = Arc::new(ServerState {
         service,
-        writer: Mutex::new(writer),
+        coordinator: Mutex::new(coordinator),
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
         limits: config.limits,
@@ -169,8 +171,8 @@ impl Server {
         self.state.local_addr
     }
 
-    /// A read handle onto the served engine (epoch, cache stats).
-    pub fn service(&self) -> ServiceHandle {
+    /// A read handle onto the served coordinator (epoch, cache stats).
+    pub fn service(&self) -> CoordinatorHandle {
         self.state.service.clone()
     }
 
@@ -194,13 +196,13 @@ impl Server {
         self.state.begin_shutdown();
     }
 
-    /// Wait for the drain to finish and reclaim the [`Writer`]. Blocks
-    /// until the accept loop and every worker have exited — which only
-    /// happens after a shutdown was initiated (here, via
+    /// Wait for the drain to finish and reclaim the [`Coordinator`].
+    /// Blocks until the accept loop and every worker have exited — which
+    /// only happens after a shutdown was initiated (here, via
     /// [`Server::shutdown`], or over HTTP).
     ///
-    /// Returns the writer so a durable host can checkpoint on exit.
-    pub fn join(self) -> Writer {
+    /// Returns the coordinator so a durable host can checkpoint on exit.
+    pub fn join(self) -> Coordinator {
         let _ = self.accept_handle.join();
         for handle in self.worker_handles {
             let _ = handle.join();
@@ -209,7 +211,7 @@ impl Server {
             .ok()
             .expect("all worker references released after join");
         state
-            .writer
+            .coordinator
             .into_inner()
             .unwrap_or_else(|poisoned| poisoned.into_inner())
     }

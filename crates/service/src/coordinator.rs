@@ -1,0 +1,1376 @@
+//! Scatter-gather coordination over N component-sharded engines.
+//!
+//! DomainNet's scores are *component-local*: LCC is a function of a
+//! value's neighborhood and BC is computed per connected component, so a
+//! shard that owns whole components computes exactly the scores the
+//! global engine would. The coordinator exploits that:
+//!
+//! ```text
+//!             ┌────────────────────────────────────────────┐
+//!   deltas ──►│ Coordinator (routing + rebalance)          │
+//!             │   shard 0        shard 1       shard N-1   │
+//!             │  ┌─────────┐   ┌─────────┐   ┌─────────┐   │
+//!             │  │ Writer  │   │ Writer  │   │ Writer  │   │ one engine,
+//!             │  │ lake+net│   │ lake+net│   │ lake+net│   │ WAL, store dir
+//!             │  │ WAL/dir │   │ WAL/dir │   │ WAL/dir │   │ and epoch each
+//!             │  └────┬────┘   └────┬────┘   └────┬────┘   │
+//!             └───────┼────────────┼─────────────┼─────────┘
+//!                     ▼            ▼             ▼
+//!   queries ◄── MultiView { epoch, [Arc<Snapshot>; N] }  (swapped atomically)
+//! ```
+//!
+//! ## Invariant and routing
+//!
+//! **A live value exists on exactly one shard** — components never span
+//! shards. Each [`lake::LakeOp`] routes by what it touches:
+//!
+//! * `AddTable` — probe every shard's lake for the table's distinct
+//!   values. Zero hits: the table starts a new component, assigned to the
+//!   least-loaded shard. One hit: route there. Multiple hits: the new
+//!   table *merges* components across shards — the connected components
+//!   reachable from the shared values migrate into one target shard
+//!   first, then the op applies there.
+//! * `RemoveTable` / `ReplaceValue` — route to the shard owning the
+//!   table. A replacement value that is live on another shard triggers
+//!   the same migration into the table's home shard. Component *splits*
+//!   need no movement: both halves stay co-resident, and co-residency
+//!   never changes a score.
+//!
+//! Migrations re-home tables with ordinary deltas (add to target, then
+//! remove from source) logged in each shard's own WAL, guarded by a
+//! durable rebalance-intent file so a crash mid-move is finished on
+//! recovery instead of leaving one component split across two shards.
+//!
+//! ## Epochs
+//!
+//! The coordinator epoch is the **sum of the shard epochs** — monotone,
+//! and recoverable shard-by-shard from the per-shard WAL epoch tags. With
+//! one shard it degenerates to the engine's own epoch numbering, which is
+//! part of the shard-count=1 bit-identity contract. Readers pin an
+//! [`Arc<MultiView>`] (the coordinator epoch plus one snapshot per
+//! shard, swapped atomically on publish), so a reader never observes a
+//! mixture of shard epochs.
+//!
+//! ## Batch semantics
+//!
+//! With one shard, a staged batch is delegated wholesale to the single
+//! engine — commit, error, and `DeltaStats` behavior are bit-identical to
+//! the unsharded [`crate::engine::Writer`]. With several shards the batch
+//! is applied op by op (each op is routed, then committed on its shard):
+//! the first failing op stops the batch with earlier ops applied — the
+//! same first-failure contract — but cross-delta cancellation only
+//! happens within a shard, and there is no cross-shard rollback: a
+//! failed op leaves other shards' applied ops in place, the affected
+//! shard resyncs per the engine's own semantics, and nothing publishes
+//! until [`Coordinator::publish`].
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use dn_store::{Store, StorePresence};
+use domainnet::{DeltaStats, Measure, ScoredValue};
+use lake::delta::{LakeDelta, LakeOp, LakeView, MutableLake};
+use lake::table::Table;
+use lake::value::normalize;
+
+use crate::cache::{CacheKey, CacheStats, TopKCache};
+use crate::engine::{
+    serve, serve_durable, serve_from_dir, CheckpointPolicy, ServiceConfig, ServiceError, Writer,
+};
+use crate::snapshot::{ScoreCard, Snapshot, SnapshotStats, TableSummary, ValueExplanation};
+
+// ---------------------------------------------------------------------------
+// Entry points
+// ---------------------------------------------------------------------------
+
+/// Serve a lake across `shards` independent engines behind a coordinator.
+///
+/// The lake's live tables are partitioned by connected component (tables
+/// transitively linked through shared values stay together) and each
+/// shard builds its own engine over its sub-lake. With `shards == 1` the
+/// lake is passed through untouched, so the single shard is bit-identical
+/// to [`serve`] — same ids, same generation, same rankings.
+pub fn serve_sharded(
+    lake: MutableLake,
+    config: ServiceConfig,
+    shards: usize,
+) -> (CoordinatorHandle, Coordinator) {
+    let writers = partition_lake(lake, shards.max(1))
+        .into_iter()
+        .map(|sub| serve(sub, config.clone()).1)
+        .collect();
+    build_coordinator(writers, config, None)
+}
+
+/// Like [`serve_sharded`], but durable: the root directory gains a shard
+/// manifest (written first, atomically) plus one full store per shard
+/// under `shard-<i>/`, each with its own WAL and checkpoint cadence.
+///
+/// # Errors
+/// [`ServiceError::Store`] when the root already holds a store (sharded
+/// or legacy single-engine) or a shard store cannot be initialized.
+pub fn serve_sharded_durable(
+    lake: MutableLake,
+    config: ServiceConfig,
+    root: impl Into<PathBuf>,
+    policy: CheckpointPolicy,
+    shards: usize,
+) -> Result<(CoordinatorHandle, Coordinator), ServiceError> {
+    let root = root.into();
+    if dn_store::sharded_store_exists(&root) || Store::exists(&root) {
+        return Err(ServiceError::Store(dn_store::StoreError::corrupt(format!(
+            "{} already holds a store (recover with serve_sharded_from_dir)",
+            root.display()
+        ))));
+    }
+    let shards = shards.max(1);
+    dn_store::write_shard_manifest(&root, shards)?;
+    let mut writers = Vec::with_capacity(shards);
+    for (i, sub) in partition_lake(lake, shards).into_iter().enumerate() {
+        let (_, writer) =
+            serve_durable(sub, config.clone(), dn_store::shard_dir(&root, i), policy)?;
+        writers.push(writer);
+    }
+    Ok(build_coordinator(writers, config, Some(root)))
+}
+
+/// Recover a sharded coordinator from its root directory: read the
+/// manifest, recover every shard store independently (snapshot load + WAL
+/// replay), and resume the coordinator epoch as the sum of the recovered
+/// shard epochs.
+///
+/// Recovery is deliberately tolerant of a crash at any point of the
+/// sharded lifecycle: a shard directory that is missing or holds only an
+/// aborted initialization (record-free WAL, no snapshot) is rebuilt as a
+/// fresh empty shard — nothing acknowledged can live there, because a
+/// shard acknowledges a commit only after its own WAL append — and a
+/// shard killed mid-checkpoint falls back to its previous snapshot plus
+/// WAL suffix via the store's own recovery. A rebalance-intent file left
+/// by a crash mid-migration is completed here (and published) before the
+/// coordinator accepts traffic, restoring the one-shard-per-component
+/// invariant.
+///
+/// # Errors
+/// [`ServiceError::Store`] when the root holds no shard manifest or a
+/// shard fails validation; [`ServiceError::Maintenance`] when the
+/// recovered shards violate table-ownership invariants beyond what the
+/// intent file explains.
+pub fn serve_sharded_from_dir(
+    root: impl Into<PathBuf>,
+    config: ServiceConfig,
+    policy: CheckpointPolicy,
+) -> Result<(CoordinatorHandle, Coordinator), ServiceError> {
+    let root = root.into();
+    let manifest = dn_store::read_shard_manifest(&root)?.ok_or_else(|| {
+        ServiceError::Store(dn_store::StoreError::corrupt(format!(
+            "{} holds no shard manifest (not a sharded store)",
+            root.display()
+        )))
+    })?;
+    let mut writers = Vec::with_capacity(manifest.shards);
+    for i in 0..manifest.shards {
+        let dir = dn_store::shard_dir(&root, i);
+        let writer = match Store::probe(&dir)? {
+            StorePresence::Recoverable => serve_from_dir(dir, config.clone(), policy)?.1,
+            StorePresence::Fresh => {
+                serve_durable(MutableLake::new(), config.clone(), dir, policy)?.1
+            }
+            StorePresence::AbortedInit { wal_path } => {
+                std::fs::remove_file(&wal_path).map_err(|e| {
+                    ServiceError::Store(dn_store::StoreError::io_with_path(e, wal_path))
+                })?;
+                serve_durable(MutableLake::new(), config.clone(), dir, policy)?.1
+            }
+        };
+        writers.push(writer);
+    }
+    let (handle, mut coordinator) = build_coordinator(writers, config, Some(root.clone()));
+    if let Some(intent) = dn_store::read_rebalance_intent(&root)? {
+        coordinator.complete_rebalance(&intent)?;
+        dn_store::clear_rebalance_intent(&root)?;
+    }
+    coordinator.verify_table_ownership()?;
+    Ok((handle, coordinator))
+}
+
+/// Shared tail of the entry points: sum the shard epochs, publish the
+/// initial [`MultiView`], and index table ownership.
+fn build_coordinator(
+    shards: Vec<Writer>,
+    config: ServiceConfig,
+    root_dir: Option<PathBuf>,
+) -> (CoordinatorHandle, Coordinator) {
+    let epoch = shards.iter().map(Writer::epoch).sum();
+    let view = Arc::new(MultiView {
+        epoch,
+        shards: shards.iter().map(|w| w.service().current()).collect(),
+    });
+    let shared = Arc::new(CoordShared {
+        current: RwLock::new(view),
+        cache: Mutex::new(TopKCache::new(config.cache_capacity)),
+        epochs_published: AtomicU64::new(1),
+    });
+    let mut table_shard = HashMap::new();
+    for (i, writer) in shards.iter().enumerate() {
+        for name in writer.lake().live_table_names() {
+            // First owner wins on a (transient, crash-mid-migration)
+            // duplicate; serve_sharded_from_dir resolves those via the
+            // intent file before traffic starts.
+            table_shard.entry(name.to_owned()).or_insert(i);
+        }
+    }
+    let handle = CoordinatorHandle {
+        shared: Arc::clone(&shared),
+    };
+    let coordinator = Coordinator {
+        shards,
+        table_shard,
+        dirty: BTreeSet::new(),
+        staged: Vec::new(),
+        epoch,
+        shared,
+        root_dir,
+    };
+    (handle, coordinator)
+}
+
+// ---------------------------------------------------------------------------
+// Component partitioning (shared by the entry points and migration)
+// ---------------------------------------------------------------------------
+
+/// Union-find with path halving; roots are always the smallest member
+/// index, so grouping is deterministic.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            // Attach the larger root below the smaller: the component
+            // representative is its lowest table index.
+            let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+            self.parent[hi] = lo;
+        }
+    }
+}
+
+/// Group a lake's live tables into connected components via shared
+/// values. Returns the live table names (original order) and each name's
+/// component root index.
+fn table_components(lake: &MutableLake) -> (Vec<String>, Vec<usize>) {
+    let names: Vec<String> = lake
+        .live_table_names()
+        .into_iter()
+        .map(str::to_owned)
+        .collect();
+    let index: HashMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut uf = UnionFind::new(names.len());
+    let mut first_table_of_value: HashMap<usize, usize> = HashMap::new();
+    for (attr, values) in lake.live_attribute_values() {
+        let table = lake
+            .attribute_ref(attr)
+            .expect("live attribute has a table reference")
+            .table;
+        let t = index[table.as_str()];
+        for &v in values {
+            match first_table_of_value.entry(v.index()) {
+                std::collections::hash_map::Entry::Occupied(e) => uf.union(*e.get(), t),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(t);
+                }
+            }
+        }
+    }
+    let roots: Vec<usize> = (0..names.len()).map(|i| uf.find(i)).collect();
+    (names, roots)
+}
+
+/// Split a lake into `shards` sub-lakes along component boundaries.
+///
+/// Components are assigned greedily (in order of first appearance) to the
+/// shard with the least accumulated distinct-value weight, which is
+/// deterministic and keeps shards roughly balanced. With `shards == 1`
+/// the input lake is returned untouched — the bit-identity anchor.
+fn partition_lake(lake: MutableLake, shards: usize) -> Vec<MutableLake> {
+    if shards <= 1 {
+        return vec![lake];
+    }
+    let (names, roots) = table_components(&lake);
+    // Component weight = sum of its tables' distinct-value counts.
+    let mut weight_of_root: BTreeMap<usize, usize> = BTreeMap::new();
+    for (i, name) in names.iter().enumerate() {
+        let w = lake.table(name).map_or(0, Table::total_distinct);
+        *weight_of_root.entry(roots[i]).or_insert(0) += w;
+    }
+    // Greedy assignment in root order (= first-appearance order).
+    let mut load = vec![0usize; shards];
+    let mut shard_of_root: HashMap<usize, usize> = HashMap::new();
+    for (&root, &weight) in &weight_of_root {
+        let target = (0..shards)
+            .min_by_key(|&s| (load[s], s))
+            .expect(">=1 shard");
+        load[target] += weight;
+        shard_of_root.insert(root, target);
+    }
+    let mut lakes: Vec<MutableLake> = (0..shards).map(|_| MutableLake::new()).collect();
+    for (i, name) in names.iter().enumerate() {
+        let target = shard_of_root[&roots[i]];
+        let table = lake.table(name).expect("live table").clone();
+        lakes[target]
+            .apply(&LakeDelta::new().add_table(table))
+            .expect("repartitioned table re-applies cleanly");
+    }
+    lakes
+}
+
+/// The live tables of `lake` transitively connected to any of
+/// `trigger_values` (normalized) — the move-set of a cross-shard merge.
+fn connected_tables(lake: &MutableLake, trigger_values: &[String]) -> Vec<String> {
+    let (names, roots) = table_components(lake);
+    let index: HashMap<&str, usize> = names
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let mut hit_roots: HashSet<usize> = HashSet::new();
+    for value in trigger_values {
+        if let Some(id) = lake.value_id(value) {
+            for &attr in lake.value_attributes(id) {
+                if let Some(aref) = lake.attribute_ref(attr) {
+                    hit_roots.insert(roots[index[aref.table.as_str()]]);
+                }
+            }
+        }
+    }
+    names
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| hit_roots.contains(&roots[*i]))
+        .map(|(_, n)| n)
+        .collect()
+}
+
+fn add_stats(total: &mut DeltaStats, part: DeltaStats) {
+    total.value_nodes_added += part.value_nodes_added;
+    total.attr_nodes_added += part.attr_nodes_added;
+    total.edges_added += part.edges_added;
+    total.edges_removed += part.edges_removed;
+    total.dirty_values += part.dirty_values;
+    total.touched_components += part.touched_components;
+    total.touched_component_nodes += part.touched_component_nodes;
+}
+
+// ---------------------------------------------------------------------------
+// MultiView: the atomically published cross-shard snapshot set
+// ---------------------------------------------------------------------------
+
+/// One coordinator epoch's worth of shard snapshots, published and pinned
+/// as a unit so readers never observe a mixture of shard epochs. All
+/// scatter-gather query merging lives here.
+#[derive(Debug)]
+pub struct MultiView {
+    epoch: u64,
+    shards: Vec<Arc<Snapshot>>,
+}
+
+/// `Ordering::Less` when `a` ranks strictly before `b` under `measure`'s
+/// total order — the exact comparator the per-shard rankings are sorted
+/// by (score direction per measure, ties broken by value string), which
+/// is what makes cross-shard merging exact rather than approximate.
+fn rank_cmp(higher_first: bool, a: &ScoredValue, b: &ScoredValue) -> std::cmp::Ordering {
+    let primary = if higher_first {
+        b.score.total_cmp(&a.score)
+    } else {
+        a.score.total_cmp(&b.score)
+    };
+    primary.then_with(|| a.value.cmp(&b.value))
+}
+
+impl MultiView {
+    /// The coordinator epoch this view was published as.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards in this view.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The pinned snapshot of one shard.
+    pub fn shard(&self, i: usize) -> &Arc<Snapshot> {
+        &self.shards[i]
+    }
+
+    /// The measures every shard serves (all shards share one config).
+    pub fn measures(&self) -> &[Measure] {
+        self.shards[0].measures()
+    }
+
+    /// Aggregate counts across the shards. `epoch` is the coordinator
+    /// epoch; additive counters (nodes, edges, candidates, components,
+    /// generations) are summed.
+    pub fn stats(&self) -> SnapshotStats {
+        let mut total = SnapshotStats {
+            epoch: self.epoch,
+            generation: 0,
+            node_count: 0,
+            value_nodes: 0,
+            attribute_nodes: 0,
+            edge_count: 0,
+            live_candidates: 0,
+            component_count: 0,
+        };
+        for shard in &self.shards {
+            let s = shard.stats();
+            total.generation += s.generation;
+            total.node_count += s.node_count;
+            total.value_nodes += s.value_nodes;
+            total.attribute_nodes += s.attribute_nodes;
+            total.edge_count += s.edge_count;
+            total.live_candidates += s.live_candidates;
+            total.component_count += s.component_count;
+        }
+        total
+    }
+
+    /// Globally merged top-`k` under a measure: an exact k-way merge of
+    /// the per-shard rankings under the shared total order. `None` when
+    /// the measure is not served.
+    pub fn top_k(&self, measure: Measure, k: usize) -> Option<Vec<ScoredValue>> {
+        let rankings: Vec<&Arc<Vec<ScoredValue>>> = self
+            .shards
+            .iter()
+            .map(|s| s.ranking(measure))
+            .collect::<Option<_>>()?;
+        if rankings.len() == 1 {
+            return Some(rankings[0].iter().take(k).cloned().collect());
+        }
+        let higher_first = measure.higher_is_more_homograph_like();
+        let mut heads = vec![0usize; rankings.len()];
+        let mut out = Vec::with_capacity(k.min(rankings.iter().map(|r| r.len()).sum()));
+        while out.len() < k {
+            let mut best: Option<usize> = None;
+            for (i, ranking) in rankings.iter().enumerate() {
+                let Some(candidate) = ranking.get(heads[i]) else {
+                    continue;
+                };
+                match best {
+                    None => best = Some(i),
+                    Some(b) => {
+                        if rank_cmp(higher_first, candidate, &rankings[b][heads[b]]).is_lt() {
+                            best = Some(i);
+                        }
+                    }
+                }
+            }
+            let Some(b) = best else { break };
+            out.push(rankings[b][heads[b]].clone());
+            heads[b] += 1;
+        }
+        Some(out)
+    }
+
+    /// Score, **global** rank, and **global** percentile of one value.
+    ///
+    /// The owning shard's card supplies the score (bit-identical to the
+    /// unsharded engine's — components never span shards); rank and
+    /// percentile are then corrected globally: the global rank is one
+    /// plus the number of entries across *all* shard rankings ordered
+    /// strictly before this value under the measure's total order
+    /// (counted by binary search — the rankings are sorted by exactly
+    /// that order), and the percentile is recomputed from the global
+    /// rank and the global candidate count, reproducing the unsharded
+    /// `100 * (of - rank) / of` to the bit.
+    pub fn score_card(&self, measure: Measure, value: &str) -> Option<ScoreCard> {
+        let (owner, mut card) = self
+            .shards
+            .iter()
+            .enumerate()
+            .find_map(|(i, s)| s.score_card(measure, value).map(|c| (i, c)))?;
+        if self.shards.len() == 1 {
+            return Some(card);
+        }
+        let higher_first = measure.higher_is_more_homograph_like();
+        let target = ScoredValue {
+            value: card.value.clone(),
+            score: card.score,
+            attribute_count: card.attribute_count,
+            cardinality: card.cardinality,
+        };
+        let mut of = 0usize;
+        let mut before = 0usize;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let ranking = shard.ranking(measure)?;
+            of += ranking.len();
+            if i == owner {
+                before += card.rank - 1;
+            } else {
+                before += ranking.partition_point(|e| rank_cmp(higher_first, e, &target).is_lt());
+            }
+        }
+        card.rank = before + 1;
+        card.of = of;
+        card.percentile = 100.0 * (of - card.rank) as f64 / of as f64;
+        Some(card)
+    }
+
+    /// The attribute-neighborhood explanation of a value, answered by the
+    /// one shard that owns it.
+    pub fn explain(&self, value: &str) -> Option<ValueExplanation> {
+        self.shards.iter().find_map(|s| s.explain(value))
+    }
+
+    /// Sorted names of the live tables across all shards.
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: BTreeSet<String> = BTreeSet::new();
+        for shard in &self.shards {
+            names.extend(shard.table_names().map(str::to_owned));
+        }
+        names.into_iter().collect()
+    }
+
+    /// Summary of one table, answered by the shard that owns it. All
+    /// summary fields are table-local, so the shard's answer is the
+    /// global answer.
+    pub fn table_summary(&self, table: &str, measure: Measure, k: usize) -> Option<TableSummary> {
+        self.shards
+            .iter()
+            .find_map(|s| s.table_summary(table, measure, k))
+    }
+
+    /// Check every shard snapshot's internal consistency plus the
+    /// cross-shard invariant that no live value appears on two shards.
+    pub fn verify_consistency(&self) -> Result<(), String> {
+        let mut seen: HashMap<&str, usize> = HashMap::new();
+        for (i, shard) in self.shards.iter().enumerate() {
+            shard
+                .verify_consistency()
+                .map_err(|e| format!("shard {i}: {e}"))?;
+            let Some(&measure) = shard.measures().first() else {
+                continue;
+            };
+            let ranking = shard
+                .ranking(measure)
+                .ok_or_else(|| format!("shard {i}: first measure has no ranking"))?;
+            for scored in ranking.iter() {
+                if let Some(&other) = seen.get(scored.value.as_str()) {
+                    return Err(format!(
+                        "value '{}' is live on shards {other} and {i}",
+                        scored.value
+                    ));
+                }
+                seen.insert(scored.value.as_str(), i);
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handle + reader
+// ---------------------------------------------------------------------------
+
+struct CoordShared {
+    current: RwLock<Arc<MultiView>>,
+    cache: Mutex<TopKCache>,
+    epochs_published: AtomicU64,
+}
+
+impl CoordShared {
+    fn current(&self) -> Arc<MultiView> {
+        Arc::clone(&self.current.read().expect("multiview pointer lock"))
+    }
+}
+
+/// Cloneable read-side handle onto a sharded coordinator: mints
+/// [`CoordinatorReader`]s and reports aggregate stats. The sharded
+/// counterpart of [`crate::engine::ServiceHandle`].
+#[derive(Clone)]
+pub struct CoordinatorHandle {
+    shared: Arc<CoordShared>,
+}
+
+impl CoordinatorHandle {
+    /// A new reader, pinned to the current view.
+    pub fn reader(&self) -> CoordinatorReader {
+        CoordinatorReader {
+            pinned: self.shared.current(),
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// The current view (for one-off queries).
+    pub fn current(&self) -> Arc<MultiView> {
+        self.shared.current()
+    }
+
+    /// The current coordinator epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.current().epoch()
+    }
+
+    /// Number of views published so far (the initial one included).
+    pub fn epochs_published(&self) -> u64 {
+        self.shared.epochs_published.load(Ordering::Relaxed)
+    }
+
+    /// Counters of the coordinator-level merged top-k cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.shared.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Number of shards behind this handle.
+    pub fn shard_count(&self) -> usize {
+        self.shared.current().shard_count()
+    }
+}
+
+/// A reader pinned to one [`MultiView`]. Queries answer entirely from
+/// the pinned view; [`CoordinatorReader::pin`] moves to the latest.
+pub struct CoordinatorReader {
+    shared: Arc<CoordShared>,
+    pinned: Arc<MultiView>,
+}
+
+impl CoordinatorReader {
+    /// Re-pin to the current view, returning its epoch.
+    pub fn pin(&mut self) -> u64 {
+        self.pinned = self.shared.current();
+        self.pinned.epoch()
+    }
+
+    /// The pinned view.
+    pub fn view(&self) -> &Arc<MultiView> {
+        &self.pinned
+    }
+
+    /// The pinned coordinator epoch.
+    pub fn epoch(&self) -> u64 {
+        self.pinned.epoch()
+    }
+
+    /// Globally merged top-`k`, served from the coordinator's shared LRU
+    /// cache when a reader of the same epoch asked before.
+    pub fn top_k(&self, measure: Measure, k: usize) -> Option<Arc<Vec<ScoredValue>>> {
+        let key = CacheKey {
+            epoch: self.pinned.epoch(),
+            measure,
+            k,
+        };
+        if let Some(hit) = self.shared.cache.lock().expect("cache lock").get(&key) {
+            return Some(hit);
+        }
+        let fresh = Arc::new(self.pinned.top_k(measure, k)?);
+        self.shared
+            .cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, Arc::clone(&fresh));
+        Some(fresh)
+    }
+
+    /// Global score/rank/percentile card. See [`MultiView::score_card`].
+    pub fn score_card(&self, measure: Measure, value: &str) -> Option<ScoreCard> {
+        self.pinned.score_card(measure, value)
+    }
+
+    /// Attribute-neighborhood explanation. See [`MultiView::explain`].
+    pub fn explain(&self, value: &str) -> Option<ValueExplanation> {
+        self.pinned.explain(value)
+    }
+
+    /// Per-table summary. See [`MultiView::table_summary`].
+    pub fn table_summary(&self, table: &str, measure: Measure, k: usize) -> Option<TableSummary> {
+        self.pinned.table_summary(table, measure, k)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator (write side)
+// ---------------------------------------------------------------------------
+
+/// The unique write-side coordinator: owns the shard [`Writer`]s, routes
+/// staged deltas by connected component, rebalances components across
+/// shard boundaries when a mutation merges them, and publishes
+/// [`MultiView`]s. The sharded counterpart of [`Writer`], with the same
+/// stage → commit → publish lifecycle.
+pub struct Coordinator {
+    shards: Vec<Writer>,
+    /// Live table name -> owning shard.
+    table_shard: HashMap<String, usize>,
+    /// Shards with committed-but-unpublished state.
+    dirty: BTreeSet<usize>,
+    staged: Vec<LakeDelta>,
+    /// Sum of the shard epochs.
+    epoch: u64,
+    shared: Arc<CoordShared>,
+    /// Root of the sharded store for durable coordinators (where the
+    /// manifest and rebalance intent live).
+    root_dir: Option<PathBuf>,
+}
+
+impl Coordinator {
+    /// Stage a delta for the next [`Coordinator::commit`].
+    pub fn stage(&mut self, delta: LakeDelta) {
+        self.staged.push(delta);
+    }
+
+    /// Number of staged, uncommitted deltas.
+    pub fn staged_len(&self) -> usize {
+        self.staged.len()
+    }
+
+    /// Route and apply every staged delta. Does **not** publish. See the
+    /// [module docs](self) for the single- vs multi-shard batch
+    /// semantics; the returned [`DeltaStats`] cover the client's ops
+    /// only (rebalance migrations are internal bookkeeping and excluded).
+    ///
+    /// # Errors
+    /// The first failing op stops the batch (earlier ops stay applied,
+    /// exactly like [`Writer::commit`]); store failures during a
+    /// migration abort the rebalance with the intent file left in place,
+    /// so recovery (or the next commit touching the same values) finishes
+    /// the move.
+    pub fn commit(&mut self) -> Result<DeltaStats, ServiceError> {
+        let staged = std::mem::take(&mut self.staged);
+        if staged.is_empty() {
+            return Ok(DeltaStats::default());
+        }
+        if self.shards.len() == 1 {
+            // Single shard: delegate the whole batch for bit-identical
+            // engine semantics (cross-delta cancellation included).
+            for delta in staged {
+                self.shards[0].stage(delta);
+            }
+            self.dirty.insert(0);
+            return self.shards[0].commit();
+        }
+        let mut total = DeltaStats::default();
+        for delta in &staged {
+            for op in delta.ops() {
+                add_stats(&mut total, self.apply_op(op)?);
+            }
+        }
+        Ok(total)
+    }
+
+    /// Publish the committed state: every dirty shard publishes its own
+    /// epoch, and one new [`MultiView`] (coordinator epoch = sum of
+    /// shard epochs) is swapped in atomically, invalidating the merged
+    /// top-k cache. With nothing dirty, every shard republishes — the
+    /// unconditional-bump behavior of [`Writer::publish`], preserved for
+    /// the single-shard identity.
+    pub fn publish(&mut self) -> u64 {
+        let to_publish: Vec<usize> = if self.dirty.is_empty() {
+            (0..self.shards.len()).collect()
+        } else {
+            self.dirty.iter().copied().collect()
+        };
+        for &i in &to_publish {
+            self.shards[i].publish();
+        }
+        self.dirty.clear();
+        self.epoch = self.shards.iter().map(Writer::epoch).sum();
+        let view = Arc::new(MultiView {
+            epoch: self.epoch,
+            shards: self.shards.iter().map(|w| w.service().current()).collect(),
+        });
+        *self.shared.current.write().expect("multiview pointer lock") = view;
+        self.shared.cache.lock().expect("cache lock").invalidate();
+        self.shared.epochs_published.fetch_add(1, Ordering::Relaxed);
+        self.epoch
+    }
+
+    /// Convenience: stage one delta, commit, and publish.
+    pub fn apply_and_publish(
+        &mut self,
+        delta: LakeDelta,
+    ) -> Result<(DeltaStats, u64), ServiceError> {
+        self.stage(delta);
+        let stats = self.commit()?;
+        Ok((stats, self.publish()))
+    }
+
+    /// Checkpoint every shard immediately, regardless of policy. Returns
+    /// `true` when at least one snapshot was written (`false` only for a
+    /// fully non-durable coordinator).
+    ///
+    /// # Errors
+    /// [`ServiceError::Store`] from the first shard whose snapshot
+    /// cannot be written (earlier shards keep their fresh checkpoints).
+    pub fn checkpoint_now(&mut self) -> Result<bool, ServiceError> {
+        let mut any = false;
+        for writer in &mut self.shards {
+            any |= writer.checkpoint_now()?;
+        }
+        Ok(any)
+    }
+
+    /// Whether the shards persist commits to a sharded store.
+    pub fn is_durable(&self) -> bool {
+        self.root_dir.is_some()
+    }
+
+    /// The measures every shard warms and publishes.
+    pub fn measures(&self) -> &[Measure] {
+        self.shards[0].measures()
+    }
+
+    /// The current coordinator epoch (sum of the shard epochs).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The published epoch of one shard.
+    pub fn shard_epoch(&self, shard: usize) -> u64 {
+        self.shards[shard].epoch()
+    }
+
+    /// Bytes of batch records in one shard's WAL (0 when non-durable).
+    pub fn shard_wal_record_bytes(&self, shard: usize) -> u64 {
+        self.shards[shard].wal_record_bytes()
+    }
+
+    /// Store counters of one shard (`None` when non-durable).
+    ///
+    /// # Errors
+    /// [`ServiceError::Store`] when the shard's directory cannot be
+    /// listed.
+    pub fn shard_store_stats(
+        &self,
+        shard: usize,
+    ) -> Result<Option<dn_store::StoreStats>, ServiceError> {
+        self.shards[shard].store_stats()
+    }
+
+    /// Cache counters of one shard's own engine-level top-k cache (the
+    /// coordinator's merged cache is [`CoordinatorHandle::cache_stats`]).
+    pub fn shard_cache_stats(&self, shard: usize) -> CacheStats {
+        self.shards[shard].service().cache_stats()
+    }
+
+    /// Total WAL record bytes across the shards.
+    pub fn wal_record_bytes(&self) -> u64 {
+        self.shards.iter().map(Writer::wal_record_bytes).sum()
+    }
+
+    /// Which shard owns a live table.
+    pub fn table_owner(&self, table: &str) -> Option<usize> {
+        self.table_shard.get(table).copied()
+    }
+
+    /// Live table names of one shard, in that shard's lake order.
+    pub fn shard_live_tables(&self, shard: usize) -> Vec<String> {
+        self.shards[shard]
+            .lake()
+            .live_table_names()
+            .into_iter()
+            .map(str::to_owned)
+            .collect()
+    }
+
+    /// A read handle onto this coordinator.
+    pub fn handle(&self) -> CoordinatorHandle {
+        CoordinatorHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    // -- routing ----------------------------------------------------------
+
+    /// Route one op to its shard (migrating components first when the op
+    /// merges components across shards) and commit it there.
+    fn apply_op(&mut self, op: &LakeOp) -> Result<DeltaStats, ServiceError> {
+        let target = match op {
+            LakeOp::AddTable(table) => match self.table_shard.get(table.name()) {
+                // Duplicate name: route to the owner so the engine
+                // surfaces its own duplicate-table error.
+                Some(&owner) => owner,
+                None => {
+                    let values: Vec<String> = table
+                        .columns()
+                        .iter()
+                        .flat_map(|c| c.distinct_values().map(str::to_owned))
+                        .collect::<BTreeSet<_>>()
+                        .into_iter()
+                        .collect();
+                    let touched = self.shards_holding(&values);
+                    match touched.as_slice() {
+                        [] => self.least_loaded_shard(),
+                        [only] => *only,
+                        _ => {
+                            let target = self.pick_merge_target(&touched);
+                            let sources: Vec<usize> =
+                                touched.into_iter().filter(|&s| s != target).collect();
+                            self.migrate_into(target, &sources, &values)?;
+                            target
+                        }
+                    }
+                }
+            },
+            LakeOp::RemoveTable(name) => {
+                // An unknown table routes to shard 0 so the engine
+                // produces its NotFound error deterministically.
+                self.table_shard.get(name.as_str()).copied().unwrap_or(0)
+            }
+            LakeOp::ReplaceValue {
+                table, replacement, ..
+            } => {
+                let home = self.table_shard.get(table.as_str()).copied().unwrap_or(0);
+                let norm = normalize(replacement);
+                if !lake::value::is_missing(&norm) {
+                    let trigger = vec![norm];
+                    let sources: Vec<usize> = self
+                        .shards_holding(&trigger)
+                        .into_iter()
+                        .filter(|&s| s != home)
+                        .collect();
+                    if !sources.is_empty() {
+                        // The replacement value is live elsewhere: its
+                        // components must co-reside with the edited table.
+                        self.migrate_into(home, &sources, &trigger)?;
+                    }
+                }
+                home
+            }
+        };
+        let mut delta = LakeDelta::new();
+        delta.push(op.clone());
+        let result = self.commit_shard(target, delta);
+        if result.is_ok() {
+            match op {
+                LakeOp::AddTable(table) => {
+                    self.table_shard.insert(table.name().to_owned(), target);
+                }
+                LakeOp::RemoveTable(name) => {
+                    self.table_shard.remove(name.as_str());
+                }
+                LakeOp::ReplaceValue { .. } => {}
+            }
+        }
+        result
+    }
+
+    /// Stage and commit one delta on one shard, marking it dirty.
+    fn commit_shard(&mut self, shard: usize, delta: LakeDelta) -> Result<DeltaStats, ServiceError> {
+        self.shards[shard].stage(delta);
+        self.dirty.insert(shard);
+        self.shards[shard].commit()
+    }
+
+    /// Shards on which at least one of `values` (normalized) is live,
+    /// ascending.
+    fn shards_holding(&self, values: &[String]) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, writer)| {
+                let lake = writer.lake();
+                values.iter().any(|v| {
+                    lake.value_id(v)
+                        .is_some_and(|id| !lake.value_attributes(id).is_empty())
+                })
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Destination for a brand-new component: the shard with the fewest
+    /// live incidences (ties to the lowest index).
+    fn least_loaded_shard(&self) -> usize {
+        (0..self.shards.len())
+            .min_by_key(|&i| (self.shards[i].lake().incidence_count(), i))
+            .expect(">=1 shard")
+    }
+
+    /// Destination of a merge: the touched shard holding the most live
+    /// incidences (so the least data moves; ties to the lowest index).
+    fn pick_merge_target(&self, touched: &[usize]) -> usize {
+        let mut best = touched[0];
+        for &s in &touched[1..] {
+            if self.shards[s].lake().incidence_count() > self.shards[best].lake().incidence_count()
+            {
+                best = s;
+            }
+        }
+        best
+    }
+
+    /// Move every component of `sources` connected to `trigger_values`
+    /// into `target`: durable intent first, then per table add-to-target
+    /// followed by remove-from-source (each an ordinary WAL-logged
+    /// commit), then the intent is cleared.
+    fn migrate_into(
+        &mut self,
+        target: usize,
+        sources: &[usize],
+        trigger_values: &[String],
+    ) -> Result<(), ServiceError> {
+        let mut moves: Vec<(usize, Table)> = Vec::new();
+        for &source in sources {
+            for name in connected_tables(self.shards[source].lake(), trigger_values) {
+                let table = self.shards[source]
+                    .lake()
+                    .table(&name)
+                    .expect("connected table is live")
+                    .clone();
+                moves.push((source, table));
+            }
+        }
+        if moves.is_empty() {
+            return Ok(());
+        }
+        if let Some(root) = self.root_dir.clone() {
+            let intent = dn_store::RebalanceIntent {
+                moves: moves
+                    .iter()
+                    .map(|(from, table)| dn_store::TableMove {
+                        table: table.name().to_owned(),
+                        from: *from,
+                        to: target,
+                    })
+                    .collect(),
+            };
+            dn_store::write_rebalance_intent(&root, &intent)?;
+        }
+        for (from, table) in moves {
+            let name = table.name().to_owned();
+            self.commit_shard(target, LakeDelta::new().add_table(table))?;
+            self.commit_shard(from, LakeDelta::new().remove_table(name.clone()))?;
+            self.table_shard.insert(name, target);
+        }
+        if let Some(root) = self.root_dir.clone() {
+            dn_store::clear_rebalance_intent(&root)?;
+        }
+        Ok(())
+    }
+
+    // -- recovery helpers --------------------------------------------------
+
+    /// Finish a rebalance interrupted by a crash (see
+    /// [`dn_store::RebalanceIntent`] for the per-entry cases), then
+    /// publish the repaired shards.
+    fn complete_rebalance(
+        &mut self,
+        intent: &dn_store::RebalanceIntent,
+    ) -> Result<(), ServiceError> {
+        for mv in &intent.moves {
+            if mv.from >= self.shards.len() || mv.to >= self.shards.len() {
+                return Err(ServiceError::Maintenance(format!(
+                    "rebalance intent references shard {} of {}",
+                    mv.from.max(mv.to),
+                    self.shards.len()
+                )));
+            }
+            let on_from = self.shards[mv.from].lake().table(&mv.table).is_some();
+            let on_to = self.shards[mv.to].lake().table(&mv.table).is_some();
+            match (on_from, on_to) {
+                (true, false) => {
+                    let table = self.shards[mv.from]
+                        .lake()
+                        .table(&mv.table)
+                        .expect("probed live")
+                        .clone();
+                    self.commit_shard(mv.to, LakeDelta::new().add_table(table))?;
+                    self.commit_shard(mv.from, LakeDelta::new().remove_table(mv.table.clone()))?;
+                }
+                (true, true) => {
+                    self.commit_shard(mv.from, LakeDelta::new().remove_table(mv.table.clone()))?;
+                }
+                (false, _) => {} // move completed (or never started *and* the table is gone)
+            }
+            self.table_shard.insert(mv.table.clone(), mv.to);
+        }
+        if !self.dirty.is_empty() {
+            self.publish();
+        }
+        Ok(())
+    }
+
+    /// Re-derive table ownership from the shard lakes, failing on a
+    /// duplicate (a table live on two shards with no intent explaining
+    /// it — the invariant the rebalance machinery exists to protect).
+    fn verify_table_ownership(&mut self) -> Result<(), ServiceError> {
+        let mut owners: HashMap<String, usize> = HashMap::new();
+        for (i, writer) in self.shards.iter().enumerate() {
+            for name in writer.lake().live_table_names() {
+                if let Some(previous) = owners.insert(name.to_owned(), i) {
+                    return Err(ServiceError::Maintenance(format!(
+                        "table '{name}' is live on shards {previous} and {i} with no rebalance intent"
+                    )));
+                }
+            }
+        }
+        self.table_shard = owners;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake::table::TableBuilder;
+
+    fn config() -> ServiceConfig {
+        ServiceConfig {
+            measures: vec![Measure::lcc(), Measure::exact_bc()],
+            cache_capacity: 8,
+            prune_single_attribute_values: false,
+        }
+    }
+
+    fn running_lake() -> MutableLake {
+        MutableLake::from_catalog(&lake::fixtures::running_example())
+    }
+
+    /// Two disconnected components: animals and currencies.
+    fn two_component_lake() -> MutableLake {
+        let mut lake = MutableLake::new();
+        lake.apply(
+            &LakeDelta::new()
+                .add_table(
+                    TableBuilder::new("zoo")
+                        .column("animal", ["Jaguar", "Okapi", "Zebra"])
+                        .build()
+                        .unwrap(),
+                )
+                .add_table(
+                    TableBuilder::new("cars")
+                        .column("make", ["Jaguar", "Fiat", "Kia"])
+                        .build()
+                        .unwrap(),
+                )
+                .add_table(
+                    TableBuilder::new("fx")
+                        .column("code", ["USD", "EUR", "JPY"])
+                        .build()
+                        .unwrap(),
+                )
+                .add_table(
+                    TableBuilder::new("prices")
+                        .column("currency", ["USD", "GBP", "EUR"])
+                        .build()
+                        .unwrap(),
+                ),
+        )
+        .unwrap();
+        lake
+    }
+
+    #[test]
+    fn single_shard_is_bit_identical_to_the_engine() {
+        let (plain_service, _pw) = serve(running_lake(), config());
+        let (handle, _coordinator) = serve_sharded(running_lake(), config(), 1);
+        assert_eq!(handle.shard_count(), 1);
+        assert_eq!(handle.epoch(), 0);
+        let view = handle.current();
+        let plain = plain_service.current();
+        for measure in [Measure::lcc(), Measure::exact_bc()] {
+            let a = view.top_k(measure, usize::MAX).unwrap();
+            let b = plain.top_k(measure, usize::MAX).unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.value, y.value);
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "{}", x.value);
+            }
+        }
+        assert_eq!(view.stats(), plain.stats());
+        view.verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn partition_keeps_components_whole() {
+        let (handle, coordinator) = serve_sharded(two_component_lake(), config(), 2);
+        assert_eq!(handle.shard_count(), 2);
+        // zoo+cars share JAGUAR, fx+prices share USD/EUR: one component each.
+        let zoo = coordinator.table_owner("zoo").unwrap();
+        assert_eq!(coordinator.table_owner("cars").unwrap(), zoo);
+        let fx = coordinator.table_owner("fx").unwrap();
+        assert_eq!(coordinator.table_owner("prices").unwrap(), fx);
+        assert_ne!(zoo, fx, "two components spread across two shards");
+        handle.current().verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn cross_shard_merge_migrates_the_component() {
+        let (handle, mut coordinator) = serve_sharded(two_component_lake(), config(), 2);
+        // A table bridging both components forces a merge.
+        let bridge = LakeDelta::new().add_table(
+            TableBuilder::new("bridge")
+                .column("word", ["Jaguar", "USD"])
+                .build()
+                .unwrap(),
+        );
+        coordinator.apply_and_publish(bridge).unwrap();
+        let owner = coordinator.table_owner("bridge").unwrap();
+        for table in ["zoo", "cars", "fx", "prices"] {
+            assert_eq!(
+                coordinator.table_owner(table).unwrap(),
+                owner,
+                "{table} must co-reside with the bridge"
+            );
+        }
+        let view = handle.current();
+        view.verify_consistency().unwrap();
+        // The merged component scores exactly like an unsharded engine.
+        let mut reference_lake = two_component_lake();
+        reference_lake
+            .apply(
+                &LakeDelta::new().add_table(
+                    TableBuilder::new("bridge")
+                        .column("word", ["Jaguar", "USD"])
+                        .build()
+                        .unwrap(),
+                ),
+            )
+            .unwrap();
+        let (reference, _w) = serve(reference_lake, config());
+        let reference_view = reference.current();
+        for measure in [Measure::lcc(), Measure::exact_bc()] {
+            let merged = view.top_k(measure, usize::MAX).unwrap();
+            let plain = reference_view.top_k(measure, usize::MAX).unwrap();
+            assert_eq!(merged.len(), plain.len());
+            for (x, y) in merged.iter().zip(plain.iter()) {
+                assert_eq!(x.value, y.value, "{measure:?}");
+                assert!((x.score - y.score).abs() < 1e-9, "{measure:?} {}", x.value);
+            }
+        }
+    }
+
+    #[test]
+    fn global_score_cards_match_the_unsharded_engine() {
+        let (sharded, _c) = serve_sharded(two_component_lake(), config(), 2);
+        let (plain, _w) = serve(two_component_lake(), config());
+        let view = sharded.current();
+        let reference = plain.current();
+        for measure in [Measure::lcc(), Measure::exact_bc()] {
+            for value in ["Jaguar", "USD", "Okapi", "GBP", "Fiat"] {
+                let merged = view.score_card(measure, value).unwrap();
+                let local = reference.score_card(measure, value).unwrap();
+                assert_eq!(merged.rank, local.rank, "{measure:?} {value}");
+                assert_eq!(merged.of, local.of, "{measure:?} {value}");
+                assert!(
+                    (merged.percentile - local.percentile).abs() < 1e-9,
+                    "{measure:?} {value}"
+                );
+                assert!((merged.score - local.score).abs() < 1e-9);
+            }
+        }
+        assert!(view.score_card(Measure::lcc(), "no-such-value").is_none());
+    }
+
+    #[test]
+    fn replace_value_can_pull_a_component_across_shards() {
+        let (_handle, mut coordinator) = serve_sharded(two_component_lake(), config(), 2);
+        let zoo = coordinator.table_owner("zoo").unwrap();
+        // Replacing FIAT with USD links the car component to the currency
+        // component; the currency tables must migrate to cars' shard.
+        coordinator
+            .apply_and_publish(LakeDelta::new().replace_value("cars", "make", "FIAT", "USD"))
+            .unwrap();
+        assert_eq!(coordinator.table_owner("fx").unwrap(), zoo);
+        assert_eq!(coordinator.table_owner("prices").unwrap(), zoo);
+        coordinator.handle().current().verify_consistency().unwrap();
+    }
+
+    #[test]
+    fn failed_ops_surface_engine_errors_without_publishing() {
+        let (handle, mut coordinator) = serve_sharded(two_component_lake(), config(), 2);
+        let before = handle.epoch();
+        coordinator.stage(LakeDelta::new().remove_table("no-such-table"));
+        let err = coordinator.commit().unwrap_err();
+        assert!(matches!(err, ServiceError::Lake(_)));
+        assert_eq!(handle.epoch(), before, "nothing published");
+        // Merged queries still answer from the old view.
+        assert!(handle
+            .current()
+            .top_k(Measure::lcc(), 5)
+            .is_some_and(|t| !t.is_empty()));
+    }
+
+    #[test]
+    fn merged_top_k_is_cached_per_epoch() {
+        let (handle, mut coordinator) = serve_sharded(two_component_lake(), config(), 2);
+        let reader = handle.reader();
+        let first = reader.top_k(Measure::lcc(), 4).unwrap();
+        let second = reader.top_k(Measure::lcc(), 4).unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = handle.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        coordinator
+            .apply_and_publish(LakeDelta::new().remove_table("prices"))
+            .unwrap();
+        assert_eq!(handle.cache_stats().entries, 0, "publish invalidates");
+    }
+
+    #[test]
+    fn empty_shards_serve_empty_answers() {
+        // More shards than components: the extras stay empty but answer.
+        let (handle, coordinator) = serve_sharded(two_component_lake(), config(), 4);
+        assert_eq!(coordinator.shard_count(), 4);
+        let view = handle.current();
+        view.verify_consistency().unwrap();
+        assert_eq!(view.table_names().len(), 4);
+        let all = view.top_k(Measure::lcc(), usize::MAX).unwrap();
+        let (plain, _w) = serve(two_component_lake(), config());
+        assert_eq!(
+            all.len(),
+            plain
+                .current()
+                .top_k(Measure::lcc(), usize::MAX)
+                .unwrap()
+                .len()
+        );
+    }
+
+    #[test]
+    fn coordinator_epoch_is_the_sum_of_shard_epochs() {
+        let (handle, mut coordinator) = serve_sharded(two_component_lake(), config(), 2);
+        assert_eq!(handle.epoch(), 0);
+        // One op touching one shard publishes one shard epoch.
+        coordinator
+            .apply_and_publish(
+                LakeDelta::new().add_table(
+                    TableBuilder::new("staff")
+                        .column("name", ["Ada", "Grace"])
+                        .build()
+                        .unwrap(),
+                ),
+            )
+            .unwrap();
+        assert_eq!(
+            coordinator.epoch(),
+            coordinator.shard_epoch(0) + coordinator.shard_epoch(1)
+        );
+        assert_eq!(handle.epoch(), coordinator.epoch());
+        assert!(coordinator.epoch() >= 1);
+    }
+}

@@ -23,7 +23,13 @@
 //!   periodically snapshots the engine (via the `dn-store` crate) and
 //!   trims the log, and [`serve_from_dir`] restores an equal engine from
 //!   disk after a crash — skipping the CSV re-parse and the cold LCC/BC
-//!   scoring pass entirely.
+//!   scoring pass entirely;
+//! * for lakes too big for one writer, [`serve_sharded`] (and its durable
+//!   siblings) partitions the lake by connected component across N
+//!   independent engines behind a [`coordinator::Coordinator`] that
+//!   routes deltas, rebalances components across shard boundaries, and
+//!   scatter-gathers queries with exact global rank/percentile semantics
+//!   — see the [`coordinator`] module docs.
 //!
 //! ## Example
 //!
@@ -54,10 +60,15 @@
 #![deny(unsafe_code)]
 
 pub mod cache;
+pub mod coordinator;
 pub mod engine;
 pub mod snapshot;
 
 pub use cache::CacheStats;
+pub use coordinator::{
+    serve_sharded, serve_sharded_durable, serve_sharded_from_dir, Coordinator, CoordinatorHandle,
+    CoordinatorReader, MultiView,
+};
 pub use engine::{
     serve, serve_durable, serve_from_dir, CheckpointPolicy, Reader, ServiceConfig, ServiceError,
     ServiceHandle, Writer,

@@ -51,8 +51,14 @@ pub struct ScoreCard {
     pub rank: usize,
     /// Number of ranked candidates in this snapshot.
     pub of: usize,
-    /// Share (in percent) of candidates ranked strictly less
-    /// homograph-like than this value.
+    /// Share (in percent) of candidates ranked *after* this value, i.e.
+    /// `100 * (of - rank) / of`. Rank follows the measure's total order
+    /// — score first (direction per measure), ties broken by value
+    /// string — so equal-scoring candidates do **not** share a rank or a
+    /// percentile: a value tied with `m` others sits anywhere in an
+    /// `m+1`-long run depending only on its name. The same formula over
+    /// a sharded deployment's merged ranking yields the same number,
+    /// because every shard ranks by the same total order.
     pub percentile: f64,
     /// Number of attributes the value occurs in.
     pub attribute_count: usize,

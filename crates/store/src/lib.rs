@@ -70,11 +70,17 @@
 
 pub mod codec;
 pub mod error;
+pub mod sharded;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
 pub use error::{Result, StoreError};
+pub use sharded::{
+    clear_rebalance_intent, read_rebalance_intent, read_shard_manifest, shard_dir,
+    sharded_store_exists, write_rebalance_intent, write_shard_manifest, RebalanceIntent,
+    ShardManifest, TableMove,
+};
 pub use snapshot::{
     read_snapshot, write_snapshot, Manifest, PersistedState, SectionInfo, FORMAT_VERSION,
     SNAPSHOT_MAGIC,

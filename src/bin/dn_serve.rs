@@ -1,14 +1,18 @@
 //! `dn-serve` — serve a durable DomainNet engine over HTTP.
 //!
 //! ```text
-//! dn-serve --data-dir DIR [--addr 127.0.0.1:8080] [--workers 4]
+//! dn-serve --data-dir DIR [--shards N] [--addr 127.0.0.1:8080] [--workers 4]
 //!          [--checkpoint-every 8] [--cache-capacity 64] [--max-body-bytes N]
 //! dn-serve --smoke ADDR
 //! ```
 //!
-//! Server mode: if `--data-dir` already holds a store, the engine is
-//! recovered from it (`serve_from_dir` — snapshot load + WAL replay,
-//! epoch numbering resumes); otherwise a fresh durable store is
+//! Server mode: if `--data-dir` already holds a sharded store, the
+//! coordinator is recovered from it (`serve_sharded_from_dir` — per-shard
+//! snapshot load + WAL replay, the coordinator epoch resumes as the sum
+//! of the shard epochs; the shard count comes from the on-disk manifest,
+//! and a conflicting `--shards` is an error rather than a silent
+//! reshard). Otherwise a fresh sharded store with `--shards N` engines
+//! (default 1 — bit-identical to the pre-coordinator engine) is
 //! initialized over an empty lake and populated via `POST /v1/mutations`.
 //! The bound address and the serving epoch are logged on startup; the
 //! process exits after a graceful drain once `POST /v1/admin/shutdown`
@@ -23,13 +27,14 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use dn_server::{serve_http, Client, Limits, ServerConfig};
-use dn_service::{serve_durable, serve_from_dir, CheckpointPolicy, ServiceConfig};
+use dn_service::{serve_sharded_durable, serve_sharded_from_dir, CheckpointPolicy, ServiceConfig};
 use domainnet::Measure;
 use lake::delta::MutableLake;
 
 #[derive(Debug)]
 struct Args {
     data_dir: Option<String>,
+    shards: usize,
     addr: String,
     workers: usize,
     checkpoint_every: u64,
@@ -42,6 +47,7 @@ impl Default for Args {
     fn default() -> Self {
         Args {
             data_dir: None,
+            shards: 1,
             addr: "127.0.0.1:8080".to_owned(),
             workers: 4,
             checkpoint_every: 8,
@@ -52,7 +58,7 @@ impl Default for Args {
     }
 }
 
-const USAGE: &str = "usage: dn-serve --data-dir DIR [--addr HOST:PORT] [--workers N] \
+const USAGE: &str = "usage: dn-serve --data-dir DIR [--shards N] [--addr HOST:PORT] [--workers N] \
 [--checkpoint-every EPOCHS] [--cache-capacity N] [--max-body-bytes N]\n       \
 dn-serve --smoke HOST:PORT";
 
@@ -70,6 +76,14 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag {
             "--data-dir" => out.data_dir = Some(value("--data-dir")?),
+            "--shards" => {
+                out.shards = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards must be a positive integer".to_owned())?;
+                if out.shards == 0 {
+                    return Err("--shards must be at least 1".to_owned());
+                }
+            }
             "--addr" => out.addr = value("--addr")?,
             "--workers" => {
                 out.workers = value("--workers")?
@@ -151,31 +165,49 @@ fn run_server(args: &Args) -> Result<(), String> {
         }
     };
 
-    let presence = dn_store::Store::probe(std::path::Path::new(data_dir))
-        .map_err(|e| format!("probing {data_dir}: {e}"))?;
-    if let dn_store::StorePresence::AbortedInit { wal_path } = &presence {
-        // A previous start crashed between Store::create and the initial
-        // checkpoint: the WAL is record-free, so nothing acknowledged is
-        // lost by clearing it and initializing fresh.
-        eprintln!(
-            "dn-serve: removing record-free WAL from an aborted initialization ({})",
-            wal_path.display()
-        );
-        std::fs::remove_file(wal_path).map_err(|e| format!("clearing aborted init: {e}"))?;
+    let root = std::path::Path::new(data_dir);
+    if dn_store::Store::exists(root) {
+        return Err(format!(
+            "{data_dir} holds a pre-sharding single-engine store; move it into a \
+shard-0/ subdirectory with a shards.json manifest to serve it"
+        ));
     }
-    let recovering = presence == dn_store::StorePresence::Recoverable;
-    let (service, writer) = if recovering {
-        serve_from_dir(data_dir, service_config, policy)
+    // The on-disk shard manifest is authoritative once a store exists:
+    // resharding in place would split components silently.
+    let recovering = match dn_store::read_shard_manifest(root)
+        .map_err(|e| format!("probing {data_dir}: {e}"))?
+    {
+        Some(manifest) => {
+            if args.shards != 1 && args.shards != manifest.shards {
+                return Err(format!(
+                    "{data_dir} was initialized with {} shard(s); --shards {} would \
+reshard it in place (not supported)",
+                    manifest.shards, args.shards
+                ));
+            }
+            true
+        }
+        None => false,
+    };
+    let (service, coordinator) = if recovering {
+        serve_sharded_from_dir(data_dir, service_config, policy)
             .map_err(|e| format!("recovering {data_dir}: {e}"))?
     } else {
-        serve_durable(MutableLake::new(), service_config, data_dir, policy)
-            .map_err(|e| format!("initializing {data_dir}: {e}"))?
+        serve_sharded_durable(
+            MutableLake::new(),
+            service_config,
+            data_dir,
+            policy,
+            args.shards,
+        )
+        .map_err(|e| format!("initializing {data_dir}: {e}"))?
     };
+    let shards = coordinator.shard_count();
     let epoch = service.epoch();
 
     let server = serve_http(
         service,
-        writer,
+        coordinator,
         ServerConfig {
             addr: args.addr.clone(),
             workers: args.workers,
@@ -189,7 +221,8 @@ fn run_server(args: &Args) -> Result<(), String> {
     .map_err(|e| format!("binding {}: {e}", args.addr))?;
 
     println!(
-        "dn-serve listening on http://{} epoch={epoch} workers={} data_dir={data_dir} ({})",
+        "dn-serve listening on http://{} epoch={epoch} shards={shards} workers={} \
+data_dir={data_dir} ({})",
         server.local_addr(),
         args.workers,
         if recovering { "recovered" } else { "fresh" },
@@ -198,8 +231,8 @@ fn run_server(args: &Args) -> Result<(), String> {
     // Block until a graceful shutdown (POST /v1/admin/shutdown) drains
     // the workers, then checkpoint the final state so the next start
     // recovers without a WAL replay.
-    let mut writer = server.join();
-    match writer.checkpoint_now() {
+    let mut coordinator = server.join();
+    match coordinator.checkpoint_now() {
         Ok(true) => println!("dn-serve: final checkpoint written, exiting"),
         Ok(false) => println!("dn-serve: exiting"),
         Err(e) => eprintln!("dn-serve: final checkpoint failed: {e}"),
@@ -289,7 +322,18 @@ fn run_smoke(addr: &str) -> Result<(), String> {
         "top-k surfaces the injected homograph JAGUAR",
     )?;
 
-    // 4. checkpoint
+    // 4. metrics expose the per-shard gauges (the server always fronts
+    // the coordinator, so shard 0 exists even in single-shard mode)
+    let metrics = client
+        .get("/metrics")
+        .map_err(|e| format!("metrics: {e}"))?;
+    check(metrics.status == 200, "metrics answers 200")?;
+    check(
+        metrics.body.contains("dn_shard_epoch{shard=\"0\"}"),
+        "metrics expose per-shard epoch gauges",
+    )?;
+
+    // 5. checkpoint
     let response = client
         .post_json("/v1/admin/checkpoint", "")
         .map_err(|e| format!("checkpoint: {e}"))?;
@@ -299,7 +343,7 @@ fn run_smoke(addr: &str) -> Result<(), String> {
         .map_err(|e| format!("checkpoint body: {e}"))?;
     check(checkpoint.checkpointed, "checkpoint was written")?;
 
-    // 5. graceful shutdown
+    // 6. graceful shutdown
     let response = client
         .post_json("/v1/admin/shutdown", "")
         .map_err(|e| format!("shutdown: {e}"))?;

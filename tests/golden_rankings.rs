@@ -232,6 +232,82 @@ fn golden_rankings_match_the_committed_corpus() {
     assert!(failures.is_empty(), "\n{}", failures.join("\n\n"));
 }
 
+/// A single-shard coordinator must serve the golden workloads
+/// *bit-identically* to a direct from-scratch build: same candidate order,
+/// same score bits. This is the acceptance gate for `--shards 1` being a
+/// pure pass-through — no re-partitioning, no re-ranking, no float drift.
+#[test]
+fn single_shard_coordinator_serves_the_corpus_bit_identically() {
+    use dn_service::{serve_sharded, ServiceConfig};
+
+    let workloads: [(&str, lake::delta::MutableLake, Vec<Measure>, bool); 2] = [
+        (
+            "running-example",
+            lake::delta::MutableLake::from_catalog(&lake::fixtures::running_example()),
+            vec![
+                Measure::lcc(),
+                Measure::Lcc(LccMethod::AttributeJaccard),
+                Measure::exact_bc(),
+            ],
+            false,
+        ),
+        (
+            "sb-seed2021-rows120",
+            {
+                let sb = SbGenerator::with_config(SbConfig {
+                    seed: 2021,
+                    rows_per_table: 120,
+                })
+                .generate();
+                lake::delta::MutableLake::from_catalog(&sb.catalog)
+            },
+            vec![Measure::lcc(), sb_approx_bc()],
+            true,
+        ),
+    ];
+
+    for (workload, lake, measures, prune) in workloads {
+        let (handle, _coordinator) = serve_sharded(
+            lake,
+            ServiceConfig {
+                measures: measures.clone(),
+                cache_capacity: 8,
+                prune_single_attribute_values: prune,
+            },
+            1,
+        );
+        let view = handle.current();
+        for case in cases().iter().filter(|c| c.workload == workload) {
+            let direct = build_ranking(case);
+            let served = view
+                .top_k(case.measure, TOP_K)
+                .expect("coordinator serves every golden measure");
+            assert_eq!(
+                served.len(),
+                direct.len(),
+                "{workload} / {}: candidate counts diverged",
+                case.measure_label
+            );
+            for (s, d) in served.iter().zip(&direct) {
+                assert_eq!(
+                    s.value, d.value,
+                    "{workload} / {}: order drifted",
+                    case.measure_label
+                );
+                assert_eq!(
+                    s.score.to_bits(),
+                    d.score.to_bits(),
+                    "{workload} / {}: score bits drifted for {}",
+                    case.measure_label,
+                    s.value
+                );
+                assert_eq!(s.attribute_count, d.attribute_count, "{}", s.value);
+                assert_eq!(s.cardinality, d.cardinality, "{}", s.value);
+            }
+        }
+    }
+}
+
 /// The corpus itself must stay sane: every committed file parses, has the
 /// advertised shape, and its scores are finite.
 #[test]

@@ -28,7 +28,7 @@ use dn_server::api::{
     TablesResponse, TopKResponse,
 };
 use dn_server::{percent_encode, serve_http, Client, Limits, Server, ServerConfig};
-use dn_service::{serve, ServiceConfig};
+use dn_service::{serve_sharded, ServiceConfig};
 use domainnet::{DomainNetBuilder, Measure};
 use lake::delta::MutableLake;
 
@@ -41,17 +41,22 @@ fn measures() -> Vec<Measure> {
 }
 
 fn start_server(lake: MutableLake) -> Server {
-    let (service, writer) = serve(
+    start_sharded_server(lake, 1)
+}
+
+fn start_sharded_server(lake: MutableLake, shards: usize) -> Server {
+    let (service, coordinator) = serve_sharded(
         lake,
         ServiceConfig {
             measures: measures(),
             cache_capacity: 32,
             prune_single_attribute_values: true,
         },
+        shards,
     );
     serve_http(
         service,
-        writer,
+        coordinator,
         ServerConfig {
             addr: "127.0.0.1:0".to_owned(),
             workers: 4,
@@ -300,7 +305,103 @@ fn http_readers_stay_consistent_while_a_writer_posts() {
         .contains("dn_http_request_duration_us_count{route=\"top_k\"}"));
 
     server.shutdown();
-    let _writer = server.join();
+    let _coordinator = server.join();
+}
+
+#[test]
+fn sharded_server_serves_merged_rankings_on_the_same_wire() {
+    let base = SbGenerator::with_config(SbConfig {
+        seed: 909,
+        rows_per_table: 20,
+    })
+    .generate();
+    let lake = MutableLake::from_catalog(&base.catalog);
+    let server = start_sharded_server(lake.clone(), 2);
+    let addr = server.local_addr();
+
+    // Mutations over the same wire route through the coordinator.
+    let mut shadow = lake;
+    let mut client = Client::new(addr).with_timeout(Duration::from_secs(10));
+    let mut stream = MutationStream::new(MutationConfig {
+        seed: 31,
+        tables_per_delta: 1,
+        rows_per_table: 10,
+        ..MutationConfig::default()
+    });
+    let mut last_epoch = 0u64;
+    for _ in 0..6 {
+        let delta = stream.next_delta(&shadow);
+        shadow.apply(&delta).expect("stream deltas apply to shadow");
+        let body = serde_json::to_string(&MutationRequest {
+            deltas: vec![delta],
+        })
+        .unwrap();
+        let response = client
+            .post_json("/v1/mutations", &body)
+            .expect("mutation transport");
+        assert_eq!(response.status, 200, "{}", response.body);
+        let published: MutationResponse = response.json().expect("mutation json");
+        assert!(
+            published.epoch > last_epoch,
+            "coordinator epoch stays monotone across shards"
+        );
+        last_epoch = published.epoch;
+    }
+
+    // The merged ranking is indistinguishable from a from-scratch
+    // single-engine build of the same lake (per value, to 1e-9).
+    let fresh = DomainNetBuilder::new().build(&shadow);
+    for (param, measure) in [("lcc", Measure::lcc()), ("bc", Measure::exact_bc())] {
+        let response = client
+            .get(&format!("/v1/top-k?measure={param}&k=100000"))
+            .expect("top-k transport");
+        assert_eq!(response.status, 200);
+        let served: TopKResponse = response.json().expect("top-k json");
+        assert_eq!(served.epoch, last_epoch);
+        let rebuilt = fresh.rank_shared(measure);
+        assert_eq!(served.results.len(), rebuilt.len(), "{measure:?}");
+        let by_value: std::collections::HashMap<&str, &domainnet::ScoredValue> =
+            rebuilt.iter().map(|s| (s.value.as_str(), s)).collect();
+        for s in &served.results {
+            let r = by_value
+                .get(s.value.as_str())
+                .unwrap_or_else(|| panic!("{measure:?}: {} missing from rebuild", s.value));
+            assert!(
+                (s.score - r.score).abs() < 1e-9,
+                "{measure:?}: {} scored {} sharded vs {} rebuilt",
+                s.value,
+                s.score,
+                r.score
+            );
+        }
+    }
+
+    // A score card carries the *global* rank: the head of the merged
+    // LCC ranking must report rank 1 even though it lives on one shard.
+    let head = client
+        .get("/v1/top-k?measure=lcc&k=1")
+        .expect("head transport");
+    let head: TopKResponse = head.json().expect("head json");
+    let top_value = head.results[0].value.clone();
+    let card = client
+        .get(&format!("/v1/score/{}", percent_encode(&top_value)))
+        .expect("score transport");
+    assert_eq!(card.status, 200, "{}", card.body);
+    let card: ScoreResponse = card.json().expect("score json");
+    let lcc_card = card
+        .cards
+        .iter()
+        .find(|c| c.measure == Measure::lcc())
+        .expect("lcc card present");
+    assert_eq!(lcc_card.rank, 1, "global rank of the merged head");
+
+    // /metrics exposes the per-shard gauge families.
+    let metrics = client.get("/metrics").expect("metrics transport");
+    assert!(metrics.body.contains("dn_shard_epoch{shard=\"0\"}"));
+    assert!(metrics.body.contains("dn_shard_epoch{shard=\"1\"}"));
+
+    server.shutdown();
+    server.join();
 }
 
 /// Send raw bytes, optionally half-close, and read whatever comes back.
@@ -458,7 +559,7 @@ fn malformed_requests_answer_their_documented_status() {
 }
 
 #[test]
-fn shutdown_drains_and_join_returns_the_writer() {
+fn shutdown_drains_and_join_returns_the_coordinator() {
     let lake = MutableLake::from_catalog(&lake::fixtures::running_example());
     let server = start_server(lake);
     let addr = server.local_addr();
@@ -469,8 +570,8 @@ fn shutdown_drains_and_join_returns_the_writer() {
     assert_eq!(response.status, 200);
     assert!(server.is_shutting_down());
 
-    let writer = server.join();
-    assert_eq!(writer.epoch(), 0, "no mutations were posted");
+    let coordinator = server.join();
+    assert_eq!(coordinator.epoch(), 0, "no mutations were posted");
     // New connections are refused or closed without an answer now.
     let refused = TcpStream::connect_timeout(&addr, Duration::from_millis(500));
     if let Ok(mut stream) = refused {
