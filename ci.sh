@@ -6,9 +6,12 @@
 # a release build, the test suite, and then explicitly labeled gates: the
 # golden-ranking regression corpus, the concurrency stress test, the
 # dn-store corruption-hardening suite, the crash-recovery suite, a
-# tempdir-hygiene check, and an end-to-end HTTP smoke (dn-serve started on
+# tempdir-hygiene check, an end-to-end HTTP smoke (dn-serve started on
 # a loopback port and driven through the dn-server client module — once
-# single-shard, once with --shards 2 through the coordinator). The
+# single-shard, once with --shards 2 through the coordinator), and a
+# replication smoke (a 2-shard primary plus a --follow follower driven by
+# dn-serve --smoke-replica: convergence, lag-gauge return to 0, and the
+# read-only 403 envelope). The
 # main `cargo test -q` pass skips the gated suites (they run once, in
 # their own labeled steps, so a ranking drift, a consistency violation,
 # or a recovery regression fails CI with an unambiguous gate name instead
@@ -80,7 +83,7 @@ cargo test -q --test serving_stress -- --test-threads "${CORES}"
 # are the labeled corruption-hardening and crash-recovery regressions.
 # Clear residue a *previous* (possibly failed) run may have left so the
 # hygiene gate below judges only this run.
-rm -rf target/tmp/dn_store_* target/tmp/dn_http_gate 2>/dev/null || true
+rm -rf target/tmp/dn_store_* target/tmp/dn_replica_* target/tmp/dn_http_gate 2>/dev/null || true
 
 echo "==> gate: store corruption hardening (typed errors, no panics)"
 cargo test -q -p dn-store --test corruption
@@ -88,11 +91,11 @@ cargo test -q -p dn-store --test corruption
 echo "==> gate: store crash recovery (kill + recover == uninterrupted)"
 cargo test -q --test store_recovery
 
-# Store tests create their scratch dirs under target/tmp
+# Store and replica tests create their scratch dirs under target/tmp
 # (CARGO_TARGET_TMPDIR) and must remove them; leftovers mean a test leaked
 # state even though it passed.
 echo "==> gate: store tempdir hygiene"
-STRAY=$(find target/tmp -mindepth 1 -maxdepth 1 -name 'dn_store_*' 2>/dev/null || true)
+STRAY=$(find target/tmp -mindepth 1 -maxdepth 1 \( -name 'dn_store_*' -o -name 'dn_replica_*' \) 2>/dev/null || true)
 if [[ -n "${STRAY}" ]]; then
     echo "stray store test directories left behind:" >&2
     echo "${STRAY}" >&2
@@ -152,6 +155,60 @@ for HTTP_MODE in single sharded; do
     rm -rf "${HTTP_DIR}"
 done
 
+# Replication smoke: a real 2-shard primary plus a real `--follow`
+# follower, both on loopback port 0, driven end to end by
+# dn-serve --smoke-replica (mutate via the primary, wait for the follower
+# to converge at the matching epoch, assert dn_replica_lag_epochs returns
+# to 0 with zero divergences, and assert the 403 read-only envelope). The
+# smoke shuts both processes down itself; self-cleaning under target/tmp.
+echo "==> gate: replication smoke (primary + --follow follower + --smoke-replica)"
+REP_DIR="target/tmp/dn_replica_gate"
+rm -rf "${REP_DIR}" 2>/dev/null || true
+mkdir -p "${REP_DIR}"
+replica_gate_fail() {
+    echo "replication gate failed: $1" >&2
+    [[ -f "${REP_DIR}/primary.log" ]] && sed 's/^/  primary: /' "${REP_DIR}/primary.log" >&2
+    [[ -f "${REP_DIR}/follower.log" ]] && sed 's/^/  follower: /' "${REP_DIR}/follower.log" >&2
+    kill -9 "${REP_PRIMARY_PID:-0}" "${REP_FOLLOWER_PID:-0}" 2>/dev/null || true
+    exit 1
+}
+./target/release/dn-serve \
+    --data-dir "${REP_DIR}/primary" \
+    --addr 127.0.0.1:0 --workers 2 --shards 2 >"${REP_DIR}/primary.log" 2>&1 &
+REP_PRIMARY_PID=$!
+REP_PRIMARY_ADDR=""
+for _ in $(seq 1 100); do
+    REP_PRIMARY_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\) .*#\1#p' "${REP_DIR}/primary.log" | head -1)
+    [[ -n "${REP_PRIMARY_ADDR}" ]] && break
+    kill -0 "${REP_PRIMARY_PID}" 2>/dev/null || replica_gate_fail "primary exited before binding"
+    sleep 0.1
+done
+[[ -n "${REP_PRIMARY_ADDR}" ]] || replica_gate_fail "primary never logged its address"
+./target/release/dn-serve \
+    --data-dir "${REP_DIR}/follower" \
+    --addr 127.0.0.1:0 --workers 2 --poll-ms 50 \
+    --follow "http://${REP_PRIMARY_ADDR}" >"${REP_DIR}/follower.log" 2>&1 &
+REP_FOLLOWER_PID=$!
+REP_FOLLOWER_ADDR=""
+for _ in $(seq 1 100); do
+    REP_FOLLOWER_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\) .*#\1#p' "${REP_DIR}/follower.log" | head -1)
+    [[ -n "${REP_FOLLOWER_ADDR}" ]] && break
+    kill -0 "${REP_FOLLOWER_PID}" 2>/dev/null || replica_gate_fail "follower exited before binding"
+    sleep 0.1
+done
+[[ -n "${REP_FOLLOWER_ADDR}" ]] || replica_gate_fail "follower never logged its address"
+./target/release/dn-serve --smoke-replica "${REP_PRIMARY_ADDR}" "${REP_FOLLOWER_ADDR}" \
+    || replica_gate_fail "smoke-replica client reported failure"
+for _ in $(seq 1 200); do
+    kill -0 "${REP_PRIMARY_PID}" 2>/dev/null || kill -0 "${REP_FOLLOWER_PID}" 2>/dev/null || break
+    sleep 0.1
+done
+kill -0 "${REP_PRIMARY_PID}" 2>/dev/null && replica_gate_fail "primary did not shut down after the smoke"
+kill -0 "${REP_FOLLOWER_PID}" 2>/dev/null && replica_gate_fail "follower did not shut down after the smoke"
+wait "${REP_PRIMARY_PID}" || replica_gate_fail "primary exited non-zero"
+wait "${REP_FOLLOWER_PID}" || replica_gate_fail "follower exited non-zero"
+rm -rf "${REP_DIR}"
+
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> criterion benches (offline shim, indicative timings)"
     cargo bench -q
@@ -159,6 +216,8 @@ if [[ "$QUICK" -eq 0 ]]; then
     cargo run --release -q -p dn-bench --bin exp_serving -- --scale 0.3
     echo "==> exp_http smoke (--scale 0.3)"
     cargo run --release -q -p dn-bench --bin exp_http -- --scale 0.3
+    echo "==> exp_replica smoke (--scale 0.3)"
+    cargo run --release -q -p dn-bench --bin exp_replica -- --scale 0.3
 else
     echo "==> --quick: skipping benches and the exp_serving/exp_http smoke runs"
 fi

@@ -1,0 +1,298 @@
+//! Replica sweep: WAL-shipping replication cost & fidelity at 1/2/4
+//! followers.
+//!
+//! A read-only follower (`dn_service::Follower`) bootstraps from the
+//! primary's newest per-shard snapshots and then tails its per-shard WALs,
+//! applying every committed batch through the same incremental path crash
+//! recovery replays. This experiment measures what that buys and what it
+//! costs: for followers ∈ {1, 2, 4} against the same durable sharded
+//! primary on the same SB lake and seeded mutation stream, it reports
+//! bootstrap time, the wall-clock of the mutate-and-tail phase, the worst
+//! replication lag observed while tailing, and the *aggregate* merged-read
+//! throughput of all followers reading concurrently — the scaling the
+//! architecture exists for, reads fanning out across replicas while one
+//! primary takes the writes.
+//!
+//! The acceptance gate is fidelity, not speed: at the end of every sweep
+//! point each follower must agree with the primary **bit for bit** on
+//! every ranking entry of both served measures, with zero divergences
+//! flagged by the insurance exchange. The sweep is written to
+//! `BENCH_replica.json` in the workspace root so the cost of the
+//! replication layer is tracked per PR.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use bench::{print_header, print_row, timed, write_bench_report, ExpArgs};
+use datagen::mutate::{MutationConfig, MutationStream};
+use datagen::sb::{SbConfig, SbGenerator};
+use dn_service::{
+    serve_sharded_durable, CheckpointPolicy, Coordinator, Follower, LocalReplicaSource,
+    ServiceConfig,
+};
+use domainnet::Measure;
+use lake::delta::MutableLake;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::Serialize;
+
+const FOLLOWER_COUNTS: [usize; 3] = [1, 2, 4];
+const SHARDS: usize = 2;
+
+#[derive(Debug, Serialize)]
+struct ReplicaPoint {
+    followers: usize,
+    bootstrap_s: f64,
+    replicate_s: f64,
+    applied_batches: u64,
+    max_lag_epochs: u64,
+    reads: u64,
+    aggregate_qps: f64,
+    bit_exact: bool,
+    divergences: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct ReplicaReport {
+    seed: u64,
+    scale: f64,
+    shards: usize,
+    deltas: usize,
+    points: Vec<ReplicaPoint>,
+    pass: bool,
+}
+
+fn scratch_root() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/tmp")
+        .join(format!("dn_exp_replica_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Bit-for-bit comparison of the merged rankings: same values in the same
+/// order with identical raw score bits, for every served measure.
+fn bit_exact(
+    primary: &dn_service::MultiView,
+    follower: &dn_service::MultiView,
+    measures: &[Measure],
+) -> bool {
+    measures.iter().all(|&measure| {
+        let (Some(p), Some(f)) = (
+            primary.top_k(measure, usize::MAX),
+            follower.top_k(measure, usize::MAX),
+        ) else {
+            return false;
+        };
+        p.len() == f.len()
+            && p.iter()
+                .zip(&f)
+                .all(|(a, b)| a.value == b.value && a.score.to_bits() == b.score.to_bits())
+    })
+}
+
+fn run_point(
+    root: &Path,
+    base: &MutableLake,
+    measures: &[Measure],
+    followers: usize,
+    delta_count: usize,
+    read_count: u64,
+    seed: u64,
+) -> ReplicaPoint {
+    let config = ServiceConfig {
+        measures: measures.to_vec(),
+        cache_capacity: 64,
+        prune_single_attribute_values: true,
+    };
+    let point_dir = root.join(format!("f{followers}"));
+    let (handle, coordinator) = serve_sharded_durable(
+        base.clone(),
+        config.clone(),
+        point_dir.join("primary"),
+        CheckpointPolicy::every_epochs(4),
+        SHARDS,
+    )
+    .expect("fresh durable primary");
+    let primary: Arc<Mutex<Coordinator>> = Arc::new(Mutex::new(coordinator));
+    let source = LocalReplicaSource::new(handle.clone(), Arc::clone(&primary));
+
+    let (mut fleet, bootstrap_s) = timed(|| {
+        (0..followers)
+            .map(|i| {
+                Follower::bootstrap(
+                    point_dir.join(format!("follower_{i}")),
+                    config.clone(),
+                    CheckpointPolicy::manual(),
+                    &source,
+                )
+                .expect("follower bootstraps")
+            })
+            .collect::<Vec<_>>()
+    });
+
+    // Mutate-and-tail: the primary takes the seeded write stream while
+    // every follower tails after each commit; the lag each follower shows
+    // *before* its sync is the real replication lag of this cadence.
+    let mut stream = MutationStream::new(MutationConfig {
+        seed: seed.wrapping_add(1),
+        tables_per_delta: 2,
+        rows_per_table: 40,
+        ..MutationConfig::default()
+    });
+    let mut shadow = base.clone();
+    let mut applied_batches = 0u64;
+    let mut max_lag_epochs = 0u64;
+    let ((), replicate_s) = timed(|| {
+        for _ in 0..delta_count {
+            let delta = stream.next_delta(&shadow);
+            shadow.apply(&delta).expect("stream deltas apply");
+            primary
+                .lock()
+                .unwrap()
+                .apply_and_publish(delta)
+                .expect("primary applies");
+            let primary_epoch = handle.epoch();
+            for follower in &mut fleet {
+                max_lag_epochs =
+                    max_lag_epochs.max(primary_epoch.saturating_sub(follower.handle().epoch()));
+                let report = follower.sync_once(&source).expect("follower tails");
+                applied_batches += report.applied_batches;
+            }
+        }
+    });
+
+    // Aggregate read throughput: every follower serves its own merged
+    // top-k + score-card mix on its own thread, concurrently — the
+    // fan-out reads the replication tier exists to absorb.
+    let hot: Vec<String> = handle
+        .current()
+        .top_k(measures[0], 64)
+        .expect("served measure")
+        .iter()
+        .map(|s| s.value.clone())
+        .collect();
+    let reads_per_follower = read_count / followers.max(1) as u64;
+    let wall = Instant::now();
+    let total_reads: u64 = std::thread::scope(|scope| {
+        let workers: Vec<_> = fleet
+            .iter()
+            .enumerate()
+            .map(|(i, follower)| {
+                let view_handle = follower.handle();
+                let hot = &hot;
+                scope.spawn(move || {
+                    let mut rng = StdRng::seed_from_u64(seed ^ (0x5AD + i as u64));
+                    let ks = [10usize, 20, 50];
+                    for _ in 0..reads_per_follower {
+                        let view = view_handle.current();
+                        let measure = measures[rng.gen_range(0..measures.len())];
+                        if rng.gen_range(0..100u32) < 60 {
+                            let _ = view.top_k(measure, ks[rng.gen_range(0..ks.len())]);
+                        } else {
+                            let _ = view.score_card(measure, &hot[rng.gen_range(0..hot.len())]);
+                        }
+                    }
+                    reads_per_follower
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().expect("reader")).sum()
+    });
+    let read_wall_s = wall.elapsed().as_secs_f64();
+
+    // Fidelity gate: every follower bit-identical to the primary, no
+    // divergences flagged on the way.
+    let primary_view = handle.current();
+    let mut all_bit_exact = true;
+    let mut divergences = 0u64;
+    for follower in &mut fleet {
+        let report = follower.sync_once(&source).expect("final drain");
+        debug_assert_eq!(report.lag_epochs, 0);
+        divergences += follower.shared().divergence_total();
+        all_bit_exact &= bit_exact(&primary_view, &follower.handle().current(), measures);
+    }
+
+    ReplicaPoint {
+        followers,
+        bootstrap_s,
+        replicate_s,
+        applied_batches,
+        max_lag_epochs,
+        reads: total_reads,
+        aggregate_qps: total_reads as f64 / read_wall_s.max(1e-9),
+        bit_exact: all_bit_exact,
+        divergences,
+    }
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("== Replica sweep: WAL-shipping cost & fidelity at 1/2/4 followers ==\n");
+
+    let sb = SbGenerator::with_config(SbConfig {
+        seed: args.seed,
+        rows_per_table: args.scaled(200, 60),
+    })
+    .generate();
+    let base = MutableLake::from_catalog(&sb.catalog);
+    // Exact measures: the headline is bit-for-bit agreement, so estimation
+    // noise has no place here (lockstep approx BC is covered by the
+    // replication property suite).
+    let measures = [Measure::lcc(), Measure::exact_bc()];
+    let delta_count = args.scaled(12, 4);
+    let read_count = args.scaled(4_000, 400) as u64;
+    let root = scratch_root();
+
+    print_header(&[
+        "Followers",
+        "Bootstrap (s)",
+        "Replicate (s)",
+        "Batches",
+        "Max lag",
+        "Agg QPS",
+        "Bit-exact",
+        "Divergences",
+    ]);
+    let mut points: Vec<ReplicaPoint> = Vec::new();
+    for followers in FOLLOWER_COUNTS {
+        let point = run_point(
+            &root,
+            &base,
+            &measures,
+            followers,
+            delta_count,
+            read_count,
+            args.seed,
+        );
+        print_row(&[
+            point.followers.to_string(),
+            format!("{:.3}", point.bootstrap_s),
+            format!("{:.3}", point.replicate_s),
+            point.applied_batches.to_string(),
+            point.max_lag_epochs.to_string(),
+            format!("{:.0}", point.aggregate_qps),
+            point.bit_exact.to_string(),
+            point.divergences.to_string(),
+        ]);
+        points.push(point);
+    }
+
+    let pass = points.iter().all(|p| p.bit_exact && p.divergences == 0);
+    println!(
+        "\nHeadline: every follower bit-identical to the primary with zero divergences: {}",
+        if pass { "PASS" } else { "FAIL" }
+    );
+
+    let report = ReplicaReport {
+        seed: args.seed,
+        scale: args.scale,
+        shards: SHARDS,
+        deltas: delta_count,
+        points,
+        pass,
+    };
+    write_bench_report("replica", &report);
+    std::fs::remove_dir_all(&root).expect("scratch cleanup");
+}

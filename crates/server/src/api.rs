@@ -93,6 +93,67 @@ pub struct MutationResponse {
     pub stats: DeltaStats,
 }
 
+/// One WAL record in a `GET /v1/wal` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalRecordDto {
+    /// Monotonic per-shard sequence number.
+    pub seq: u64,
+    /// The primary's epoch when the batch committed.
+    pub epoch: u64,
+    /// The committed batch of deltas.
+    pub batch: Vec<lake::delta::LakeDelta>,
+}
+
+/// `GET /v1/wal?shard=<i>&from_seq=<s>` response: the shard's log suffix
+/// after `from_seq`, or a directive to bootstrap from a snapshot when the
+/// primary has checkpointed past that position.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WalResponse {
+    /// The shard the records belong to.
+    pub shard: usize,
+    /// The position the suffix starts after (echoed from the request).
+    pub from_seq: u64,
+    /// When `true`, the tail is gone — fetch `/v1/snapshot` instead.
+    pub snapshot_required: bool,
+    /// Sequence of the snapshot on offer when `snapshot_required`.
+    pub snapshot_seq: Option<u64>,
+    /// The record suffix, in sequence order (empty when caught up).
+    pub records: Vec<WalRecordDto>,
+}
+
+/// `GET /v1/snapshot?shard=<i>` response. The snapshot file bytes ship
+/// hex-encoded: the body is JSON and the format is binary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SnapshotResponse {
+    /// The shard the snapshot belongs to.
+    pub shard: usize,
+    /// The last sequence number the snapshot covers.
+    pub seq: u64,
+    /// The snapshot file, lowercase hex.
+    pub hex: String,
+}
+
+/// One shard's entry in a `GET /v1/digest` response.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ShardDigest {
+    /// The shard index.
+    pub shard: usize,
+    /// The shard's published epoch.
+    pub epoch: u64,
+    /// The shard's state digest as 16 lowercase hex digits (a raw `u64`
+    /// exceeds the integer range JSON readers agree on).
+    pub digest: String,
+}
+
+/// `GET /v1/digest` response: the insurance exchange payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DigestResponse {
+    /// The coordinator epoch (sum of shard epochs).
+    pub epoch: u64,
+    /// Per-shard epoch-tagged digests, in shard order.
+    pub shards: Vec<ShardDigest>,
+}
+
 /// `POST /v1/admin/checkpoint` response.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CheckpointResponse {

@@ -6,6 +6,7 @@
 //! | source | status |
 //! |---|---|
 //! | bad parameters, bad JSON, truncated body | `400` |
+//! | mutation or checkpoint on a read-only follower | `403` |
 //! | unknown route / value / table / unserved measure | `404` |
 //! | wrong method on a known route | `405` |
 //! | duplicate table/column, checkpoint on a non-durable server | `409` |
@@ -13,6 +14,7 @@
 //! | head over the configured limit | `431` |
 //! | maintenance or durability failure | `500` |
 //! | chunked transfer encoding | `501` |
+//! | halted (diverged) replica asked for data | `503` |
 
 use dn_service::ServiceError;
 use lake::LakeError;
@@ -55,6 +57,24 @@ impl ApiError {
         ApiError {
             status: 405,
             kind: "method_not_allowed",
+            message: message.into(),
+        }
+    }
+
+    /// `403` — the server understood but refuses (read-only follower).
+    pub fn forbidden(kind: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 403,
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// `503` — the server cannot serve safely right now (halted replica).
+    pub fn unavailable(kind: &'static str, message: impl Into<String>) -> ApiError {
+        ApiError {
+            status: 503,
+            kind,
             message: message.into(),
         }
     }

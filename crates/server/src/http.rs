@@ -258,6 +258,7 @@ pub fn reason_phrase(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
+        403 => "Forbidden",
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
@@ -397,7 +398,7 @@ mod tests {
 
     #[test]
     fn reason_phrases_cover_emitted_statuses() {
-        for status in [200, 400, 404, 405, 409, 413, 431, 500, 501, 503] {
+        for status in [200, 400, 403, 404, 405, 409, 413, 431, 500, 501, 503] {
             assert!(!reason_phrase(status).is_empty(), "{status}");
         }
     }

@@ -58,6 +58,7 @@ pub mod client;
 pub mod error;
 pub mod http;
 pub mod metrics;
+pub mod replica_source;
 mod router;
 pub mod server;
 
@@ -65,4 +66,5 @@ pub use client::{Client, ClientResponse};
 pub use error::ApiError;
 pub use http::{percent_encode, Limits};
 pub use metrics::{Metrics, Route};
-pub use server::{serve_http, Server, ServerConfig};
+pub use replica_source::HttpReplicaSource;
+pub use server::{serve_http, serve_http_follower, ReplicaContext, Server, ServerConfig};

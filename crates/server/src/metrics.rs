@@ -35,6 +35,12 @@ pub enum Route {
     TableSummary,
     /// `POST /v1/mutations`
     Mutations,
+    /// `GET /v1/wal`
+    Wal,
+    /// `GET /v1/snapshot`
+    Snapshot,
+    /// `GET /v1/digest`
+    Digest,
     /// `POST /v1/admin/checkpoint`
     Checkpoint,
     /// `POST /v1/admin/shutdown`
@@ -44,7 +50,7 @@ pub enum Route {
 }
 
 /// All routes, in exposition order.
-pub const ROUTES: [Route; 11] = [
+pub const ROUTES: [Route; 14] = [
     Route::Healthz,
     Route::Metrics,
     Route::TopK,
@@ -53,6 +59,9 @@ pub const ROUTES: [Route; 11] = [
     Route::Tables,
     Route::TableSummary,
     Route::Mutations,
+    Route::Wal,
+    Route::Snapshot,
+    Route::Digest,
     Route::Checkpoint,
     Route::Shutdown,
     Route::Other,
@@ -70,6 +79,9 @@ impl Route {
             Route::Tables => "tables",
             Route::TableSummary => "table_summary",
             Route::Mutations => "mutations",
+            Route::Wal => "wal",
+            Route::Snapshot => "snapshot",
+            Route::Digest => "digest",
             Route::Checkpoint => "checkpoint",
             Route::Shutdown => "shutdown",
             Route::Other => "other",
@@ -142,6 +154,15 @@ pub struct ShardGauges {
     pub store_snapshots: Option<u64>,
 }
 
+/// Replication gauges of a follower server (absent on a primary).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplicaGauges {
+    /// Epochs this follower's view trails the primary's.
+    pub lag_epochs: u64,
+    /// Digest mismatches detected since the follower started.
+    pub divergence_total: u64,
+}
+
 /// Engine-level gauges the handler samples at render time and passes in.
 #[derive(Debug, Clone, Default)]
 pub struct EngineGauges {
@@ -163,6 +184,8 @@ pub struct EngineGauges {
     pub store_snapshots: Option<u64>,
     /// One entry per shard, in shard order.
     pub shards: Vec<ShardGauges>,
+    /// Follower-mode replication gauges (`None` on a primary).
+    pub replica: Option<ReplicaGauges>,
 }
 
 /// The server-wide metrics registry.
@@ -280,6 +303,15 @@ impl Metrics {
             out.push_str("# TYPE dn_store_snapshots gauge\n");
             out.push_str(&format!("dn_store_snapshots {snaps}\n"));
         }
+        if let Some(replica) = gauges.replica {
+            out.push_str("# TYPE dn_replica_lag_epochs gauge\n");
+            out.push_str(&format!("dn_replica_lag_epochs {}\n", replica.lag_epochs));
+            out.push_str("# TYPE dn_replica_divergence_total counter\n");
+            out.push_str(&format!(
+                "dn_replica_divergence_total {}\n",
+                replica.divergence_total
+            ));
+        }
         if !gauges.shards.is_empty() {
             out.push_str("# TYPE dn_shard_epoch gauge\n");
             for (i, shard) in gauges.shards.iter().enumerate() {
@@ -367,6 +399,10 @@ mod tests {
                     store_snapshots: Some(1),
                 },
             ],
+            replica: Some(ReplicaGauges {
+                lag_epochs: 2,
+                divergence_total: 1,
+            }),
         });
         assert!(text.contains("dn_http_requests_total{route=\"top_k\",class=\"2xx\"} 2"));
         assert!(text.contains("dn_http_requests_total{route=\"score\",class=\"4xx\"} 1"));
@@ -389,6 +425,8 @@ mod tests {
         assert!(text.contains("dn_shard_cache_hits_total{shard=\"0\"} 1\n"));
         assert!(text.contains("dn_shard_wal_record_bytes{shard=\"1\"} 3072\n"));
         assert!(text.contains("dn_shard_store_snapshots{shard=\"0\"} 1\n"));
+        assert!(text.contains("dn_replica_lag_epochs 2\n"));
+        assert!(text.contains("dn_replica_divergence_total 1\n"));
     }
 
     #[test]
@@ -398,6 +436,10 @@ mod tests {
         assert!(!text.contains("dn_wal_record_bytes"));
         assert!(!text.contains("dn_store_snapshots"));
         assert!(!text.contains("dn_shard_epoch"));
+        assert!(
+            !text.contains("dn_replica_lag_epochs"),
+            "a primary exposes no replica gauges"
+        );
         assert!(text.contains("dn_server_epoch 0\n"));
     }
 

@@ -1,0 +1,111 @@
+//! The HTTP transport for the follower engine: a
+//! [`dn_service::ReplicaSource`] over the primary's `/v1/digest`,
+//! `/v1/snapshot`, and `/v1/wal` endpoints, built on the blocking
+//! [`Client`].
+//!
+//! Every failure — transport, non-200 status, undecodable body — maps to
+//! [`ReplicaError::Source`], which the follower's tail loop treats as
+//! transient and retries with backoff. Snapshot bytes travel hex-encoded
+//! (the body is JSON, the format is binary) and digests travel as 16-hex
+//! strings (a raw `u64` exceeds the integer range JSON readers agree on);
+//! both are decoded here so the service layer never sees the wire shapes.
+
+use std::net::SocketAddr;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use dn_service::{
+    FetchedRecord, PrimaryStatus, ReplicaError, ReplicaSource, ShardPeerStatus, WalFetch,
+};
+
+use crate::api::{DigestResponse, SnapshotResponse, WalResponse};
+use crate::client::Client;
+
+/// A [`ReplicaSource`] that pulls from a primary over HTTP.
+#[derive(Debug)]
+pub struct HttpReplicaSource {
+    client: Mutex<Client>,
+}
+
+impl HttpReplicaSource {
+    /// A source for the primary at `addr`.
+    pub fn new(addr: SocketAddr) -> HttpReplicaSource {
+        HttpReplicaSource {
+            client: Mutex::new(Client::new(addr)),
+        }
+    }
+
+    /// Override the connect/read timeout (default 10s).
+    pub fn with_timeout(addr: SocketAddr, timeout: Duration) -> HttpReplicaSource {
+        HttpReplicaSource {
+            client: Mutex::new(Client::new(addr).with_timeout(timeout)),
+        }
+    }
+
+    fn get_json<T: serde::Deserialize>(&self, path: &str) -> Result<T, ReplicaError> {
+        let mut client = self.client.lock().unwrap_or_else(|p| p.into_inner());
+        let response = client
+            .get(path)
+            .map_err(|e| ReplicaError::Source(format!("GET {path}: {e}")))?;
+        if response.status != 200 {
+            return Err(ReplicaError::Source(format!(
+                "GET {path}: primary answered {}: {}",
+                response.status, response.body
+            )));
+        }
+        response
+            .json()
+            .map_err(|e| ReplicaError::Source(format!("GET {path}: undecodable body: {e}")))
+    }
+}
+
+impl ReplicaSource for HttpReplicaSource {
+    fn fetch_status(&self) -> Result<PrimaryStatus, ReplicaError> {
+        let response: DigestResponse = self.get_json("/v1/digest")?;
+        let mut shards = Vec::with_capacity(response.shards.len());
+        for entry in response.shards {
+            let digest = u64::from_str_radix(&entry.digest, 16).map_err(|_| {
+                ReplicaError::Source(format!(
+                    "shard {} digest {:?} is not 16 hex digits",
+                    entry.shard, entry.digest
+                ))
+            })?;
+            shards.push(ShardPeerStatus {
+                epoch: entry.epoch,
+                digest,
+            });
+        }
+        Ok(PrimaryStatus {
+            epoch: response.epoch,
+            shards,
+        })
+    }
+
+    fn fetch_snapshot(&self, shard: usize) -> Result<(u64, Vec<u8>), ReplicaError> {
+        let response: SnapshotResponse = self.get_json(&format!("/v1/snapshot?shard={shard}"))?;
+        let bytes = dn_store::from_hex(&response.hex)
+            .map_err(|e| ReplicaError::Source(format!("shard {shard} snapshot hex: {e}")))?;
+        Ok((response.seq, bytes))
+    }
+
+    fn fetch_wal(&self, shard: usize, from_seq: u64) -> Result<WalFetch, ReplicaError> {
+        let response: WalResponse =
+            self.get_json(&format!("/v1/wal?shard={shard}&from_seq={from_seq}"))?;
+        if response.snapshot_required {
+            return Ok(WalFetch::SnapshotRequired {
+                snapshot_seq: response.snapshot_seq.unwrap_or(0),
+            });
+        }
+        Ok(WalFetch::Records(
+            response
+                .records
+                .into_iter()
+                .map(|r| FetchedRecord {
+                    seq: r.seq,
+                    epoch: r.epoch,
+                    batch: r.batch,
+                })
+                .collect(),
+        ))
+    }
+}

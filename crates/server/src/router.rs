@@ -13,12 +13,13 @@
 use domainnet::Measure;
 
 use crate::api::{
-    CheckpointResponse, ExplainResponse, HealthResponse, MutationRequest, MutationResponse,
-    ScoreResponse, ShutdownResponse, TableSummaryResponse, TablesResponse, TopKResponse,
+    CheckpointResponse, DigestResponse, ExplainResponse, HealthResponse, MutationRequest,
+    MutationResponse, ScoreResponse, ShardDigest, ShutdownResponse, SnapshotResponse,
+    TableSummaryResponse, TablesResponse, TopKResponse, WalRecordDto, WalResponse,
 };
 use crate::error::ApiError;
 use crate::http::{percent_decode, Request, Response};
-use crate::metrics::{EngineGauges, Route, ShardGauges};
+use crate::metrics::{EngineGauges, ReplicaGauges, Route, ShardGauges};
 use crate::server::ServerState;
 
 /// Default `k` when the query string does not pass one.
@@ -40,6 +41,9 @@ pub(crate) fn handle(state: &ServerState, req: &Request) -> (Route, Response) {
         ["v1", "tables"] => Some((Route::Tables, "GET")),
         ["v1", "tables", _] => Some((Route::TableSummary, "GET")),
         ["v1", "mutations"] => Some((Route::Mutations, "POST")),
+        ["v1", "wal"] => Some((Route::Wal, "GET")),
+        ["v1", "snapshot"] => Some((Route::Snapshot, "GET")),
+        ["v1", "digest"] => Some((Route::Digest, "GET")),
         ["v1", "admin", "checkpoint"] => Some((Route::Checkpoint, "POST")),
         ["v1", "admin", "shutdown"] => Some((Route::Shutdown, "POST")),
         _ => None,
@@ -61,6 +65,9 @@ pub(crate) fn handle(state: &ServerState, req: &Request) -> (Route, Response) {
         );
     }
 
+    if let Some(refusal) = follower_gate(state, route) {
+        return (route, refusal.into_response());
+    }
     let result = match route {
         Route::Healthz => healthz(state),
         Route::Metrics => metrics(state),
@@ -70,6 +77,9 @@ pub(crate) fn handle(state: &ServerState, req: &Request) -> (Route, Response) {
         Route::Tables => tables(state),
         Route::TableSummary => table_summary(state, req, segments[2]),
         Route::Mutations => mutations(state, req),
+        Route::Wal => wal(state, req),
+        Route::Snapshot => snapshot(state, req),
+        Route::Digest => digest(state),
         Route::Checkpoint => checkpoint(state),
         Route::Shutdown => shutdown(state),
         Route::Other => unreachable!("resolved routes are concrete"),
@@ -78,6 +88,32 @@ pub(crate) fn handle(state: &ServerState, req: &Request) -> (Route, Response) {
         route,
         result.unwrap_or_else(|api_error| api_error.into_response()),
     )
+}
+
+/// The follower-mode gate, applied before dispatch. Mutating routes
+/// answer `403` with the primary's URL in the message; data-serving
+/// routes answer `503` once the insurance layer has halted the replica —
+/// a diverged follower must never serve a ranking. `/healthz`,
+/// `/metrics`, and shutdown stay reachable so operators can observe and
+/// drain a halted follower.
+fn follower_gate(state: &ServerState, route: Route) -> Option<ApiError> {
+    let replica = state.replica.as_ref()?;
+    match route {
+        Route::Mutations | Route::Checkpoint => Some(ApiError::forbidden(
+            "read_only_follower",
+            format!(
+                "this server is a read-only follower; send writes to the primary at {}",
+                replica.primary_url
+            ),
+        )),
+        Route::Healthz | Route::Metrics | Route::Shutdown | Route::Other => None,
+        _ => replica.shared.halted().map(|reason| {
+            ApiError::unavailable(
+                "replica_diverged",
+                format!("this follower halted after divergence from the primary: {reason}"),
+            )
+        }),
+    }
 }
 
 fn ok_json<T: serde::Serialize>(body: &T) -> Result<Response, ApiError> {
@@ -161,6 +197,10 @@ fn metrics(state: &ServerState) -> Result<Response, ApiError> {
                 ..ShardGauges::default()
             })
             .collect(),
+        replica: state.replica.as_ref().map(|r| ReplicaGauges {
+            lag_epochs: r.shared.lag_epochs(),
+            divergence_total: r.shared.divergence_total(),
+        }),
     };
     // Sample store/cache gauges opportunistically: /metrics must never
     // queue behind a long commit, so a contended coordinator lock just
@@ -319,6 +359,124 @@ fn mutations(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
         epoch,
         batches,
         stats,
+    })
+}
+
+/// Parse a required non-negative integer query parameter.
+fn parse_uint_param<T: std::str::FromStr>(req: &Request, name: &str) -> Result<T, ApiError> {
+    let raw = req
+        .query_value(name)
+        .ok_or_else(|| ApiError::bad_request(format!("missing required parameter {name:?}")))?;
+    raw.parse().map_err(|_| {
+        ApiError::bad_request(format!(
+            "{name} must be a non-negative integer, got {raw:?}"
+        ))
+    })
+}
+
+/// Lock the coordinator for a replication read, mapping the durability
+/// precondition to the documented `409`.
+fn lock_durable(
+    state: &ServerState,
+) -> Result<std::sync::MutexGuard<'_, dn_service::Coordinator>, ApiError> {
+    let coordinator = state
+        .coordinator
+        .lock()
+        .map_err(|_| ApiError::internal("coordinator lock poisoned"))?;
+    if !coordinator.is_durable() {
+        return Err(ApiError::conflict(
+            "this server is not durable (no --data-dir store); nothing to replicate",
+        ));
+    }
+    Ok(coordinator)
+}
+
+fn wal(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
+    let shard: usize = parse_uint_param(req, "shard")?;
+    let from_seq: u64 = parse_uint_param(req, "from_seq")?;
+    let coordinator = lock_durable(state)?;
+    if shard >= coordinator.shard_count() {
+        return Err(ApiError::bad_request(format!(
+            "shard {shard} out of range (this server has {})",
+            coordinator.shard_count()
+        )));
+    }
+    let tail = match coordinator.shard_wal_after(shard, from_seq) {
+        Ok(tail) => tail,
+        // The only Corrupt a range read raises itself is a from_seq ahead
+        // of the log — the caller's position is wrong, not the log.
+        Err(dn_service::ServiceError::Store(dn_store::StoreError::Corrupt { .. })) => {
+            return Err(ApiError::bad_request(format!(
+                "from_seq {from_seq} is ahead of shard {shard}'s log"
+            )))
+        }
+        Err(e) => return Err(ApiError::from_service(&e)),
+    };
+    drop(coordinator);
+    let response = match tail {
+        dn_store::WalTail::Records(records) => WalResponse {
+            shard,
+            from_seq,
+            snapshot_required: false,
+            snapshot_seq: None,
+            records: records
+                .into_iter()
+                .map(|r| WalRecordDto {
+                    seq: r.seq,
+                    epoch: r.epoch,
+                    batch: r.batch,
+                })
+                .collect(),
+        },
+        dn_store::WalTail::SnapshotRequired { snapshot_seq } => WalResponse {
+            shard,
+            from_seq,
+            snapshot_required: true,
+            snapshot_seq: Some(snapshot_seq),
+            records: Vec::new(),
+        },
+    };
+    ok_json(&response)
+}
+
+fn snapshot(state: &ServerState, req: &Request) -> Result<Response, ApiError> {
+    let shard: usize = parse_uint_param(req, "shard")?;
+    let coordinator = lock_durable(state)?;
+    if shard >= coordinator.shard_count() {
+        return Err(ApiError::bad_request(format!(
+            "shard {shard} out of range (this server has {})",
+            coordinator.shard_count()
+        )));
+    }
+    let (seq, bytes) = coordinator
+        .shard_snapshot_bytes(shard)
+        .map_err(|e| ApiError::from_service(&e))?;
+    drop(coordinator);
+    ok_json(&SnapshotResponse {
+        shard,
+        seq,
+        hex: dn_store::to_hex(&bytes),
+    })
+}
+
+fn digest(state: &ServerState) -> Result<Response, ApiError> {
+    // Digest the published view — lock-free, and exactly what this
+    // server's own readers observe, which is the state the insurance
+    // exchange is insuring.
+    let view = state.service.current();
+    let shards = (0..view.shard_count())
+        .map(|i| {
+            let snapshot = view.shard(i);
+            ShardDigest {
+                shard: i,
+                epoch: snapshot.epoch(),
+                digest: format!("{:016x}", dn_service::snapshot_digest(snapshot)),
+            }
+        })
+        .collect();
+    ok_json(&DigestResponse {
+        epoch: view.epoch(),
+        shards,
     })
 }
 

@@ -41,7 +41,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use dn_service::{Coordinator, CoordinatorHandle};
+use dn_service::{Coordinator, CoordinatorHandle, ReplicaShared};
 
 use crate::error::ApiError;
 use crate::http::{read_request, write_response, Limits, ReadError, Response};
@@ -74,14 +74,26 @@ impl Default for ServerConfig {
     }
 }
 
+/// What makes a server a read-only follower: where its primary lives
+/// (returned in `403` envelopes so clients can redirect their writes) and
+/// the replication gauges + halt latch shared with the tail loop.
+pub struct ReplicaContext {
+    /// Base URL of the primary, e.g. `http://127.0.0.1:8080`.
+    pub primary_url: String,
+    /// Lag/divergence gauges and the halt latch, shared with the
+    /// follower's sync loop.
+    pub shared: Arc<ReplicaShared>,
+}
+
 /// Shared state every worker sees.
 pub(crate) struct ServerState {
     pub(crate) service: CoordinatorHandle,
-    pub(crate) coordinator: Mutex<Coordinator>,
+    pub(crate) coordinator: Arc<Mutex<Coordinator>>,
     pub(crate) metrics: Metrics,
     pub(crate) shutdown: AtomicBool,
     pub(crate) limits: Limits,
     pub(crate) max_requests_per_connection: usize,
+    pub(crate) replica: Option<ReplicaContext>,
     local_addr: SocketAddr,
 }
 
@@ -126,15 +138,42 @@ pub fn serve_http(
     coordinator: Coordinator,
     config: ServerConfig,
 ) -> std::io::Result<Server> {
+    serve_http_inner(service, Arc::new(Mutex::new(coordinator)), config, None)
+}
+
+/// Like [`serve_http`], but as a read-only follower: the coordinator is
+/// *shared* with the replication tail loop (which applies WAL batches
+/// behind the same mutex the write handlers would use), mutations and
+/// checkpoints answer `403` pointing at the primary, and reads answer
+/// `503` once the insurance layer has halted the replica.
+///
+/// # Errors
+/// Binding the listener may fail (address in use, permission).
+pub fn serve_http_follower(
+    service: CoordinatorHandle,
+    coordinator: Arc<Mutex<Coordinator>>,
+    config: ServerConfig,
+    replica: ReplicaContext,
+) -> std::io::Result<Server> {
+    serve_http_inner(service, coordinator, config, Some(replica))
+}
+
+fn serve_http_inner(
+    service: CoordinatorHandle,
+    coordinator: Arc<Mutex<Coordinator>>,
+    config: ServerConfig,
+    replica: Option<ReplicaContext>,
+) -> std::io::Result<Server> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
     let state = Arc::new(ServerState {
         service,
-        coordinator: Mutex::new(coordinator),
+        coordinator,
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
         limits: config.limits,
         max_requests_per_connection: config.max_requests_per_connection.max(1),
+        replica,
         local_addr,
     });
 
@@ -203,17 +242,29 @@ impl Server {
     ///
     /// Returns the coordinator so a durable host can checkpoint on exit.
     pub fn join(self) -> Coordinator {
+        let state = self.join_inner();
+        Arc::try_unwrap(state.coordinator)
+            .ok()
+            .expect("no replication loop holds the coordinator after join")
+            .into_inner()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// [`Server::join`] for a follower, whose coordinator stays shared
+    /// with the replication tail loop: waits for the drain but leaves the
+    /// `Arc<Mutex<Coordinator>>` to the remaining holder.
+    pub fn join_follower(self) {
+        let _ = self.join_inner();
+    }
+
+    fn join_inner(self) -> ServerState {
         let _ = self.accept_handle.join();
         for handle in self.worker_handles {
             let _ = handle.join();
         }
-        let state = Arc::try_unwrap(self.state)
+        Arc::try_unwrap(self.state)
             .ok()
-            .expect("all worker references released after join");
-        state
-            .coordinator
-            .into_inner()
-            .unwrap_or_else(|poisoned| poisoned.into_inner())
+            .expect("all worker references released after join")
     }
 }
 

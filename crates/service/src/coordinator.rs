@@ -195,6 +195,48 @@ pub fn serve_sharded_from_dir(
     Ok((handle, coordinator))
 }
 
+/// Follower-side recovery: like [`serve_sharded_from_dir`], but without
+/// rebalance-intent completion or table-ownership verification. A replica
+/// replays the primary's per-shard logs *as shipped*, and a cross-shard
+/// migration is two records in two different logs — so between applying
+/// them a follower legitimately holds the table on both shards (or
+/// neither). The primary already enforced the invariants when it committed;
+/// re-checking them mid-window would reject valid replica states. The
+/// table index uses the same first-owner-wins rule as
+/// [`build_coordinator`], and converges once the second migration record
+/// is applied.
+pub(crate) fn recover_shards_lenient(
+    root: impl Into<PathBuf>,
+    config: ServiceConfig,
+    policy: CheckpointPolicy,
+) -> Result<(CoordinatorHandle, Coordinator), ServiceError> {
+    let root = root.into();
+    let manifest = dn_store::read_shard_manifest(&root)?.ok_or_else(|| {
+        ServiceError::Store(dn_store::StoreError::corrupt(format!(
+            "{} holds no shard manifest (not a sharded store)",
+            root.display()
+        )))
+    })?;
+    let mut writers = Vec::with_capacity(manifest.shards);
+    for i in 0..manifest.shards {
+        let dir = dn_store::shard_dir(&root, i);
+        let writer = match Store::probe(&dir)? {
+            StorePresence::Recoverable => serve_from_dir(dir, config.clone(), policy)?.1,
+            StorePresence::Fresh => {
+                serve_durable(MutableLake::new(), config.clone(), dir, policy)?.1
+            }
+            StorePresence::AbortedInit { wal_path } => {
+                std::fs::remove_file(&wal_path).map_err(|e| {
+                    ServiceError::Store(dn_store::StoreError::io_with_path(e, wal_path))
+                })?;
+                serve_durable(MutableLake::new(), config.clone(), dir, policy)?.1
+            }
+        };
+        writers.push(writer);
+    }
+    Ok(build_coordinator(writers, config, Some(root)))
+}
+
 /// Shared tail of the entry points: sum the shard epochs, publish the
 /// initial [`MultiView`], and index table ownership.
 fn build_coordinator(
@@ -902,6 +944,135 @@ impl Coordinator {
         CoordinatorHandle {
             shared: Arc::clone(&self.shared),
         }
+    }
+
+    // -- replication ------------------------------------------------------
+
+    /// Apply one replicated batch to one shard (see
+    /// [`Writer::apply_replicated`]) and keep the table-ownership index in
+    /// step with the shipped ops. Does **not** swap the merged view — a
+    /// sync pass applies every shard's tail first, then calls
+    /// [`Coordinator::refresh_view`] once.
+    ///
+    /// # Errors
+    /// As [`Writer::apply_replicated`]; additionally
+    /// [`ServiceError::Maintenance`] for an out-of-range shard index.
+    pub fn apply_replicated(
+        &mut self,
+        shard: usize,
+        seq: u64,
+        epoch: u64,
+        batch: &[LakeDelta],
+    ) -> Result<(), ServiceError> {
+        let writer = self
+            .shards
+            .get_mut(shard)
+            .ok_or_else(|| ServiceError::Maintenance(format!("shard {shard} out of range")))?;
+        writer.apply_replicated(seq, epoch, batch)?;
+        for delta in batch {
+            for op in delta.ops() {
+                match op {
+                    LakeOp::AddTable(table) => {
+                        // Last write wins here (unlike build_coordinator's
+                        // first-wins tie-break): the stream is ordered, so
+                        // the newest add IS the current owner.
+                        self.table_shard.insert(table.name().to_owned(), shard);
+                    }
+                    LakeOp::RemoveTable(name) if self.table_shard.get(name) == Some(&shard) => {
+                        self.table_shard.remove(name);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Swap in a fresh [`MultiView`] over the shards' *current* snapshots
+    /// without bumping any shard epoch. [`Coordinator::publish`] with an
+    /// empty dirty set republishes every shard (+1 each) — correct for a
+    /// primary, fatal for a follower whose epochs must track the
+    /// primary's. Returns the coordinator epoch (sum of shard epochs).
+    pub fn refresh_view(&mut self) -> u64 {
+        self.dirty.clear();
+        self.epoch = self.shards.iter().map(Writer::epoch).sum();
+        let view = Arc::new(MultiView {
+            epoch: self.epoch,
+            shards: self.shards.iter().map(|w| w.service().current()).collect(),
+        });
+        *self.shared.current.write().expect("multiview pointer lock") = view;
+        self.shared.cache.lock().expect("cache lock").invalidate();
+        self.shared.epochs_published.fetch_add(1, Ordering::Relaxed);
+        self.epoch
+    }
+
+    /// Tear down one shard and rebuild it from a shipped snapshot (the
+    /// replica's answer to [`dn_store::WalTail::SnapshotRequired`]: the
+    /// primary checkpointed past the follower's position, so the tail is
+    /// gone and the shard must re-bootstrap). The shard's directory is
+    /// removed, the snapshot installed, and a fresh [`Writer`] recovered
+    /// over it; the table index is rebuilt from all shards afterwards.
+    ///
+    /// # Errors
+    /// [`ServiceError::Maintenance`] when the coordinator is non-durable
+    /// or the shard index is out of range; [`ServiceError::Store`] when
+    /// the snapshot fails validation or the rebuilt shard cannot recover.
+    pub fn reinstall_shard(
+        &mut self,
+        shard: usize,
+        snapshot_bytes: &[u8],
+        config: &ServiceConfig,
+        policy: CheckpointPolicy,
+    ) -> Result<(), ServiceError> {
+        let root = self.root_dir.clone().ok_or_else(|| {
+            ServiceError::Maintenance("reinstall requires a durable coordinator".to_string())
+        })?;
+        if shard >= self.shards.len() {
+            return Err(ServiceError::Maintenance(format!(
+                "shard {shard} out of range"
+            )));
+        }
+        let dir = dn_store::shard_dir(&root, shard);
+        if dir.exists() {
+            std::fs::remove_dir_all(&dir)
+                .map_err(|e| ServiceError::Store(dn_store::StoreError::io_with_path(e, &dir)))?;
+        }
+        dn_store::install_snapshot(&dir, snapshot_bytes)?;
+        let (_, writer) = serve_from_dir(dir, config.clone(), policy)?;
+        self.shards[shard] = writer;
+        self.table_shard.clear();
+        for (i, writer) in self.shards.iter().enumerate() {
+            for name in writer.lake().live_table_names() {
+                self.table_shard.entry(name.to_owned()).or_insert(i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Sequence number of the last batch in one shard's log.
+    pub fn shard_last_seq(&self, shard: usize) -> u64 {
+        self.shards[shard].last_seq()
+    }
+
+    /// One shard's WAL suffix after `from_seq`, for shipping. See
+    /// [`Writer::wal_after`].
+    ///
+    /// # Errors
+    /// As [`Writer::wal_after`].
+    pub fn shard_wal_after(
+        &self,
+        shard: usize,
+        from_seq: u64,
+    ) -> Result<dn_store::WalTail, ServiceError> {
+        self.shards[shard].wal_after(from_seq)
+    }
+
+    /// One shard's newest on-disk snapshot bytes, for replica bootstrap.
+    ///
+    /// # Errors
+    /// As [`Writer::newest_snapshot_bytes`].
+    pub fn shard_snapshot_bytes(&self, shard: usize) -> Result<(u64, Vec<u8>), ServiceError> {
+        self.shards[shard].newest_snapshot_bytes()
     }
 
     // -- routing ----------------------------------------------------------

@@ -571,6 +571,107 @@ impl Writer {
             .map_or(0, |p| p.store.wal_record_bytes())
     }
 
+    /// Apply one batch received from a replication stream: log it under the
+    /// primary's `seq`/`epoch` tags, run it through the same incremental
+    /// path [`Writer::commit`] uses, and publish the result inline.
+    ///
+    /// This is the follower-side mirror of `commit` + `publish`, with two
+    /// deliberate differences. First, the epoch is *adopted*, not minted:
+    /// after applying a record the writer publishes at
+    /// `max(self.epoch, record_epoch + 1)`, which is exactly where the
+    /// primary landed after committing that batch — so digests can be
+    /// compared at equal epochs. Second, a lake/net-level failure is **not**
+    /// an error here: the primary's WAL keeps failed batches and its
+    /// recovery path resyncs past them, so the follower does the same and
+    /// converges to the identical state (mirroring
+    /// [`Store::recover`](dn_store::Store::recover)'s replay semantics).
+    ///
+    /// # Errors
+    /// [`ServiceError::Maintenance`] when the writer is not durable (a
+    /// follower must have a log to resume from), [`ServiceError::Store`]
+    /// when the record cannot be made durable — including an out-of-order
+    /// `seq`, which means the stream is corrupt.
+    pub fn apply_replicated(
+        &mut self,
+        seq: u64,
+        epoch: u64,
+        batch: &[LakeDelta],
+    ) -> Result<(), ServiceError> {
+        let persistence = self.persistence.as_mut().ok_or_else(|| {
+            ServiceError::Maintenance("replication requires a durable writer".to_string())
+        })?;
+        let epochs_since = self.epoch.saturating_sub(persistence.last_checkpoint_epoch);
+        if persistence
+            .policy
+            .is_due(epochs_since, persistence.store.wal_record_bytes())
+        {
+            persistence
+                .store
+                .checkpoint(&self.lake, &self.net, self.epoch, &self.measures)?;
+            persistence.last_checkpoint_epoch = self.epoch;
+        }
+        persistence.store.append_replicated(seq, epoch, batch)?;
+        match self.lake.apply_batch(batch.iter()) {
+            Ok(effects) => {
+                if self.net.apply_delta(&self.lake, &effects).is_err() {
+                    self.resync();
+                }
+            }
+            Err(_) => self.resync(),
+        }
+        self.net.warm_rankings(&self.measures);
+        // Adopt the primary's post-batch epoch. `publish()` would mint
+        // `self.epoch + 1`, which drifts whenever the primary's history
+        // contains epochs this follower never saw (pre-snapshot commits).
+        self.epoch = self.epoch.max(epoch + 1);
+        let snapshot = Arc::new(Snapshot::extract(
+            &self.net,
+            &self.lake,
+            &self.measures,
+            self.epoch,
+        ));
+        *self.shared.current.write().expect("snapshot pointer lock") = snapshot;
+        self.shared.cache.lock().expect("cache lock").invalidate();
+        self.shared.epochs_published.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Sequence number of the last batch in this writer's store (0 when no
+    /// batch was ever logged, or for a non-durable writer).
+    pub fn last_seq(&self) -> u64 {
+        self.persistence.as_ref().map_or(0, |p| p.store.last_seq())
+    }
+
+    /// The WAL suffix after `from_seq`, for shipping to a replica. See
+    /// [`Store::wal_after`](dn_store::Store::wal_after).
+    ///
+    /// # Errors
+    /// [`ServiceError::Maintenance`] for a non-durable writer;
+    /// [`ServiceError::Store`] on log-read failures or a `from_seq` ahead
+    /// of the log.
+    pub fn wal_after(&self, from_seq: u64) -> Result<dn_store::WalTail, ServiceError> {
+        match self.persistence.as_ref() {
+            None => Err(ServiceError::Maintenance(
+                "WAL shipping requires a durable writer".to_string(),
+            )),
+            Some(p) => Ok(p.store.wal_after(from_seq)?),
+        }
+    }
+
+    /// The raw bytes of the newest on-disk snapshot, for replica bootstrap.
+    ///
+    /// # Errors
+    /// [`ServiceError::Maintenance`] for a non-durable writer;
+    /// [`ServiceError::Store`] when no snapshot exists or it cannot be read.
+    pub fn newest_snapshot_bytes(&self) -> Result<(u64, Vec<u8>), ServiceError> {
+        match self.persistence.as_ref() {
+            None => Err(ServiceError::Maintenance(
+                "snapshot shipping requires a durable writer".to_string(),
+            )),
+            Some(p) => Ok(p.store.newest_snapshot_bytes()?),
+        }
+    }
+
     /// Rebuild the net from the lake's live state (the escape hatch after a
     /// failed batch) and re-warm the served measures.
     fn resync(&mut self) {

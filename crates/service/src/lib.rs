@@ -62,6 +62,7 @@
 pub mod cache;
 pub mod coordinator;
 pub mod engine;
+pub mod replica;
 pub mod snapshot;
 
 pub use cache::CacheStats;
@@ -72,6 +73,10 @@ pub use coordinator::{
 pub use engine::{
     serve, serve_durable, serve_from_dir, CheckpointPolicy, Reader, ServiceConfig, ServiceError,
     ServiceHandle, Writer,
+};
+pub use replica::{
+    snapshot_digest, FetchedRecord, Follower, LocalReplicaSource, PrimaryStatus, ReplicaError,
+    ReplicaShared, ReplicaSource, ShardPeerStatus, SyncReport, WalFetch,
 };
 pub use snapshot::{
     AttributeNeighborhood, ScoreCard, Snapshot, SnapshotStats, TableSummary, ValueExplanation,

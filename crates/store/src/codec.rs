@@ -288,6 +288,53 @@ pub fn put_u64_vec(w: &mut ByteWriter, items: &[u64]) {
 }
 
 // ---------------------------------------------------------------------------
+// Hex (binary payloads inside JSON envelopes)
+// ---------------------------------------------------------------------------
+
+/// Lowercase hex encoding of a byte slice. The replication endpoints ship
+/// snapshot files (a binary format) inside JSON response bodies, and hex
+/// is the simplest encoding that survives a UTF-8 transport.
+pub fn to_hex(bytes: &[u8]) -> String {
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[usize::from(b >> 4)] as char);
+        out.push(DIGITS[usize::from(b & 0xF)] as char);
+    }
+    out
+}
+
+/// Decode a string produced by [`to_hex`] (either letter case accepted).
+///
+/// # Errors
+/// [`StoreError::Corrupt`] on an odd length or a non-hex character.
+pub fn from_hex(text: &str) -> Result<Vec<u8>> {
+    if text.len() % 2 != 0 {
+        return Err(StoreError::corrupt(format!(
+            "hex payload has odd length {}",
+            text.len()
+        )));
+    }
+    let nibble = |c: u8| -> Result<u8> {
+        match c {
+            b'0'..=b'9' => Ok(c - b'0'),
+            b'a'..=b'f' => Ok(c - b'a' + 10),
+            b'A'..=b'F' => Ok(c - b'A' + 10),
+            other => Err(StoreError::corrupt(format!(
+                "invalid hex character {:?}",
+                other as char
+            ))),
+        }
+    };
+    let raw = text.as_bytes();
+    let mut out = Vec::with_capacity(raw.len() / 2);
+    for pair in raw.chunks_exact(2) {
+        out.push((nibble(pair[0])? << 4) | nibble(pair[1])?);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
 // Measure wire format
 // ---------------------------------------------------------------------------
 
@@ -459,6 +506,25 @@ mod tests {
         let mut r = ByteReader::new(&bytes, "measure");
         assert!(matches!(
             get_measure(&mut r).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+    }
+
+    #[test]
+    fn hex_round_trips_and_rejects_garbage() {
+        let all: Vec<u8> = (0..=255u8).collect();
+        let text = to_hex(&all);
+        assert_eq!(text.len(), 512);
+        assert_eq!(from_hex(&text).unwrap(), all);
+        assert_eq!(from_hex(&text.to_uppercase()).unwrap(), all);
+        assert_eq!(to_hex(&[]), "");
+        assert_eq!(from_hex("").unwrap(), Vec::<u8>::new());
+        assert!(matches!(
+            from_hex("abc").unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        assert!(matches!(
+            from_hex("zz").unwrap_err(),
             StoreError::Corrupt { .. }
         ));
     }

@@ -1,0 +1,113 @@
+//! A tiny incremental 64-bit digest for replica state comparison.
+//!
+//! The replication insurance layer (see `dn-service`) periodically folds a
+//! follower's entire observable state — identity counts, edge counts, and
+//! every ranking entry's value string plus raw `f64::to_bits` score — into
+//! one `u64` and compares it against the primary's digest at the same
+//! epoch. The hash here is FNV-1a (64-bit): deterministic across
+//! platforms, allocation-free, and sensitive to both content and order,
+//! which is exactly what an equality witness needs. It is **not** a
+//! cryptographic hash; the adversary is bit-rot and software divergence,
+//! not forgery.
+//!
+//! Multi-byte values are folded in little-endian order and strings are
+//! length-prefixed, so concatenation ambiguities ("ab"+"c" vs "a"+"bc")
+//! cannot collide by construction.
+
+/// An incremental FNV-1a (64-bit) digest.
+#[derive(Debug, Clone)]
+pub struct Digest64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Digest64 {
+    fn default() -> Self {
+        Digest64::new()
+    }
+}
+
+impl Digest64 {
+    /// A fresh digest at the FNV offset basis.
+    pub fn new() -> Digest64 {
+        Digest64 { state: FNV_OFFSET }
+    }
+
+    /// Fold raw bytes into the digest.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Fold one `u64` (little-endian) into the digest.
+    pub fn write_u64(&mut self, value: u64) {
+        self.write_bytes(&value.to_le_bytes());
+    }
+
+    /// Fold one length-prefixed string into the digest.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// The digest of everything folded so far.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(Digest64::new().finish(), 0xcbf2_9ce4_8422_2325);
+        let mut d = Digest64::new();
+        d.write_bytes(b"a");
+        assert_eq!(d.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut d = Digest64::new();
+        d.write_bytes(b"foobar");
+        assert_eq!(d.finish(), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn order_and_framing_matter() {
+        let mut ab_c = Digest64::new();
+        ab_c.write_str("ab");
+        ab_c.write_str("c");
+        let mut a_bc = Digest64::new();
+        a_bc.write_str("a");
+        a_bc.write_str("bc");
+        assert_ne!(
+            ab_c.finish(),
+            a_bc.finish(),
+            "length prefixes forbid concatenation collisions"
+        );
+
+        let mut fwd = Digest64::new();
+        fwd.write_u64(1);
+        fwd.write_u64(2);
+        let mut rev = Digest64::new();
+        rev.write_u64(2);
+        rev.write_u64(1);
+        assert_ne!(fwd.finish(), rev.finish(), "order-sensitive");
+    }
+
+    #[test]
+    fn score_bits_distinguish_equal_looking_floats() {
+        // -0.0 == 0.0 under `==` but their bit patterns differ; the digest
+        // must see the difference, because `to_bits` equality is the
+        // replication contract.
+        let mut pos = Digest64::new();
+        pos.write_u64(0.0f64.to_bits());
+        let mut neg = Digest64::new();
+        neg.write_u64((-0.0f64).to_bits());
+        assert_ne!(pos.finish(), neg.finish());
+    }
+}

@@ -69,12 +69,15 @@
 #![deny(unsafe_code)]
 
 pub mod codec;
+pub mod digest;
 pub mod error;
 pub mod sharded;
 pub mod snapshot;
 pub mod store;
 pub mod wal;
 
+pub use codec::{from_hex, to_hex};
+pub use digest::Digest64;
 pub use error::{Result, StoreError};
 pub use sharded::{
     clear_rebalance_intent, read_rebalance_intent, read_shard_manifest, shard_dir,
@@ -85,7 +88,9 @@ pub use snapshot::{
     read_snapshot, write_snapshot, Manifest, PersistedState, SectionInfo, FORMAT_VERSION,
     SNAPSHOT_MAGIC,
 };
-pub use store::{list_snapshots, Recovered, Store, StorePresence, StoreStats};
+pub use store::{
+    install_snapshot, list_snapshots, Recovered, Store, StorePresence, StoreStats, WalTail,
+};
 pub use wal::{scan_wal, Wal, WalRecord, WalScan};
 
 #[cfg(test)]

@@ -118,6 +118,59 @@ fn snapshot_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("{SNAPSHOT_PREFIX}{seq:020}{SNAPSHOT_SUFFIX}"))
 }
 
+/// What [`Store::wal_after`] can hand a tailing replica.
+#[derive(Debug)]
+pub enum WalTail {
+    /// The contiguous run of verified records with sequence numbers
+    /// strictly greater than the requested `from_seq` (empty when the
+    /// replica is caught up).
+    Records(Vec<crate::wal::WalRecord>),
+    /// A checkpoint trimmed the log past `from_seq`: the records the
+    /// replica needs no longer exist, and it must re-bootstrap from the
+    /// newest snapshot (which folds in every batch up to `snapshot_seq`).
+    SnapshotRequired {
+        /// Sequence number the newest on-disk snapshot covers through.
+        snapshot_seq: u64,
+    },
+}
+
+/// Initialize `dir` as a store seeded from raw snapshot `bytes` fetched
+/// from a primary: the bytes are fully validated (magic, version, section
+/// CRCs, cross-references), written atomically under the sequence number
+/// recorded in their manifest, and paired with a fresh empty WAL — after
+/// which the directory is [`StorePresence::Recoverable`] and a normal
+/// [`Store::recover`] reproduces the primary's checkpointed state.
+/// Returns the sequence number the snapshot covers through (the replica
+/// tails the primary's WAL from there).
+///
+/// # Errors
+/// [`StoreError::Corrupt`] when the bytes fail validation or `dir`
+/// already holds a store; I/O errors from writing.
+pub fn install_snapshot(dir: &Path, bytes: &[u8]) -> Result<u64> {
+    let state = crate::snapshot::decode_snapshot(bytes)?;
+    let last_seq = state.manifest.last_seq;
+    fs::create_dir_all(dir).map_err(|e| StoreError::io_with_path(e, dir))?;
+    if !list_snapshots(dir)?.is_empty() || dir.join(WAL_FILE).exists() {
+        return Err(StoreError::corrupt(format!(
+            "{} already contains a store; refusing to install a snapshot over it",
+            dir.display()
+        )));
+    }
+    let path = snapshot_path(dir, last_seq);
+    let tmp = path.with_extension("tmp");
+    {
+        use std::io::Write;
+        let mut file = fs::File::create(&tmp).map_err(|e| StoreError::io_with_path(e, &tmp))?;
+        file.write_all(bytes)
+            .map_err(|e| StoreError::io_with_path(e, &tmp))?;
+        file.sync_all()
+            .map_err(|e| StoreError::io_with_path(e, &tmp))?;
+    }
+    fs::rename(&tmp, &path).map_err(|e| StoreError::io_with_path(e, &path))?;
+    Wal::create(&dir.join(WAL_FILE))?;
+    Ok(last_seq)
+}
+
 /// List `(seq, path)` of the snapshot files in `dir`, newest first.
 pub fn list_snapshots(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
     let mut out = Vec::new();
@@ -248,6 +301,88 @@ impl Store {
         self.wal.append(seq, epoch, batch)?;
         self.next_seq += 1;
         Ok(seq)
+    }
+
+    /// Durably append one batch under a sequence number and epoch tag
+    /// assigned by a **primary** — the replication twin of
+    /// [`Store::append_batch`]. The record must be the exact next one:
+    /// appending out of order would fabricate a log the primary never
+    /// wrote, so a mismatch is a typed error, not a silent re-number.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] when `seq` is not `self.next_seq()`; WAL
+    /// I/O errors otherwise.
+    pub fn append_replicated(&mut self, seq: u64, epoch: u64, batch: &[LakeDelta]) -> Result<()> {
+        if seq != self.next_seq {
+            return Err(StoreError::corrupt(format!(
+                "replicated batch {seq} does not follow local seq {} (stream out of order)",
+                self.last_seq()
+            )));
+        }
+        self.wal.append(seq, epoch, batch)?;
+        self.next_seq += 1;
+        Ok(())
+    }
+
+    /// The verified WAL records with sequence numbers strictly greater
+    /// than `from_seq` — what a tailing replica fetches. `from_seq` equal
+    /// to [`Store::last_seq`] returns an empty record list (caught up);
+    /// asking past a checkpoint trim returns
+    /// [`WalTail::SnapshotRequired`] instead of a gapped stream.
+    ///
+    /// # Errors
+    /// [`StoreError::Corrupt`] when `from_seq` is beyond the last
+    /// acknowledged sequence number (the "replica" is ahead of this log —
+    /// it is tailing the wrong store), or when the on-disk log fails
+    /// scanning.
+    pub fn wal_after(&self, from_seq: u64) -> Result<WalTail> {
+        if from_seq > self.last_seq() {
+            return Err(StoreError::corrupt(format!(
+                "WAL tail requested after seq {from_seq}, but the last acknowledged seq is {}",
+                self.last_seq()
+            )));
+        }
+        if from_seq == self.last_seq() {
+            return Ok(WalTail::Records(Vec::new()));
+        }
+        let scan = scan_wal(self.wal.path())?;
+        let records: Vec<crate::wal::WalRecord> = scan
+            .records
+            .into_iter()
+            .filter(|r| r.seq > from_seq)
+            .collect();
+        match records.first() {
+            // Appends are strictly sequential and `reset` empties the log
+            // wholesale, so the surviving records are contiguous: the only
+            // way `from_seq + 1` is missing is a checkpoint trim.
+            Some(first) if first.seq == from_seq + 1 => Ok(WalTail::Records(records)),
+            _ => {
+                let snapshots = list_snapshots(&self.dir)?;
+                let snapshot_seq = snapshots.first().map(|&(seq, _)| seq).ok_or_else(|| {
+                    StoreError::corrupt(format!(
+                        "WAL records after seq {from_seq} are trimmed and {} holds no snapshot",
+                        self.dir.display()
+                    ))
+                })?;
+                Ok(WalTail::SnapshotRequired { snapshot_seq })
+            }
+        }
+    }
+
+    /// The raw bytes of the newest on-disk snapshot plus the sequence
+    /// number it covers through — what a bootstrapping replica fetches
+    /// (the file format is self-validating, so shipping bytes is safe).
+    ///
+    /// # Errors
+    /// [`StoreError::MissingSnapshot`] when no snapshot exists yet; I/O
+    /// errors from reading.
+    pub fn newest_snapshot_bytes(&self) -> Result<(u64, Vec<u8>)> {
+        let snapshots = list_snapshots(&self.dir)?;
+        let (seq, path) = snapshots.first().ok_or(StoreError::MissingSnapshot {
+            dir: self.dir.clone(),
+        })?;
+        let bytes = fs::read(path).map_err(|e| StoreError::io_with_path(e, path))?;
+        Ok((*seq, bytes))
     }
 
     /// Write a checkpoint of the given engine state, then trim the WAL and
@@ -653,6 +788,129 @@ mod tests {
             Store::recover(&dir).unwrap_err(),
             StoreError::MissingSnapshot { .. }
         ));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_after_ships_suffixes_and_detects_trims() {
+        let dir = test_dir("ship");
+        let (mut lake, mut net, measures) = engine();
+        let mut store = Store::create(&dir).unwrap();
+        store.checkpoint(&lake, &net, 0, &measures).unwrap();
+        for i in 0..3u32 {
+            let batch = vec![delta(i)];
+            store.append_batch(u64::from(i), &batch).unwrap();
+            let effects = lake.apply_batch(batch.iter()).unwrap();
+            net.apply_delta(&lake, &effects).unwrap();
+        }
+
+        // Full tail, partial tail, caught up.
+        match store.wal_after(0).unwrap() {
+            WalTail::Records(r) => {
+                assert_eq!(r.iter().map(|r| r.seq).collect::<Vec<_>>(), [1, 2, 3]);
+                assert_eq!(r[2].epoch, 2, "epoch tags ride along");
+            }
+            other => panic!("expected records, got {other:?}"),
+        }
+        match store.wal_after(2).unwrap() {
+            WalTail::Records(r) => assert_eq!(r.len(), 1),
+            other => panic!("expected records, got {other:?}"),
+        }
+        match store.wal_after(3).unwrap() {
+            WalTail::Records(r) => assert!(r.is_empty(), "caught up"),
+            other => panic!("expected records, got {other:?}"),
+        }
+        // Ahead of the log: typed error, not an empty answer.
+        assert!(matches!(
+            store.wal_after(4).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+
+        // A checkpoint trims the log; a replica still at seq 1 must be
+        // told to re-bootstrap, not handed a gapped stream.
+        net.warm_rankings(&measures);
+        store.checkpoint(&lake, &net, 3, &measures).unwrap();
+        match store.wal_after(1).unwrap() {
+            WalTail::SnapshotRequired { snapshot_seq } => assert_eq!(snapshot_seq, 3),
+            other => panic!("expected SnapshotRequired, got {other:?}"),
+        }
+        match store.wal_after(3).unwrap() {
+            WalTail::Records(r) => assert!(r.is_empty(), "caught up post-trim"),
+            other => panic!("expected records, got {other:?}"),
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn snapshot_bytes_install_into_a_recoverable_replica_dir() {
+        let dir = test_dir("bootstrap_src");
+        let replica_dir = test_dir("bootstrap_dst");
+        fs::remove_dir_all(&replica_dir).ok();
+        let (mut lake, mut net, measures) = engine();
+        let mut store = Store::create(&dir).unwrap();
+        store.checkpoint(&lake, &net, 0, &measures).unwrap();
+        let batch = vec![delta(0)];
+        store.append_batch(0, &batch).unwrap();
+        let effects = lake.apply_batch(batch.iter()).unwrap();
+        net.apply_delta(&lake, &effects).unwrap();
+        net.warm_rankings(&measures);
+        store.checkpoint(&lake, &net, 1, &measures).unwrap();
+
+        let (seq, bytes) = store.newest_snapshot_bytes().unwrap();
+        assert_eq!(seq, 1);
+        assert_eq!(install_snapshot(&replica_dir, &bytes).unwrap(), 1);
+        assert_eq!(
+            Store::probe(&replica_dir).unwrap(),
+            StorePresence::Recoverable
+        );
+        let (replica, recovered) = Store::recover(&replica_dir).unwrap();
+        assert_eq!(recovered.last_seq, 1);
+        assert_eq!(recovered.net.export_state(), net.export_state());
+        assert_eq!(replica.next_seq(), 2, "tailing resumes after the snapshot");
+
+        // Refuses a second install and refuses corrupt bytes.
+        assert!(matches!(
+            install_snapshot(&replica_dir, &bytes).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        let mut bad = bytes.clone();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0xFF;
+        let fresh = test_dir("bootstrap_bad");
+        fs::remove_dir_all(&fresh).ok();
+        assert!(install_snapshot(&fresh, &bad).is_err());
+        assert!(
+            !Store::exists(&fresh),
+            "a failed install leaves no half-store behind"
+        );
+        for d in [&dir, &replica_dir] {
+            fs::remove_dir_all(d).unwrap();
+        }
+        fs::remove_dir_all(&fresh).ok();
+    }
+
+    #[test]
+    fn append_replicated_refuses_out_of_order_streams() {
+        let dir = test_dir("replicated_seq");
+        let (lake, net, measures) = engine();
+        let mut store = Store::create(&dir).unwrap();
+        store.checkpoint(&lake, &net, 0, &measures).unwrap();
+        let batch = vec![delta(0)];
+        store.append_replicated(1, 7, &batch).unwrap();
+        assert_eq!(store.last_seq(), 1);
+        // A skip and a replay are both stream corruption.
+        assert!(matches!(
+            store.append_replicated(3, 7, &batch).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        assert!(matches!(
+            store.append_replicated(1, 7, &batch).unwrap_err(),
+            StoreError::Corrupt { .. }
+        ));
+        // The accepted record carries the primary's epoch tag.
+        let scan = scan_wal(&dir.join(WAL_FILE)).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].epoch, 7);
         fs::remove_dir_all(&dir).unwrap();
     }
 

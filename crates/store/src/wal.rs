@@ -25,6 +25,25 @@
 //! verifiable record. Structural impossibilities with *valid* CRCs — a
 //! non-increasing sequence number, an undecodable batch — are not torn
 //! tails and surface as typed [`StoreError::Corrupt`] values instead.
+//!
+//! ## Durability ordering
+//!
+//! WAL shipping (read replicas tail this log over HTTP) leans on two
+//! invariants, pinned by `durability_ordering_is_pinned` below:
+//!
+//! 1. **Every `Ok` from [`Wal::append`] is durable and externally
+//!    visible.** `append` issues `write_all` + `sync_data` for each
+//!    record before returning, so the instant a batch is acknowledged an
+//!    independent reader of the file (a scanner, a replica fetch) sees
+//!    it, and a crash at any later point keeps it. There is no buffering
+//!    layer that could reorder acknowledgement and visibility.
+//! 2. **A clean reopen never rewrites history.** [`Wal::open_truncated`]
+//!    only pays a truncate + `sync_all` when the on-disk length differs
+//!    from the verified prefix — a reopen of an untorn log leaves every
+//!    byte untouched, so record offsets and contents a replica already
+//!    fetched stay valid across primary restarts. Only an actual torn
+//!    tail (which, by invariant 1, can only ever contain *unacknowledged*
+//!    bytes) is cut back, exactly to the verified prefix.
 
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
@@ -440,6 +459,51 @@ mod tests {
             scan_wal(&path).unwrap_err(),
             StoreError::Corrupt { .. }
         ));
+        fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn durability_ordering_is_pinned() {
+        // The two invariants WAL shipping relies on (see the module docs):
+        // an acknowledged append is immediately visible to an independent
+        // reader of the file, and a clean reopen does not modify a single
+        // byte, while a torn reopen truncates exactly to the verified
+        // prefix and nothing more.
+        let path = tmp("ordering.wal");
+        let mut wal = Wal::create(&path).unwrap();
+        wal.append(1, 0, &batch(1)).unwrap();
+        // (1) Acknowledged => visible: a fresh scan of the file (separate
+        // descriptor, no shared state with the open writer) sees the
+        // record the moment `append` returned Ok.
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 1, "Ok append is externally visible");
+        assert_eq!(scan.file_len, wal.len_bytes(), "no buffered suffix");
+        wal.append(2, 0, &batch(2)).unwrap();
+        drop(wal);
+
+        // (2) Clean reopen: byte-for-byte identical before and after.
+        let before = fs::read(&path).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert!(scan.torn.is_none());
+        let wal = Wal::open_truncated(&path, scan.valid_len).unwrap();
+        assert_eq!(wal.len_bytes(), scan.valid_len);
+        drop(wal);
+        assert_eq!(
+            fs::read(&path).unwrap(),
+            before,
+            "reopen of an untorn log must not rewrite history"
+        );
+
+        // (3) Torn reopen: truncates exactly to the verified prefix.
+        let first_two = before.len() as u64;
+        fs::write(&path, [&before[..], &[0xAB, 0xCD, 0xEF]].concat()).unwrap();
+        let scan = scan_wal(&path).unwrap();
+        assert_eq!(scan.valid_len, first_two, "tear detected");
+        let mut wal = Wal::open_truncated(&path, scan.valid_len).unwrap();
+        assert_eq!(fs::read(&path).unwrap(), before, "cut back to the prefix");
+        // Appending after the truncate continues the sequence cleanly.
+        wal.append(3, 0, &batch(3)).unwrap();
+        assert_eq!(scan_wal(&path).unwrap().records.len(), 3);
         fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 

@@ -3,7 +3,9 @@
 //! ```text
 //! dn-serve --data-dir DIR [--shards N] [--addr 127.0.0.1:8080] [--workers 4]
 //!          [--checkpoint-every 8] [--cache-capacity 64] [--max-body-bytes N]
+//! dn-serve --data-dir DIR --follow http://PRIMARY [--poll-ms 100] [...]
 //! dn-serve --smoke ADDR
+//! dn-serve --smoke-replica PRIMARY_ADDR FOLLOWER_ADDR
 //! ```
 //!
 //! Server mode: if `--data-dir` already holds a sharded store, the
@@ -18,16 +20,35 @@
 //! process exits after a graceful drain once `POST /v1/admin/shutdown`
 //! arrives.
 //!
+//! Follower mode (`--follow http://PRIMARY`): the data dir becomes a
+//! read replica of a running primary — bootstrapped from the primary's
+//! newest per-shard snapshots (or recovered locally on restart), kept in
+//! step by tailing the per-shard WALs every `--poll-ms`, and verified by
+//! the divergence-insurance digest exchange. Mutations answer `403` with
+//! the primary's URL; a digest mismatch halts the replica (reads answer
+//! `503`) rather than serving wrong rankings.
+//!
 //! Smoke mode (`--smoke ADDR`): a client-only self-check against a
 //! running server — healthz → mutation → top-k → checkpoint → shutdown —
 //! exiting non-zero on the first unexpected answer. This is the curl-free
-//! probe `ci.sh` drives.
+//! probe `ci.sh` drives. `--smoke-replica PRIMARY FOLLOWER` is the
+//! replication variant: mutate via the primary, wait for the follower to
+//! converge, assert the lag gauge returns to zero and writes are refused,
+//! then drain both.
 
 use std::process::ExitCode;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use dn_server::{serve_http, Client, Limits, ServerConfig};
-use dn_service::{serve_sharded_durable, serve_sharded_from_dir, CheckpointPolicy, ServiceConfig};
+use dn_server::{
+    serve_http, serve_http_follower, Client, HttpReplicaSource, Limits, ReplicaContext,
+    ServerConfig,
+};
+use dn_service::{
+    serve_sharded_durable, serve_sharded_from_dir, CheckpointPolicy, Follower, ReplicaError,
+    ServiceConfig,
+};
 use domainnet::Measure;
 use lake::delta::MutableLake;
 
@@ -41,6 +62,9 @@ struct Args {
     cache_capacity: usize,
     max_body_bytes: usize,
     smoke: Option<String>,
+    follow: Option<String>,
+    poll_ms: u64,
+    smoke_replica: Option<(String, String)>,
 }
 
 impl Default for Args {
@@ -54,13 +78,18 @@ impl Default for Args {
             cache_capacity: 64,
             max_body_bytes: 1 << 20,
             smoke: None,
+            follow: None,
+            poll_ms: 100,
+            smoke_replica: None,
         }
     }
 }
 
 const USAGE: &str = "usage: dn-serve --data-dir DIR [--shards N] [--addr HOST:PORT] [--workers N] \
 [--checkpoint-every EPOCHS] [--cache-capacity N] [--max-body-bytes N]\n       \
-dn-serve --smoke HOST:PORT";
+dn-serve --data-dir DIR --follow http://HOST:PORT [--poll-ms MS]\n       \
+dn-serve --smoke HOST:PORT\n       \
+dn-serve --smoke-replica PRIMARY_HOST:PORT FOLLOWER_HOST:PORT";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args::default();
@@ -109,6 +138,20 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--max-body-bytes must be an integer".to_owned())?;
             }
             "--smoke" => out.smoke = Some(value("--smoke")?),
+            "--follow" => out.follow = Some(value("--follow")?),
+            "--poll-ms" => {
+                out.poll_ms = value("--poll-ms")?
+                    .parse()
+                    .map_err(|_| "--poll-ms must be an integer".to_owned())?;
+                if out.poll_ms == 0 {
+                    return Err("--poll-ms must be at least 1".to_owned());
+                }
+            }
+            "--smoke-replica" => {
+                let primary = value("--smoke-replica")?;
+                let follower = value("--smoke-replica")?;
+                out.smoke_replica = Some((primary, follower));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -117,8 +160,11 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
-    if out.smoke.is_none() && out.data_dir.is_none() {
+    if out.smoke.is_none() && out.smoke_replica.is_none() && out.data_dir.is_none() {
         return Err("--data-dir is required in server mode".to_owned());
+    }
+    if out.follow.is_some() && out.shards != 1 {
+        return Err("--shards is meaningless with --follow (the primary's manifest rules)".into());
     }
     Ok(out)
 }
@@ -136,6 +182,24 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("dn-serve --smoke FAILED: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some((primary, follower)) = &args.smoke_replica {
+        return match run_replica_smoke(primary, follower) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("dn-serve --smoke-replica FAILED: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some(primary) = args.follow.clone() {
+        return match run_follower(&args, &primary) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("dn-serve: {message}");
                 ExitCode::FAILURE
             }
         };
@@ -237,6 +301,137 @@ data_dir={data_dir} ({})",
         Ok(false) => println!("dn-serve: exiting"),
         Err(e) => eprintln!("dn-serve: final checkpoint failed: {e}"),
     }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Follower mode
+// ---------------------------------------------------------------------
+
+fn parse_server_addr(raw: &str) -> Result<std::net::SocketAddr, String> {
+    raw.trim_start_matches("http://")
+        .trim_end_matches('/')
+        .parse()
+        .map_err(|e| format!("bad server address {raw:?}: {e}"))
+}
+
+fn run_follower(args: &Args, primary: &str) -> Result<(), String> {
+    let data_dir = args
+        .data_dir
+        .as_deref()
+        .ok_or("--follow requires --data-dir for the replica's local store")?;
+    let primary_addr = parse_server_addr(primary)?;
+    let source = HttpReplicaSource::with_timeout(primary_addr, Duration::from_secs(10));
+    let service_config = ServiceConfig {
+        measures: vec![Measure::lcc(), Measure::exact_bc()],
+        cache_capacity: args.cache_capacity,
+        prune_single_attribute_values: true,
+    };
+    // A follower's log grows only as fast as the primary's, so the same
+    // policy keeps its disk bounded the same way.
+    let policy = if args.checkpoint_every == 0 {
+        CheckpointPolicy::manual()
+    } else {
+        CheckpointPolicy {
+            every_epochs: Some(args.checkpoint_every),
+            max_wal_bytes: Some(16 << 20),
+        }
+    };
+
+    // Bootstrap with backoff: a follower routinely starts before (or
+    // during a restart of) its primary.
+    let mut follower = {
+        let mut attempt: u32 = 0;
+        loop {
+            match Follower::bootstrap(data_dir, service_config.clone(), policy, &source) {
+                Ok(follower) => break follower,
+                Err(ReplicaError::Source(message)) => {
+                    attempt += 1;
+                    if attempt > 120 {
+                        return Err(format!("primary unreachable, giving up: {message}"));
+                    }
+                    eprintln!("dn-serve: waiting for primary at {primary_addr}: {message}");
+                    std::thread::sleep(Duration::from_millis(250).saturating_mul(attempt.min(8)));
+                }
+                Err(e) => return Err(format!("bootstrapping {data_dir}: {e}")),
+            }
+        }
+    };
+    // Catch up before accepting traffic so the first readers don't see a
+    // stale bootstrap epoch (transient source errors are fine — the tail
+    // loop keeps trying).
+    match follower.sync_once(&source) {
+        Ok(_) | Err(ReplicaError::Source(_)) => {}
+        Err(e) => return Err(format!("initial sync: {e}")),
+    }
+
+    let shared = follower.shared();
+    let handle = follower.handle();
+    let shards = handle.shard_count();
+    let epoch = handle.epoch();
+    let server = serve_http_follower(
+        handle,
+        follower.coordinator(),
+        ServerConfig {
+            addr: args.addr.clone(),
+            workers: args.workers,
+            limits: Limits {
+                max_body_bytes: args.max_body_bytes,
+                ..Limits::default()
+            },
+            ..ServerConfig::default()
+        },
+        ReplicaContext {
+            primary_url: format!("http://{primary_addr}"),
+            shared: Arc::clone(&shared),
+        },
+    )
+    .map_err(|e| format!("binding {}: {e}", args.addr))?;
+
+    println!(
+        "dn-serve listening on http://{} epoch={epoch} shards={shards} workers={} \
+data_dir={data_dir} (follower of http://{primary_addr})",
+        server.local_addr(),
+        args.workers,
+    );
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let tail_stop = Arc::clone(&stop);
+    let poll = Duration::from_millis(args.poll_ms);
+    let tail = std::thread::Builder::new()
+        .name("dn-replica-tail".to_owned())
+        .spawn(move || {
+            let mut backoff = poll;
+            while !tail_stop.load(Ordering::SeqCst) {
+                match follower.sync_once(&source) {
+                    Ok(_) => {
+                        backoff = poll;
+                        std::thread::sleep(poll);
+                    }
+                    Err(ReplicaError::Source(message)) => {
+                        eprintln!("dn-serve: primary unreachable, retrying: {message}");
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_secs(5));
+                    }
+                    Err(e) => {
+                        // Divergence or a local apply failure: the halt
+                        // latch is set, the router refuses reads. Idle
+                        // until the operator drains us — tailing further
+                        // WAL onto untrusted state helps nobody.
+                        eprintln!("dn-serve: replication halted: {e}");
+                        while !tail_stop.load(Ordering::SeqCst) {
+                            std::thread::sleep(Duration::from_millis(100));
+                        }
+                    }
+                }
+            }
+        })
+        .map_err(|e| format!("spawning tail thread: {e}"))?;
+
+    server.join_follower();
+    stop.store(true, Ordering::SeqCst);
+    let _ = tail.join();
+    println!("dn-serve: follower exiting");
     Ok(())
 }
 
@@ -352,5 +547,136 @@ fn run_smoke(addr: &str) -> Result<(), String> {
     check(shutdown.status == "shutting down", "shutdown acknowledged")?;
 
     println!("smoke: all checks passed");
+    Ok(())
+}
+
+/// The `ci.sh` replication probe: a primary and a `--follow` follower are
+/// already running; mutate via the primary, wait for the follower to
+/// converge to the same epoch and ranking, assert the insurance gauges
+/// are clean and writes are refused, then drain both.
+fn run_replica_smoke(primary: &str, follower: &str) -> Result<(), String> {
+    use dn_server::api::{
+        ErrorBody, HealthResponse, MutationRequest, MutationResponse, ShutdownResponse,
+        TopKResponse,
+    };
+    use lake::table::TableBuilder;
+
+    let primary_addr = parse_server_addr(primary)?;
+    let follower_addr = parse_server_addr(follower)?;
+    let mut primary = Client::new(primary_addr).with_timeout(Duration::from_secs(10));
+    let mut follower = Client::new(follower_addr).with_timeout(Duration::from_secs(10));
+
+    // 1. Both ends are up.
+    let health = primary
+        .get("/healthz")
+        .map_err(|e| format!("primary healthz: {e}"))?;
+    check(health.status == 200, "primary healthz answers 200")?;
+    let health = follower
+        .get("/healthz")
+        .map_err(|e| format!("follower healthz: {e}"))?;
+    check(health.status == 200, "follower healthz answers 200")?;
+    let _: HealthResponse = health
+        .json()
+        .map_err(|e| format!("follower healthz: {e}"))?;
+
+    // 2. Mutate via the primary.
+    let request = MutationRequest {
+        deltas: vec![
+            lake::delta::LakeDelta::new().add_table(
+                TableBuilder::new("smoke_zoo")
+                    .column("animal", ["Jaguar", "Okapi", "Zebra"])
+                    .build()
+                    .map_err(|e| format!("build table: {e}"))?,
+            ),
+            lake::delta::LakeDelta::new().add_table(
+                TableBuilder::new("smoke_cars")
+                    .column("make", ["Jaguar", "Fiat", "Kia"])
+                    .build()
+                    .map_err(|e| format!("build table: {e}"))?,
+            ),
+        ],
+    };
+    let body = serde_json::to_string(&request).map_err(|e| format!("encode mutation: {e}"))?;
+    let response = primary
+        .post_json("/v1/mutations", &body)
+        .map_err(|e| format!("primary mutations: {e}"))?;
+    check(response.status == 200, "primary accepts the mutation")?;
+    let mutation: MutationResponse = response.json().map_err(|e| format!("mutation body: {e}"))?;
+
+    // 3. The follower converges: same epoch, homograph visible.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let top = follower
+            .get("/v1/top-k?measure=bc&k=5")
+            .map_err(|e| format!("follower top-k: {e}"))?;
+        check(top.status == 200, "follower top-k answers 200")?;
+        let top: TopKResponse = top
+            .json()
+            .map_err(|e| format!("follower top-k body: {e}"))?;
+        if top.epoch >= mutation.epoch && top.results.iter().any(|s| s.value == "JAGUAR") {
+            println!("smoke: follower converged at epoch {}: ok", top.epoch);
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "follower stuck at epoch {} (primary published {})",
+                top.epoch, mutation.epoch
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // 4. Insurance gauges: caught up, zero divergences.
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let metrics = follower
+            .get("/metrics")
+            .map_err(|e| format!("follower metrics: {e}"))?;
+        check(metrics.status == 200, "follower metrics answers 200")?;
+        check(
+            metrics.body.contains("dn_replica_divergence_total 0"),
+            "follower reports zero divergences",
+        )?;
+        if metrics.body.contains("dn_replica_lag_epochs 0") {
+            println!("smoke: follower lag gauge returned to 0: ok");
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err("follower lag gauge never returned to 0".to_owned());
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    // 5. The follower refuses writes, pointing at the primary.
+    let refused = follower
+        .post_json("/v1/mutations", &body)
+        .map_err(|e| format!("follower mutations: {e}"))?;
+    check(refused.status == 403, "follower refuses writes with 403")?;
+    let envelope: ErrorBody = refused.json().map_err(|e| format!("403 body: {e}"))?;
+    check(
+        envelope.error.kind == "read_only_follower",
+        "403 envelope carries the read_only_follower kind",
+    )?;
+    check(
+        envelope
+            .error
+            .message
+            .contains(&format!("http://{primary_addr}")),
+        "403 envelope points at the primary",
+    )?;
+
+    // 6. Drain follower first (its tail loop needs the primary gone last).
+    for (name, client) in [("follower", &mut follower), ("primary", &mut primary)] {
+        let response = client
+            .post_json("/v1/admin/shutdown", "")
+            .map_err(|e| format!("{name} shutdown: {e}"))?;
+        check(response.status == 200, "shutdown answers 200")?;
+        let shutdown: ShutdownResponse = response
+            .json()
+            .map_err(|e| format!("{name} shutdown body: {e}"))?;
+        check(shutdown.status == "shutting down", "shutdown acknowledged")?;
+    }
+
+    println!("smoke-replica: all checks passed");
     Ok(())
 }
