@@ -8,10 +8,13 @@
 # dn-store corruption-hardening suite, the crash-recovery suite, a
 # tempdir-hygiene check, an end-to-end HTTP smoke (dn-serve started on
 # a loopback port and driven through the dn-server client module — once
-# single-shard, once with --shards 2 through the coordinator), and a
+# single-shard, once with --shards 2 through the coordinator — both with
+# --threads 4 so the pooled compute core is what gets smoked), and a
 # replication smoke (a 2-shard primary plus a --follow follower driven by
 # dn-serve --smoke-replica: convergence, lag-gauge return to 0, and the
-# read-only 403 envelope). The
+# read-only 403 envelope — run twice, with a single-threaded and then a
+# 4-thread primary, so zero divergences proves the pooled compute core's
+# digests are bit-identical to the sequential replay). The
 # main `cargo test -q` pass skips the gated suites (they run once, in
 # their own labeled steps, so a ranking drift, a consistency violation,
 # or a recovery regression fails CI with an unambiguous gate name instead
@@ -26,9 +29,9 @@
 # only starts mattering as more stress tests are added to that binary.
 #
 # Usage: ./ci.sh [--quick]
-#   --quick   skip the criterion benches and the exp_serving/exp_http
-#             smoke runs (keeps everything tier-1: build, tests, golden,
-#             stress, recovery, HTTP smoke)
+#   --quick   skip the criterion benches and the exp_serving/exp_http/
+#             exp_replica/exp_parallel smoke runs (keeps everything
+#             tier-1: build, tests, golden, stress, recovery, HTTP smoke)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -126,7 +129,7 @@ for HTTP_MODE in single sharded; do
     # shellcheck disable=SC2086  # HTTP_FLAGS is intentionally word-split
     ./target/release/dn-serve \
         --data-dir "${HTTP_DIR}/store" \
-        --addr 127.0.0.1:0 --workers 2 ${HTTP_FLAGS} >"${HTTP_LOG}" 2>&1 &
+        --addr 127.0.0.1:0 --workers 2 --threads 4 ${HTTP_FLAGS} >"${HTTP_LOG}" 2>&1 &
     HTTP_PID=$!
     HTTP_ADDR=""
     for _ in $(seq 1 100); do
@@ -159,55 +162,63 @@ done
 # follower, both on loopback port 0, driven end to end by
 # dn-serve --smoke-replica (mutate via the primary, wait for the follower
 # to converge at the matching epoch, assert dn_replica_lag_epochs returns
-# to 0 with zero divergences, and assert the 403 read-only envelope). The
-# smoke shuts both processes down itself; self-cleaning under target/tmp.
-echo "==> gate: replication smoke (primary + --follow follower + --smoke-replica)"
-REP_DIR="target/tmp/dn_replica_gate"
-rm -rf "${REP_DIR}" 2>/dev/null || true
-mkdir -p "${REP_DIR}"
+# to 0 with zero divergences, and assert the 403 read-only envelope). Runs
+# twice: primary --threads 1 and primary --threads 4. The follower's
+# divergence gauge compares score digests against its own (sequential)
+# replay, so the second pass proves the pooled compute core is
+# bit-identical to the sequential one across a real WAL-shipping pipeline.
+# The smoke shuts both processes down itself; self-cleaning under
+# target/tmp.
 replica_gate_fail() {
-    echo "replication gate failed: $1" >&2
+    echo "replication gate (primary --threads ${REP_THREADS}) failed: $1" >&2
     [[ -f "${REP_DIR}/primary.log" ]] && sed 's/^/  primary: /' "${REP_DIR}/primary.log" >&2
     [[ -f "${REP_DIR}/follower.log" ]] && sed 's/^/  follower: /' "${REP_DIR}/follower.log" >&2
     kill -9 "${REP_PRIMARY_PID:-0}" "${REP_FOLLOWER_PID:-0}" 2>/dev/null || true
     exit 1
 }
-./target/release/dn-serve \
-    --data-dir "${REP_DIR}/primary" \
-    --addr 127.0.0.1:0 --workers 2 --shards 2 >"${REP_DIR}/primary.log" 2>&1 &
-REP_PRIMARY_PID=$!
-REP_PRIMARY_ADDR=""
-for _ in $(seq 1 100); do
-    REP_PRIMARY_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\) .*#\1#p' "${REP_DIR}/primary.log" | head -1)
-    [[ -n "${REP_PRIMARY_ADDR}" ]] && break
-    kill -0 "${REP_PRIMARY_PID}" 2>/dev/null || replica_gate_fail "primary exited before binding"
-    sleep 0.1
+for REP_THREADS in 1 4; do
+    echo "==> gate: replication smoke (primary --threads ${REP_THREADS} + --follow follower + --smoke-replica)"
+    REP_DIR="target/tmp/dn_replica_gate"
+    rm -rf "${REP_DIR}" 2>/dev/null || true
+    mkdir -p "${REP_DIR}"
+    ./target/release/dn-serve \
+        --data-dir "${REP_DIR}/primary" \
+        --addr 127.0.0.1:0 --workers 2 --shards 2 \
+        --threads "${REP_THREADS}" >"${REP_DIR}/primary.log" 2>&1 &
+    REP_PRIMARY_PID=$!
+    REP_PRIMARY_ADDR=""
+    for _ in $(seq 1 100); do
+        REP_PRIMARY_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\) .*#\1#p' "${REP_DIR}/primary.log" | head -1)
+        [[ -n "${REP_PRIMARY_ADDR}" ]] && break
+        kill -0 "${REP_PRIMARY_PID}" 2>/dev/null || replica_gate_fail "primary exited before binding"
+        sleep 0.1
+    done
+    [[ -n "${REP_PRIMARY_ADDR}" ]] || replica_gate_fail "primary never logged its address"
+    ./target/release/dn-serve \
+        --data-dir "${REP_DIR}/follower" \
+        --addr 127.0.0.1:0 --workers 2 --poll-ms 50 --threads 1 \
+        --follow "http://${REP_PRIMARY_ADDR}" >"${REP_DIR}/follower.log" 2>&1 &
+    REP_FOLLOWER_PID=$!
+    REP_FOLLOWER_ADDR=""
+    for _ in $(seq 1 100); do
+        REP_FOLLOWER_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\) .*#\1#p' "${REP_DIR}/follower.log" | head -1)
+        [[ -n "${REP_FOLLOWER_ADDR}" ]] && break
+        kill -0 "${REP_FOLLOWER_PID}" 2>/dev/null || replica_gate_fail "follower exited before binding"
+        sleep 0.1
+    done
+    [[ -n "${REP_FOLLOWER_ADDR}" ]] || replica_gate_fail "follower never logged its address"
+    ./target/release/dn-serve --smoke-replica "${REP_PRIMARY_ADDR}" "${REP_FOLLOWER_ADDR}" \
+        || replica_gate_fail "smoke-replica client reported failure"
+    for _ in $(seq 1 200); do
+        kill -0 "${REP_PRIMARY_PID}" 2>/dev/null || kill -0 "${REP_FOLLOWER_PID}" 2>/dev/null || break
+        sleep 0.1
+    done
+    kill -0 "${REP_PRIMARY_PID}" 2>/dev/null && replica_gate_fail "primary did not shut down after the smoke"
+    kill -0 "${REP_FOLLOWER_PID}" 2>/dev/null && replica_gate_fail "follower did not shut down after the smoke"
+    wait "${REP_PRIMARY_PID}" || replica_gate_fail "primary exited non-zero"
+    wait "${REP_FOLLOWER_PID}" || replica_gate_fail "follower exited non-zero"
+    rm -rf "${REP_DIR}"
 done
-[[ -n "${REP_PRIMARY_ADDR}" ]] || replica_gate_fail "primary never logged its address"
-./target/release/dn-serve \
-    --data-dir "${REP_DIR}/follower" \
-    --addr 127.0.0.1:0 --workers 2 --poll-ms 50 \
-    --follow "http://${REP_PRIMARY_ADDR}" >"${REP_DIR}/follower.log" 2>&1 &
-REP_FOLLOWER_PID=$!
-REP_FOLLOWER_ADDR=""
-for _ in $(seq 1 100); do
-    REP_FOLLOWER_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\) .*#\1#p' "${REP_DIR}/follower.log" | head -1)
-    [[ -n "${REP_FOLLOWER_ADDR}" ]] && break
-    kill -0 "${REP_FOLLOWER_PID}" 2>/dev/null || replica_gate_fail "follower exited before binding"
-    sleep 0.1
-done
-[[ -n "${REP_FOLLOWER_ADDR}" ]] || replica_gate_fail "follower never logged its address"
-./target/release/dn-serve --smoke-replica "${REP_PRIMARY_ADDR}" "${REP_FOLLOWER_ADDR}" \
-    || replica_gate_fail "smoke-replica client reported failure"
-for _ in $(seq 1 200); do
-    kill -0 "${REP_PRIMARY_PID}" 2>/dev/null || kill -0 "${REP_FOLLOWER_PID}" 2>/dev/null || break
-    sleep 0.1
-done
-kill -0 "${REP_PRIMARY_PID}" 2>/dev/null && replica_gate_fail "primary did not shut down after the smoke"
-kill -0 "${REP_FOLLOWER_PID}" 2>/dev/null && replica_gate_fail "follower did not shut down after the smoke"
-wait "${REP_PRIMARY_PID}" || replica_gate_fail "primary exited non-zero"
-wait "${REP_FOLLOWER_PID}" || replica_gate_fail "follower exited non-zero"
-rm -rf "${REP_DIR}"
 
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> criterion benches (offline shim, indicative timings)"
@@ -218,6 +229,18 @@ if [[ "$QUICK" -eq 0 ]]; then
     cargo run --release -q -p dn-bench --bin exp_http -- --scale 0.3
     echo "==> exp_replica smoke (--scale 0.3)"
     cargo run --release -q -p dn-bench --bin exp_replica -- --scale 0.3
+    echo "==> exp_parallel smoke (--scale 0.3)"
+    cargo run --release -q -p dn-bench --bin exp_parallel -- --scale 0.3
+    # The thread sweep must have produced a well-formed baseline: the
+    # determinism verdict and the pass flag both present and true.
+    echo "==> gate: BENCH_parallel.json well-formed"
+    [[ -f BENCH_parallel.json ]] || { echo "exp_parallel wrote no BENCH_parallel.json" >&2; exit 1; }
+    grep -q '"bits_identical": *true' BENCH_parallel.json \
+        || { echo "BENCH_parallel.json does not record bits_identical=true" >&2; exit 1; }
+    grep -q '"pass": *true' BENCH_parallel.json \
+        || { echo "BENCH_parallel.json does not record pass=true" >&2; exit 1; }
+    grep -q '"cores":' BENCH_parallel.json \
+        || { echo "BENCH_parallel.json does not record the machine's core count" >&2; exit 1; }
 else
     echo "==> --quick: skipping benches and the exp_serving/exp_http smoke runs"
 fi

@@ -25,8 +25,8 @@ fn bench_bc_sampling(c: &mut Criterion) {
                         samples: s,
                         strategy: SamplingStrategy::Uniform,
                         seed: 1,
-                        threads: 1,
                     },
+                    1,
                 )
             })
         });
@@ -47,8 +47,8 @@ fn bench_bc_sampling(c: &mut Criterion) {
                         samples: (n / 20).max(5),
                         strategy,
                         seed: 1,
-                        threads: 1,
                     },
+                    1,
                 )
             })
         });

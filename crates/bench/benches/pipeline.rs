@@ -17,7 +17,7 @@ fn bench_pipeline(c: &mut Criterion) {
     group.bench_function("domainnet_exact_bc", |b| {
         b.iter(|| {
             let net = DomainNetBuilder::new().build(&sb.catalog);
-            net.rank(Measure::exact_bc_parallel(4))
+            net.rank(Measure::exact_bc())
         })
     });
 

@@ -44,8 +44,8 @@ fn bench_scalability(c: &mut Criterion) {
                             samples: samples.max(5),
                             strategy: SamplingStrategy::Uniform,
                             seed: 1,
-                            threads: 2,
                         },
+                        2,
                     )
                 })
             },

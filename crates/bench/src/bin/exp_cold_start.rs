@@ -94,7 +94,6 @@ fn measures_for(node_count: usize, seed: u64) -> Vec<Measure> {
             samples: default_samples(node_count),
             strategy: SamplingStrategy::Uniform,
             seed,
-            threads: 1,
         }),
     ]
 }

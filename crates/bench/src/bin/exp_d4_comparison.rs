@@ -38,7 +38,7 @@ fn main() {
 
     // --- DomainNet with exact BC -------------------------------------------
     let net = DomainNetBuilder::new().build(&generated.catalog);
-    let ranked = net.rank(Measure::exact_bc_parallel(4));
+    let ranked = net.rank(Measure::exact_bc());
     let dn_eval = precision_recall_at_k(&ranked, &truth, k);
 
     // --- DomainNet with LCC (for reference) ---------------------------------

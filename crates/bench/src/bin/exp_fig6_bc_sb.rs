@@ -32,7 +32,7 @@ fn main() {
     let k = truth.len().clamp(1, 55);
 
     let net = DomainNetBuilder::new().build(&generated.catalog);
-    let ranked = net.rank(Measure::exact_bc_parallel(4));
+    let ranked = net.rank(Measure::exact_bc());
     let eval = precision_recall_at_k(&ranked, &truth, k);
 
     print_header(&["Rank", "Value", "BC", "Homograph?"]);

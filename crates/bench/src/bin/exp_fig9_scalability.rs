@@ -83,8 +83,8 @@ fn main() {
                     samples,
                     strategy: SamplingStrategy::Uniform,
                     seed: args.seed,
-                    threads: 4,
                 },
+                4,
             )
         });
         points.push(ScalePoint {

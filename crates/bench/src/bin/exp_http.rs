@@ -108,7 +108,6 @@ fn serve_measures(base: &MutableLake, seed: u64) -> Vec<Measure> {
             samples: default_samples(nodes),
             strategy: SamplingStrategy::Uniform,
             seed,
-            threads: 1,
         }),
     ]
 }
@@ -130,6 +129,7 @@ fn inprocess_single_reader_qps(
             measures: measures.to_vec(),
             cache_capacity: 64,
             prune_single_attribute_values: true,
+            threads: 1,
         },
     );
     let snapshot = service.current();
@@ -254,6 +254,7 @@ fn run_config(
             measures: measures.to_vec(),
             cache_capacity: 64,
             prune_single_attribute_values: true,
+            threads: 1,
         },
         shards,
     );

@@ -195,7 +195,6 @@ fn main() {
             samples: default_samples(nodes),
             strategy: SamplingStrategy::Uniform,
             seed: args.seed,
-            threads: 4,
         })
     };
 

@@ -105,6 +105,7 @@ fn run_point(
         measures: measures.to_vec(),
         cache_capacity: 64,
         prune_single_attribute_values: true,
+        threads: 1,
     };
     let point_dir = root.join(format!("f{followers}"));
     let (handle, coordinator) = serve_sharded_durable(

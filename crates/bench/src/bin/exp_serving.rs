@@ -131,6 +131,7 @@ fn run_config(
             measures: measures.to_vec(),
             cache_capacity: 64,
             prune_single_attribute_values: true,
+            threads: 1,
         },
         shards,
     );
@@ -228,7 +229,6 @@ fn serve_measures(base: &MutableLake, seed: u64) -> Vec<Measure> {
             samples: default_samples(nodes),
             strategy: SamplingStrategy::Uniform,
             seed,
-            threads: 1,
         }),
     ]
 }

@@ -85,6 +85,7 @@ fn run_shards(
                 measures: measures.to_vec(),
                 cache_capacity: 64,
                 prune_single_attribute_values: true,
+                threads: 1,
             },
             shards,
         )

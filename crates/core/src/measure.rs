@@ -35,25 +35,24 @@ use serde::{Deserialize, Serialize};
 pub enum Measure {
     /// Bipartite local clustering coefficient (lower = more homograph-like).
     Lcc(LccMethod),
-    /// Exact betweenness centrality (higher = more homograph-like), computed
-    /// with the given number of worker threads.
-    ExactBc {
-        /// Number of worker threads (1 = sequential).
-        threads: usize,
-    },
+    /// Exact betweenness centrality (higher = more homograph-like).
+    ExactBc,
     /// Approximate betweenness centrality via source sampling.
     ApproxBc(ApproxBcConfig),
 }
 
 impl Measure {
-    /// Exact betweenness centrality on a single thread.
+    /// Exact betweenness centrality.
+    ///
+    /// How many worker threads compute it is a **runtime** setting
+    /// (`DomainNet::set_compute_threads` / `ServiceConfig::threads`), not
+    /// part of the measure: a `Measure` is an identity — it keys memo
+    /// caches, is persisted in snapshot manifests, and rides in replication
+    /// digests — and scores are bit-identical for every thread count, so
+    /// baking a thread count into the identity would only make equal
+    /// rankings compare unequal across differently-sized hosts.
     pub fn exact_bc() -> Self {
-        Measure::ExactBc { threads: 1 }
-    }
-
-    /// Exact betweenness centrality across `threads` workers.
-    pub fn exact_bc_parallel(threads: usize) -> Self {
-        Measure::ExactBc { threads }
+        Measure::ExactBc
     }
 
     /// The paper's default LCC (the literal Equation 1).
@@ -80,7 +79,7 @@ impl Measure {
         match self {
             Measure::Lcc(LccMethod::ValueNeighborJaccard) => "LCC",
             Measure::Lcc(LccMethod::AttributeJaccard) => "LCC(attr)",
-            Measure::ExactBc { .. } => "BC",
+            Measure::ExactBc => "BC",
             Measure::ApproxBc(_) => "BC(approx)",
         }
     }

@@ -19,9 +19,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use dn_graph::approx_bc::{approximate_betweenness, approximate_betweenness_within};
-use dn_graph::bc::{
-    betweenness_centrality, betweenness_centrality_parallel, betweenness_from_sources,
-};
+use dn_graph::bc::{betweenness_centrality_parallel, betweenness_from_sources};
 use dn_graph::bipartite::{BipartiteBuilder, BipartiteGraph};
 use dn_graph::components::{connected_components, Components};
 use dn_graph::delta::GraphDelta;
@@ -143,6 +141,7 @@ impl DomainNetBuilder {
             attr_index_of,
             attr_id_of_index,
             generation: 0,
+            compute_threads: 1,
             caches: Mutex::new(ScoreCaches::default()),
         }
     }
@@ -200,6 +199,11 @@ pub struct DomainNet {
     /// Bumped once per applied delta; salts the approximate-BC re-estimation
     /// seed so successive re-estimations are independent but deterministic.
     generation: u64,
+    /// How many worker threads score computations may use. Runtime state,
+    /// **not** identity: it is never persisted (snapshots from an 8-way host
+    /// recover cleanly on a 1-way host) and scores are bit-identical for
+    /// every width, so it deliberately lives outside [`NetState`].
+    compute_threads: usize,
     caches: Mutex<ScoreCaches>,
 }
 
@@ -214,6 +218,7 @@ impl Clone for DomainNet {
             attr_index_of: self.attr_index_of.clone(),
             attr_id_of_index: self.attr_id_of_index.clone(),
             generation: self.generation,
+            compute_threads: self.compute_threads,
             caches: Mutex::new(ScoreCaches {
                 raw: caches.raw.clone(),
                 ranked: caches.ranked.clone(),
@@ -227,6 +232,18 @@ impl DomainNet {
     /// The underlying bipartite graph.
     pub fn graph(&self) -> &BipartiteGraph {
         &self.graph
+    }
+
+    /// Set how many worker threads score computations may use (clamped to at
+    /// least 1). Purely a runtime knob: every width yields bit-identical
+    /// scores, so changing it never invalidates memoized rankings.
+    pub fn set_compute_threads(&mut self, threads: usize) {
+        self.compute_threads = threads.max(1);
+    }
+
+    /// The configured compute width (see [`DomainNet::set_compute_threads`]).
+    pub fn compute_threads(&self) -> usize {
+        self.compute_threads
     }
 
     /// The configuration the graph was built with.
@@ -308,16 +325,12 @@ impl DomainNet {
                 let targets: Vec<u32> = self.graph.value_nodes().collect();
                 lcc_for_values(&self.graph, &targets, method)
             }
-            Measure::ExactBc { threads } => {
-                let all = if threads <= 1 {
-                    betweenness_centrality(&self.graph)
-                } else {
-                    betweenness_centrality_parallel(&self.graph, threads)
-                };
+            Measure::ExactBc => {
+                let all = betweenness_centrality_parallel(&self.graph, self.compute_threads);
                 all[..self.graph.value_count()].to_vec()
             }
             Measure::ApproxBc(config) => {
-                let all = approximate_betweenness(&self.graph, config);
+                let all = approximate_betweenness(&self.graph, config, self.compute_threads);
                 all[..self.graph.value_count()].to_vec()
             }
         }
@@ -608,8 +621,12 @@ impl DomainNet {
                             }
                         }
                     }
-                    Measure::ExactBc { threads } => {
-                        let acc = betweenness_from_sources(&applied.graph, &touched_pool, threads);
+                    Measure::ExactBc => {
+                        let acc = betweenness_from_sources(
+                            &applied.graph,
+                            &touched_pool,
+                            self.compute_threads,
+                        );
                         for &node in &touched_pool {
                             if (node as usize) < new_value_count {
                                 raw[node as usize] = acc[node as usize];
@@ -623,8 +640,12 @@ impl DomainNet {
                                 .wrapping_add(self.generation.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
                             ..config
                         };
-                        let acc =
-                            approximate_betweenness_within(&applied.graph, &touched_pool, salted);
+                        let acc = approximate_betweenness_within(
+                            &applied.graph,
+                            &touched_pool,
+                            salted,
+                            self.compute_threads,
+                        );
                         for &node in &touched_pool {
                             if (node as usize) < new_value_count {
                                 raw[node as usize] = acc[node as usize];
@@ -972,6 +993,9 @@ impl DomainNet {
             attr_index_of: state.attr_index_of,
             attr_id_of_index: state.attr_id_of_index,
             generation: state.generation,
+            // Recovered nets start sequential; the serving layer re-applies
+            // its configured width (the on-disk format never records one).
+            compute_threads: 1,
             caches: Mutex::new(caches),
         })
     }
@@ -1066,13 +1090,23 @@ mod tests {
     }
 
     #[test]
-    fn exact_and_parallel_bc_rank_identically() {
-        let net = running_example_net(false);
-        let seq = net.rank(Measure::exact_bc());
-        let par = net.rank(Measure::exact_bc_parallel(4));
-        let seq_values: Vec<&str> = seq.iter().map(|s| s.value.as_str()).collect();
-        let par_values: Vec<&str> = par.iter().map(|s| s.value.as_str()).collect();
-        assert_eq!(seq_values, par_values);
+    fn exact_bc_scores_are_bit_identical_across_compute_widths() {
+        let seq = running_example_net(false);
+        let mut par = running_example_net(false);
+        par.set_compute_threads(4);
+        assert_eq!(par.compute_threads(), 4);
+        let seq_ranked = net_scores(&seq);
+        let par_ranked = net_scores(&par);
+        assert_eq!(seq_ranked, par_ranked);
+    }
+
+    /// `(value, score bits)` of the exact-BC ranking — bitwise, so the
+    /// comparison catches any thread-count-dependent float reassociation.
+    fn net_scores(net: &DomainNet) -> Vec<(String, u64)> {
+        net.rank(Measure::exact_bc())
+            .into_iter()
+            .map(|s| (s.value, s.score.to_bits()))
+            .collect()
     }
 
     #[test]

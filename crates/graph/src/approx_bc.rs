@@ -23,7 +23,7 @@ use rand::rngs::StdRng;
 use rand::seq::index::sample as index_sample;
 use rand::SeedableRng;
 
-use crate::bc::{accumulate_source, BrandesWorkspace};
+use crate::bc::{accumulate_source, canonical_chunks, BrandesWorkspace};
 use crate::bipartite::BipartiteGraph;
 
 /// How sources are drawn for the sampled estimator.
@@ -44,8 +44,6 @@ pub struct ApproxBcConfig {
     pub strategy: SamplingStrategy,
     /// RNG seed, so experiments are reproducible.
     pub seed: u64,
-    /// Number of worker threads (1 = sequential).
-    pub threads: usize,
 }
 
 impl Default for ApproxBcConfig {
@@ -54,7 +52,6 @@ impl Default for ApproxBcConfig {
             samples: 1000,
             strategy: SamplingStrategy::Uniform,
             seed: 0x_D0_5A_1A_7E,
-            threads: 1,
         }
     }
 }
@@ -93,7 +90,18 @@ impl ApproxBcConfig {
 /// uniform sampling the two agree exactly (up to floating-point error),
 /// because uniform sampling without replacement then enumerates every source
 /// once and the scale factor is 1.
-pub fn approximate_betweenness(graph: &BipartiteGraph, config: ApproxBcConfig) -> Vec<f64> {
+///
+/// `threads` is a **runtime execution parameter**, deliberately not part of
+/// [`ApproxBcConfig`]: the config is identity (it keys memo caches and is
+/// persisted in snapshot manifests), and the estimate is bit-identical for
+/// every thread count — the weighted sources are drawn from the seeded RNG
+/// before any parallelism starts, and the accumulation uses the canonical
+/// chunk layout of [`crate::bc`].
+pub fn approximate_betweenness(
+    graph: &BipartiteGraph,
+    config: ApproxBcConfig,
+    threads: usize,
+) -> Vec<f64> {
     let n = graph.node_count();
     if n == 0 {
         return Vec::new();
@@ -129,7 +137,7 @@ pub fn approximate_betweenness(graph: &BipartiteGraph, config: ApproxBcConfig) -
         }
     };
 
-    let mut bc = accumulate_weighted_sources(graph, &weighted_sources, config.threads);
+    let mut bc = accumulate_weighted_sources(graph, &weighted_sources, threads);
     // Each unordered endpoint pair is seen from each sampled endpoint, and the
     // estimator already rescales to "all sources", so halve as in exact BC.
     for value in &mut bc {
@@ -152,6 +160,7 @@ pub fn approximate_betweenness_within(
     graph: &BipartiteGraph,
     pool: &[u32],
     config: ApproxBcConfig,
+    threads: usize,
 ) -> Vec<f64> {
     let n = graph.node_count();
     if n == 0 || pool.is_empty() {
@@ -184,45 +193,35 @@ pub fn approximate_betweenness_within(
                 .collect()
         }
     };
-    let mut bc = accumulate_weighted_sources(graph, &weighted_sources, config.threads);
+    let mut bc = accumulate_weighted_sources(graph, &weighted_sources, threads);
     for value in &mut bc {
         *value /= 2.0;
     }
     bc
 }
 
+/// The weighted twin of `crate::bc::accumulate_sources_parallel`: canonical
+/// chunk layout (a pure function of the source count) scheduled onto a
+/// work-stealing pool, partials folded in chunk-index order — so the output
+/// is a pure function of `(graph, weighted_sources)`, independent of
+/// `threads` and of scheduling.
 fn accumulate_weighted_sources(
     graph: &BipartiteGraph,
     weighted_sources: &[(u32, f64)],
     threads: usize,
 ) -> Vec<f64> {
     let n = graph.node_count();
-    let threads = threads.max(1).min(weighted_sources.len().max(1));
-    if threads == 1 {
+    let chunks = canonical_chunks(weighted_sources.len());
+    let partials = dn_pool::Pool::new(threads).run(chunks.len(), |c| {
         let mut acc = vec![0.0; n];
         let mut workspace = BrandesWorkspace::new(n);
-        for &(s, w) in weighted_sources {
+        for &(s, w) in &weighted_sources[chunks[c].clone()] {
             accumulate_source(graph, s, &mut workspace, &mut acc, w);
         }
-        return acc;
-    }
-    let chunk_size = weighted_sources.len().div_ceil(threads);
-    let partials = std::sync::Mutex::new(Vec::<Vec<f64>>::with_capacity(threads));
-    std::thread::scope(|scope| {
-        for chunk in weighted_sources.chunks(chunk_size) {
-            let partials = &partials;
-            scope.spawn(move || {
-                let mut acc = vec![0.0; n];
-                let mut workspace = BrandesWorkspace::new(n);
-                for &(s, w) in chunk {
-                    accumulate_source(graph, s, &mut workspace, &mut acc, w);
-                }
-                partials.lock().expect("partials mutex poisoned").push(acc);
-            });
-        }
+        acc
     });
     let mut total = vec![0.0; n];
-    for partial in partials.into_inner().expect("partials mutex poisoned") {
+    for partial in partials {
         for (t, p) in total.iter_mut().zip(partial) {
             *t += p;
         }
@@ -294,8 +293,8 @@ mod tests {
                 samples: g.node_count(),
                 strategy: SamplingStrategy::Uniform,
                 seed: 7,
-                threads: 1,
             },
+            1,
         );
         for (e, a) in exact.iter().zip(&approx) {
             assert!((e - a).abs() < 1e-6, "exact {e} vs full-sample approx {a}");
@@ -312,8 +311,8 @@ mod tests {
                 samples: g.node_count() / 3,
                 strategy: SamplingStrategy::Uniform,
                 seed: 3,
-                threads: 2,
             },
+            2,
         );
         let overlap = top_k_overlap(&exact, &approx, 10);
         assert!(overlap >= 0.6, "top-10 overlap too low: {overlap}");
@@ -329,8 +328,8 @@ mod tests {
                 samples: g.node_count() / 2,
                 strategy: SamplingStrategy::DegreeProportional,
                 seed: 11,
-                threads: 1,
             },
+            1,
         );
         let overlap = top_k_overlap(&exact, &approx, 10);
         assert!(overlap >= 0.5, "top-10 overlap too low: {overlap}");
@@ -343,26 +342,45 @@ mod tests {
             samples: 20,
             strategy: SamplingStrategy::Uniform,
             seed: 42,
-            threads: 1,
         };
-        let a = approximate_betweenness(&g, cfg);
-        let b = approximate_betweenness(&g, cfg);
+        let a = approximate_betweenness(&g, cfg, 1);
+        let b = approximate_betweenness(&g, cfg, 1);
         assert_eq!(a, b);
     }
 
     #[test]
-    fn parallel_and_sequential_sampling_agree() {
+    fn estimate_is_bit_identical_across_thread_counts_and_runs() {
         let g = random_lake_graph(120, 12, 8, 6);
         let base = ApproxBcConfig {
             samples: 40,
             strategy: SamplingStrategy::Uniform,
             seed: 9,
-            threads: 1,
         };
-        let seq = approximate_betweenness(&g, base);
-        let par = approximate_betweenness(&g, ApproxBcConfig { threads: 4, ..base });
-        for (s, p) in seq.iter().zip(&par) {
-            assert!((s - p).abs() < 1e-9);
+        let reference: Vec<u64> = approximate_betweenness(&g, base, 1)
+            .iter()
+            .map(|s| s.to_bits())
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            for run in 0..2 {
+                let bits: Vec<u64> = approximate_betweenness(&g, base, threads)
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect();
+                assert_eq!(bits, reference, "threads={threads} run={run}");
+            }
+        }
+        // The component-scoped estimator holds the same contract.
+        let pool: Vec<u32> = (0..g.node_count() as u32).collect();
+        let within_ref: Vec<u64> = approximate_betweenness_within(&g, &pool, base, 1)
+            .iter()
+            .map(|s| s.to_bits())
+            .collect();
+        for threads in [2, 4, 8] {
+            let bits: Vec<u64> = approximate_betweenness_within(&g, &pool, base, threads)
+                .iter()
+                .map(|s| s.to_bits())
+                .collect();
+            assert_eq!(bits, within_ref, "within threads={threads}");
         }
     }
 
@@ -396,13 +414,13 @@ mod tests {
         let empty = BipartiteBuilder::new().build();
         let cfg = ApproxBcConfig::with_fraction(&empty, 0.0, 1);
         assert_eq!(cfg.samples, 1);
-        assert!(approximate_betweenness(&empty, cfg).is_empty());
+        assert!(approximate_betweenness(&empty, cfg, 1).is_empty());
     }
 
     #[test]
     fn empty_and_edgeless_graphs() {
         let g = BipartiteBuilder::new().build();
-        assert!(approximate_betweenness(&g, ApproxBcConfig::default()).is_empty());
+        assert!(approximate_betweenness(&g, ApproxBcConfig::default(), 1).is_empty());
 
         let mut b = BipartiteBuilder::new();
         b.add_value("v");
@@ -414,6 +432,7 @@ mod tests {
                 strategy: SamplingStrategy::DegreeProportional,
                 ..ApproxBcConfig::default()
             },
+            1,
         );
         assert_eq!(scores, vec![0.0, 0.0]);
     }

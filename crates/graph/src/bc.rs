@@ -137,14 +137,38 @@ pub fn betweenness_centrality(graph: &BipartiteGraph) -> Vec<f64> {
     bc
 }
 
-/// Exact betweenness centrality using `threads` worker threads.
+/// The canonical task-decomposition width: source lists are split into at
+/// most this many chunks. The chunk layout is a **pure function of the
+/// source count** — never of the thread count or of which worker ran what —
+/// so the floating-point reduction is parenthesized identically for every
+/// pool width (1 included) and every run. That is what makes exact-BC
+/// results `to_bits()`-identical across thread counts, which the golden
+/// gates and the replication digest exchange rely on. 32 chunks also bound
+/// the transient partial-accumulator memory at `32 · n` floats.
+pub(crate) const MAX_CHUNKS: usize = 32;
+
+/// Split `0..len` into the canonical chunk ranges (at most [`MAX_CHUNKS`],
+/// each contiguous, sized `ceil(len / MAX_CHUNKS)` except the tail).
+pub(crate) fn canonical_chunks(len: usize) -> Vec<std::ops::Range<usize>> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk_size = len.div_ceil(MAX_CHUNKS).max(1);
+    (0..len.div_ceil(chunk_size))
+        .map(|c| c * chunk_size..((c + 1) * chunk_size).min(len))
+        .collect()
+}
+
+/// Exact betweenness centrality using a pool `threads` wide.
 ///
-/// Sources are partitioned over the workers; each worker owns a private
-/// accumulator which is summed at the end, so no locking happens on the hot
-/// path. With `threads <= 1` this falls back to the sequential code.
+/// Sources are split into the canonical chunks (at most `MAX_CHUNKS`) and
+/// scheduled onto a work-stealing [`dn_pool::Pool`]; each chunk owns a
+/// private accumulator, and the per-chunk partials are folded **in chunk
+/// order**, so the result is bit-identical for every `threads` value —
+/// `betweenness_centrality_parallel(g, 1)` and `(g, 8)` agree on every bit.
 pub fn betweenness_centrality_parallel(graph: &BipartiteGraph, threads: usize) -> Vec<f64> {
     let n = graph.node_count();
-    if threads <= 1 || n < 2 {
+    if n < 2 {
         return betweenness_centrality(graph);
     }
     let sources: Vec<u32> = graph.nodes().collect();
@@ -155,42 +179,30 @@ pub fn betweenness_centrality_parallel(graph: &BipartiteGraph, threads: usize) -
     bc
 }
 
-/// Accumulate dependencies from an explicit list of sources across threads
-/// (no halving, no scaling — callers decide how to normalize).
+/// Accumulate dependencies from an explicit list of sources across a
+/// work-stealing pool (no halving, no scaling — callers decide how to
+/// normalize). Deterministic: the canonical chunk layout and the
+/// chunk-index-ordered fold make the output a pure function of
+/// `(graph, sources)`, independent of `threads` and of scheduling.
 pub(crate) fn accumulate_sources_parallel(
     graph: &BipartiteGraph,
     sources: &[u32],
     threads: usize,
 ) -> Vec<f64> {
     let n = graph.node_count();
-    let threads = threads.max(1).min(sources.len().max(1));
-    if threads == 1 {
+    let chunks = canonical_chunks(sources.len());
+    let partials = dn_pool::Pool::new(threads).run(chunks.len(), |c| {
         let mut acc = vec![0.0; n];
         let mut workspace = BrandesWorkspace::new(n);
-        for &s in sources {
+        for &s in &sources[chunks[c].clone()] {
             accumulate_source(graph, s, &mut workspace, &mut acc, 1.0);
         }
-        return acc;
-    }
-
-    let chunk_size = sources.len().div_ceil(threads);
-    let partials = std::sync::Mutex::new(Vec::<Vec<f64>>::with_capacity(threads));
-    std::thread::scope(|scope| {
-        for chunk in sources.chunks(chunk_size) {
-            let partials = &partials;
-            scope.spawn(move || {
-                let mut acc = vec![0.0; n];
-                let mut workspace = BrandesWorkspace::new(n);
-                for &s in chunk {
-                    accumulate_source(graph, s, &mut workspace, &mut acc, 1.0);
-                }
-                partials.lock().expect("partials mutex poisoned").push(acc);
-            });
-        }
+        acc
     });
-
+    // Fold in chunk-index order — float addition is not associative, so this
+    // order IS the determinism guarantee.
     let mut total = vec![0.0; n];
-    for partial in partials.into_inner().expect("partials mutex poisoned") {
+    for partial in partials {
         for (t, p) in total.iter_mut().zip(partial) {
             *t += p;
         }
@@ -385,6 +397,39 @@ mod tests {
             for (s, p) in seq.iter().zip(&par) {
                 assert!((s - p).abs() < 1e-9, "sequential {s} vs parallel {p}");
             }
+        }
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_across_thread_counts_and_runs() {
+        let (g, _) = crate::bipartite::tests::figure3b();
+        let reference: Vec<u64> = betweenness_centrality_parallel(&g, 1)
+            .iter()
+            .map(|s| s.to_bits())
+            .collect();
+        for threads in [1, 2, 4, 8] {
+            for run in 0..3 {
+                let bits: Vec<u64> = betweenness_centrality_parallel(&g, threads)
+                    .iter()
+                    .map(|s| s.to_bits())
+                    .collect();
+                assert_eq!(bits, reference, "threads={threads} run={run}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_chunks_cover_exactly_once_and_cap_out() {
+        for len in [0, 1, 5, 31, 32, 33, 1000, 1024] {
+            let chunks = canonical_chunks(len);
+            assert!(chunks.len() <= MAX_CHUNKS, "len={len}");
+            let mut covered = 0;
+            for (i, chunk) in chunks.iter().enumerate() {
+                assert_eq!(chunk.start, covered, "len={len} chunk={i}");
+                assert!(chunk.end > chunk.start, "len={len} chunk={i} empty");
+                covered = chunk.end;
+            }
+            assert_eq!(covered, len, "len={len}");
         }
     }
 

@@ -110,8 +110,8 @@ fn full_sampling_equals_exact() {
                 samples: g.node_count(),
                 strategy: SamplingStrategy::Uniform,
                 seed: 1,
-                threads: 2,
             },
+            2,
         );
         for (e, a) in exact.iter().zip(&approx) {
             assert!(

@@ -97,10 +97,14 @@ pub fn serve_sharded(
     config: ServiceConfig,
     shards: usize,
 ) -> (CoordinatorHandle, Coordinator) {
-    let writers = partition_lake(lake, shards.max(1))
+    let mut subs: Vec<Option<MutableLake>> = partition_lake(lake, shards.max(1))
         .into_iter()
-        .map(|sub| serve(sub, config.clone()).1)
+        .map(Some)
         .collect();
+    let writers = dn_pool::Pool::new(config.threads.max(1)).run_over_mut(&mut subs, |_, sub| {
+        let sub = sub.take().expect("each sub-lake is built exactly once");
+        serve(sub, config.clone()).1
+    });
     build_coordinator(writers, config, None)
 }
 
@@ -127,12 +131,15 @@ pub fn serve_sharded_durable(
     }
     let shards = shards.max(1);
     dn_store::write_shard_manifest(&root, shards)?;
-    let mut writers = Vec::with_capacity(shards);
-    for (i, sub) in partition_lake(lake, shards).into_iter().enumerate() {
-        let (_, writer) =
-            serve_durable(sub, config.clone(), dn_store::shard_dir(&root, i), policy)?;
-        writers.push(writer);
-    }
+    let mut subs: Vec<Option<MutableLake>> =
+        partition_lake(lake, shards).into_iter().map(Some).collect();
+    let writers = dn_pool::Pool::new(config.threads.max(1))
+        .run_over_mut(&mut subs, |i, sub| {
+            let sub = sub.take().expect("each sub-lake is built exactly once");
+            Ok(serve_durable(sub, config.clone(), dn_store::shard_dir(&root, i), policy)?.1)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, ServiceError>>()?;
     Ok(build_coordinator(writers, config, Some(root)))
 }
 
@@ -169,23 +176,12 @@ pub fn serve_sharded_from_dir(
             root.display()
         )))
     })?;
-    let mut writers = Vec::with_capacity(manifest.shards);
-    for i in 0..manifest.shards {
-        let dir = dn_store::shard_dir(&root, i);
-        let writer = match Store::probe(&dir)? {
-            StorePresence::Recoverable => serve_from_dir(dir, config.clone(), policy)?.1,
-            StorePresence::Fresh => {
-                serve_durable(MutableLake::new(), config.clone(), dir, policy)?.1
-            }
-            StorePresence::AbortedInit { wal_path } => {
-                std::fs::remove_file(&wal_path).map_err(|e| {
-                    ServiceError::Store(dn_store::StoreError::io_with_path(e, wal_path))
-                })?;
-                serve_durable(MutableLake::new(), config.clone(), dir, policy)?.1
-            }
-        };
-        writers.push(writer);
-    }
+    let writers = dn_pool::Pool::new(config.threads.max(1))
+        .run(manifest.shards, |i| {
+            recover_shard_writer(dn_store::shard_dir(&root, i), &config, policy)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
     let (handle, mut coordinator) = build_coordinator(writers, config, Some(root.clone()));
     if let Some(intent) = dn_store::read_rebalance_intent(&root)? {
         coordinator.complete_rebalance(&intent)?;
@@ -217,24 +213,36 @@ pub(crate) fn recover_shards_lenient(
             root.display()
         )))
     })?;
-    let mut writers = Vec::with_capacity(manifest.shards);
-    for i in 0..manifest.shards {
-        let dir = dn_store::shard_dir(&root, i);
-        let writer = match Store::probe(&dir)? {
-            StorePresence::Recoverable => serve_from_dir(dir, config.clone(), policy)?.1,
-            StorePresence::Fresh => {
-                serve_durable(MutableLake::new(), config.clone(), dir, policy)?.1
-            }
-            StorePresence::AbortedInit { wal_path } => {
-                std::fs::remove_file(&wal_path).map_err(|e| {
-                    ServiceError::Store(dn_store::StoreError::io_with_path(e, wal_path))
-                })?;
-                serve_durable(MutableLake::new(), config.clone(), dir, policy)?.1
-            }
-        };
-        writers.push(writer);
-    }
+    let writers = dn_pool::Pool::new(config.threads.max(1))
+        .run(manifest.shards, |i| {
+            recover_shard_writer(dn_store::shard_dir(&root, i), &config, policy)
+        })
+        .into_iter()
+        .collect::<Result<Vec<_>, _>>()?;
     Ok(build_coordinator(writers, config, Some(root)))
+}
+
+/// Bring one shard store back up, whatever state a crash left it in:
+/// recover a real store, build a fresh empty shard where nothing was ever
+/// acknowledged, and clear out an aborted initialization (record-free WAL,
+/// no snapshot) before rebuilding. Shared by [`serve_sharded_from_dir`]
+/// and [`recover_shards_lenient`], which fan shards out over the worker
+/// pool — each shard's recovery touches only its own directory.
+fn recover_shard_writer(
+    dir: PathBuf,
+    config: &ServiceConfig,
+    policy: CheckpointPolicy,
+) -> Result<Writer, ServiceError> {
+    Ok(match Store::probe(&dir)? {
+        StorePresence::Recoverable => serve_from_dir(dir, config.clone(), policy)?.1,
+        StorePresence::Fresh => serve_durable(MutableLake::new(), config.clone(), dir, policy)?.1,
+        StorePresence::AbortedInit { wal_path } => {
+            std::fs::remove_file(&wal_path).map_err(|e| {
+                ServiceError::Store(dn_store::StoreError::io_with_path(e, wal_path))
+            })?;
+            serve_durable(MutableLake::new(), config.clone(), dir, policy)?.1
+        }
+    })
 }
 
 /// Shared tail of the entry points: sum the shard epochs, publish the
@@ -245,9 +253,11 @@ fn build_coordinator(
     root_dir: Option<PathBuf>,
 ) -> (CoordinatorHandle, Coordinator) {
     let epoch = shards.iter().map(Writer::epoch).sum();
+    let threads = config.threads.max(1);
     let view = Arc::new(MultiView {
         epoch,
         shards: shards.iter().map(|w| w.service().current()).collect(),
+        threads,
     });
     let shared = Arc::new(CoordShared {
         current: RwLock::new(view),
@@ -274,6 +284,7 @@ fn build_coordinator(
         epoch,
         shared,
         root_dir,
+        threads,
     };
     (handle, coordinator)
 }
@@ -435,6 +446,10 @@ fn add_stats(total: &mut DeltaStats, part: DeltaStats) {
 pub struct MultiView {
     epoch: u64,
     shards: Vec<Arc<Snapshot>>,
+    /// Worker threads for scatter phases (inherited from the coordinator's
+    /// [`ServiceConfig::threads`]). Fan-out only engages with more than one
+    /// shard *and* more than one thread; answers are identical either way.
+    threads: usize,
 }
 
 /// `Ordering::Less` when `a` ranks strictly before `b` under `measure`'s
@@ -464,6 +479,14 @@ impl MultiView {
     /// The pinned snapshot of one shard.
     pub fn shard(&self, i: usize) -> &Arc<Snapshot> {
         &self.shards[i]
+    }
+
+    /// Probe every shard and return the answers **in shard order**,
+    /// fanning the probes out over the view's worker pool. `Pool::run`
+    /// degenerates to an inline sequential loop for one shard or one
+    /// thread, so the answers (and their order) are identical either way.
+    fn scatter<'a, T: Send>(&'a self, probe: impl Fn(&'a Snapshot) -> T + Sync) -> Vec<T> {
+        dn_pool::Pool::new(self.threads).run(self.shards.len(), |i| probe(&self.shards[i]))
     }
 
     /// The measures every shard serves (all shards share one config).
@@ -503,9 +526,8 @@ impl MultiView {
     /// the measure is not served.
     pub fn top_k(&self, measure: Measure, k: usize) -> Option<Vec<ScoredValue>> {
         let rankings: Vec<&Arc<Vec<ScoredValue>>> = self
-            .shards
-            .iter()
-            .map(|s| s.ranking(measure))
+            .scatter(|s| s.ranking(measure))
+            .into_iter()
             .collect::<Option<_>>()?;
         if rankings.len() == 1 {
             return Some(rankings[0].iter().take(k).cloned().collect());
@@ -548,10 +570,10 @@ impl MultiView {
     /// `100 * (of - rank) / of` to the bit.
     pub fn score_card(&self, measure: Measure, value: &str) -> Option<ScoreCard> {
         let (owner, mut card) = self
-            .shards
-            .iter()
+            .scatter(|s| s.score_card(measure, value))
+            .into_iter()
             .enumerate()
-            .find_map(|(i, s)| s.score_card(measure, value).map(|c| (i, c)))?;
+            .find_map(|(i, c)| c.map(|c| (i, c)))?;
         if self.shards.len() == 1 {
             return Some(card);
         }
@@ -562,10 +584,11 @@ impl MultiView {
             attribute_count: card.attribute_count,
             cardinality: card.cardinality,
         };
+        let rankings = self.scatter(|s| s.ranking(measure));
         let mut of = 0usize;
         let mut before = 0usize;
-        for (i, shard) in self.shards.iter().enumerate() {
-            let ranking = shard.ranking(measure)?;
+        for (i, ranking) in rankings.into_iter().enumerate() {
+            let ranking = ranking?;
             of += ranking.len();
             if i == owner {
                 before += card.rank - 1;
@@ -579,28 +602,46 @@ impl MultiView {
         Some(card)
     }
 
-    /// The attribute-neighborhood explanation of a value, answered by the
-    /// one shard that owns it.
+    /// The attribute-neighborhood explanation of a value.
+    ///
+    /// On a healthy primary exactly one shard can answer — components
+    /// never span shards — so shard order cannot matter. A **follower**
+    /// mid-migration-replay is the documented exception: a cross-shard
+    /// move is two records in two different logs, and between them the
+    /// value legitimately exists on both shards (see the lenient
+    /// follower-side recovery, `recover_shards_lenient`). The ambiguity is resolved
+    /// deterministically: **the lowest-index answering shard wins**, every
+    /// probe is evaluated (no short-circuit racing the fan-out), and the
+    /// same rule governs [`MultiView::table_summary`] and the coordinator's
+    /// table index, so one request never mixes two shards' views of a
+    /// half-moved component.
     pub fn explain(&self, value: &str) -> Option<ValueExplanation> {
-        self.shards.iter().find_map(|s| s.explain(value))
+        self.scatter(|s| s.explain(value))
+            .into_iter()
+            .flatten()
+            .next()
     }
 
     /// Sorted names of the live tables across all shards.
     pub fn table_names(&self) -> Vec<String> {
+        let per_shard = self.scatter(|s| s.table_names().map(str::to_owned).collect::<Vec<_>>());
         let mut names: BTreeSet<String> = BTreeSet::new();
-        for shard in &self.shards {
-            names.extend(shard.table_names().map(str::to_owned));
+        for shard_names in per_shard {
+            names.extend(shard_names);
         }
         names.into_iter().collect()
     }
 
     /// Summary of one table, answered by the shard that owns it. All
     /// summary fields are table-local, so the shard's answer is the
-    /// global answer.
+    /// global answer. Duplicate ownership (a follower mid-migration)
+    /// resolves to the lowest-index answering shard, exactly as
+    /// [`MultiView::explain`] documents.
     pub fn table_summary(&self, table: &str, measure: Measure, k: usize) -> Option<TableSummary> {
-        self.shards
-            .iter()
-            .find_map(|s| s.table_summary(table, measure, k))
+        self.scatter(|s| s.table_summary(table, measure, k))
+            .into_iter()
+            .flatten()
+            .next()
     }
 
     /// Check every shard snapshot's internal consistency plus the
@@ -772,6 +813,9 @@ pub struct Coordinator {
     /// Root of the sharded store for durable coordinators (where the
     /// manifest and rebalance intent live).
     root_dir: Option<PathBuf>,
+    /// Worker threads for cross-shard fan-out (checkpointing, and carried
+    /// into every published [`MultiView`] for the read side). Always ≥ 1.
+    threads: usize,
 }
 
 impl Coordinator {
@@ -839,6 +883,7 @@ impl Coordinator {
         let view = Arc::new(MultiView {
             epoch: self.epoch,
             shards: self.shards.iter().map(|w| w.service().current()).collect(),
+            threads: self.threads,
         });
         *self.shared.current.write().expect("multiview pointer lock") = view;
         self.shared.cache.lock().expect("cache lock").invalidate();
@@ -861,12 +906,18 @@ impl Coordinator {
     /// fully non-durable coordinator).
     ///
     /// # Errors
-    /// [`ServiceError::Store`] from the first shard whose snapshot
-    /// cannot be written (earlier shards keep their fresh checkpoints).
+    /// [`ServiceError::Store`] from the first (lowest-index) shard whose
+    /// snapshot cannot be written. The shards checkpoint in parallel over
+    /// the coordinator's worker pool, so with a multi-shard failure later
+    /// shards may also have attempted (and possibly kept) their
+    /// checkpoints — each shard's snapshot write is atomic on its own, so
+    /// that is safe.
     pub fn checkpoint_now(&mut self) -> Result<bool, ServiceError> {
+        let results = dn_pool::Pool::new(self.threads)
+            .run_over_mut(&mut self.shards, |_, writer| writer.checkpoint_now());
         let mut any = false;
-        for writer in &mut self.shards {
-            any |= writer.checkpoint_now()?;
+        for result in results {
+            any |= result?;
         }
         Ok(any)
     }
@@ -999,6 +1050,7 @@ impl Coordinator {
         let view = Arc::new(MultiView {
             epoch: self.epoch,
             shards: self.shards.iter().map(|w| w.service().current()).collect(),
+            threads: self.threads,
         });
         *self.shared.current.write().expect("multiview pointer lock") = view;
         self.shared.cache.lock().expect("cache lock").invalidate();
@@ -1315,6 +1367,7 @@ mod tests {
             measures: vec![Measure::lcc(), Measure::exact_bc()],
             cache_capacity: 8,
             prune_single_attribute_values: false,
+            threads: 1,
         }
     }
 
@@ -1354,6 +1407,67 @@ mod tests {
         )
         .unwrap();
         lake
+    }
+
+    #[test]
+    fn explain_resolves_double_ownership_to_the_lowest_index_shard() {
+        // A follower mid-migration-replay legitimately holds a value on
+        // two shards (the move is two records in two logs); the fan-out
+        // must resolve that window deterministically, not by whichever
+        // worker finishes first. Build the window directly: two
+        // single-shard snapshots that both know "Jaguar", with different
+        // neighborhoods so the answers are distinguishable.
+        let mut zoo_lake = MutableLake::new();
+        zoo_lake
+            .apply(
+                &LakeDelta::new().add_table(
+                    TableBuilder::new("zoo")
+                        .column("animal", ["Jaguar", "Okapi", "Zebra"])
+                        .build()
+                        .unwrap(),
+                ),
+            )
+            .unwrap();
+        let mut cars_lake = MutableLake::new();
+        cars_lake
+            .apply(
+                &LakeDelta::new().add_table(
+                    TableBuilder::new("cars")
+                        .column("make", ["Jaguar", "Fiat", "Kia"])
+                        .build()
+                        .unwrap(),
+                ),
+            )
+            .unwrap();
+        let (zoo_service, _zw) = serve(zoo_lake, config());
+        let (cars_service, _cw) = serve(cars_lake, config());
+        let zoo = zoo_service.current();
+        let cars = cars_service.current();
+        let zoo_answer = zoo.explain("Jaguar").unwrap();
+        let cars_answer = cars.explain("Jaguar").unwrap();
+        assert_ne!(
+            zoo_answer, cars_answer,
+            "the shards must genuinely disagree"
+        );
+        for threads in [1usize, 4] {
+            let view = MultiView {
+                epoch: 0,
+                shards: vec![Arc::clone(&zoo), Arc::clone(&cars)],
+                threads,
+            };
+            assert_eq!(view.explain("Jaguar").unwrap(), zoo_answer);
+            assert_eq!(
+                view.table_summary("cars", Measure::lcc(), 8),
+                cars.table_summary("cars", Measure::lcc(), 8),
+                "single-owner tables still answer from their owner"
+            );
+            let flipped = MultiView {
+                epoch: 0,
+                shards: vec![Arc::clone(&cars), Arc::clone(&zoo)],
+                threads,
+            };
+            assert_eq!(flipped.explain("Jaguar").unwrap(), cars_answer);
+        }
     }
 
     #[test]

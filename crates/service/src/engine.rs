@@ -44,6 +44,11 @@ pub struct ServiceConfig {
     /// Whether single-attribute values are pruned from the graph (the
     /// paper's default; see `DomainNetConfig`).
     pub prune_single_attribute_values: bool,
+    /// Worker threads for score computation, snapshot encoding, and
+    /// recovery (clamped to at least 1). Purely a runtime knob: every width
+    /// produces bit-identical scores and snapshots, so it is safe to change
+    /// between restarts of the same store.
+    pub threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -52,6 +57,7 @@ impl Default for ServiceConfig {
             measures: vec![Measure::lcc(), Measure::exact_bc()],
             cache_capacity: 64,
             prune_single_attribute_values: true,
+            threads: 1,
         }
     }
 }
@@ -170,9 +176,10 @@ impl Shared {
 /// [`Writer`] (single-writer discipline is enforced by ownership — there is
 /// exactly one `Writer` and it is not `Clone`).
 pub fn serve(lake: MutableLake, config: ServiceConfig) -> (ServiceHandle, Writer) {
-    let net = DomainNetBuilder::new()
+    let mut net = DomainNetBuilder::new()
         .prune_single_attribute_values(config.prune_single_attribute_values)
         .build(&lake);
+    net.set_compute_threads(config.threads);
     net.warm_rankings(&config.measures);
     build_service(lake, net, config, 0, None)
 }
@@ -197,9 +204,11 @@ pub fn serve_durable(
     policy: CheckpointPolicy,
 ) -> Result<(ServiceHandle, Writer), ServiceError> {
     let mut store = Store::create(dir)?;
-    let net = DomainNetBuilder::new()
+    store.set_threads(config.threads);
+    let mut net = DomainNetBuilder::new()
         .prune_single_attribute_values(config.prune_single_attribute_values)
         .build(&lake);
+    net.set_compute_threads(config.threads);
     net.warm_rankings(&config.measures);
     store.checkpoint(&lake, &net, 0, &config.measures)?;
     let persistence = Persistence {
@@ -231,9 +240,10 @@ pub fn serve_from_dir(
     config: ServiceConfig,
     policy: CheckpointPolicy,
 ) -> Result<(ServiceHandle, Writer), ServiceError> {
-    let (store, recovered) = Store::recover(dir)?;
+    let (store, recovered) = Store::recover_threaded(dir, config.threads)?;
     let epoch = recovered.epoch;
-    let (lake, net) = (recovered.lake, recovered.net);
+    let (lake, mut net) = (recovered.lake, recovered.net);
+    net.set_compute_threads(config.threads);
     net.warm_rankings(&config.measures);
     let persistence = Persistence {
         store,
@@ -718,6 +728,7 @@ mod tests {
             measures: vec![Measure::lcc(), Measure::exact_bc()],
             cache_capacity: 8,
             prune_single_attribute_values: false,
+            threads: 1,
         }
     }
 
@@ -1036,7 +1047,7 @@ mod tests {
 
         // Unserved measures are a typed error, not a panic.
         let err = reader
-            .export_top_k_csv(Measure::exact_bc_parallel(3), 3, &mut Vec::new())
+            .export_top_k_csv(Measure::approx_bc(64, 7), 3, &mut Vec::new())
             .unwrap_err();
         assert!(matches!(err, LakeError::NotFound(_)));
     }

@@ -521,7 +521,7 @@ mod tests {
             .score_card(Measure::exact_bc(), "no-such-value")
             .is_none());
         assert!(snap
-            .score_card(Measure::exact_bc_parallel(4), "jaguar")
+            .score_card(Measure::approx_bc(64, 7), "jaguar")
             .is_none());
     }
 

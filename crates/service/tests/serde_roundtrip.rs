@@ -22,6 +22,7 @@ fn service() -> dn_service::ServiceHandle {
             measures: vec![Measure::lcc(), Measure::exact_bc()],
             cache_capacity: 8,
             prune_single_attribute_values: false,
+            threads: 1,
         },
     );
     service

@@ -352,9 +352,8 @@ pub fn put_measure(w: &mut ByteWriter, measure: Measure) {
                 LccMethod::AttributeJaccard => 1,
             });
         }
-        Measure::ExactBc { threads } => {
+        Measure::ExactBc => {
             w.put_u8(TAG_EXACT_BC);
-            w.put_u64(threads as u64);
         }
         Measure::ApproxBc(config) => {
             w.put_u8(TAG_APPROX_BC);
@@ -364,7 +363,6 @@ pub fn put_measure(w: &mut ByteWriter, measure: Measure) {
                 SamplingStrategy::DegreeProportional => 1,
             });
             w.put_u64(config.seed);
-            w.put_u64(config.threads as u64);
         }
     }
 }
@@ -381,9 +379,7 @@ pub fn get_measure(r: &mut ByteReader<'_>) -> Result<Measure> {
             };
             Ok(Measure::Lcc(method))
         }
-        TAG_EXACT_BC => Ok(Measure::ExactBc {
-            threads: r.get_u64()? as usize,
-        }),
+        TAG_EXACT_BC => Ok(Measure::ExactBc),
         TAG_APPROX_BC => {
             let samples = r.get_u64()? as usize;
             let strategy = match r.get_u8()? {
@@ -392,12 +388,10 @@ pub fn get_measure(r: &mut ByteReader<'_>) -> Result<Measure> {
                 other => return Err(invalid(format!("unknown sampling strategy {other}"))),
             };
             let seed = r.get_u64()?;
-            let threads = r.get_u64()? as usize;
             Ok(Measure::ApproxBc(ApproxBcConfig {
                 samples,
                 strategy,
                 seed,
-                threads,
             }))
         }
         other => Err(invalid(format!("unknown measure tag {other}"))),
@@ -482,12 +476,10 @@ mod tests {
             Measure::lcc(),
             Measure::Lcc(LccMethod::AttributeJaccard),
             Measure::exact_bc(),
-            Measure::exact_bc_parallel(8),
             Measure::ApproxBc(ApproxBcConfig {
                 samples: 512,
                 strategy: SamplingStrategy::DegreeProportional,
                 seed: 0xFEED,
-                threads: 4,
             }),
         ];
         for measure in measures {

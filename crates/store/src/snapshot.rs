@@ -241,29 +241,49 @@ fn encode_net(state: &NetState) -> Vec<u8> {
 }
 
 /// Encode a complete snapshot into bytes. Deterministic: the same state
-/// always produces the same bytes.
+/// always produces the same bytes. Equivalent to
+/// [`encode_snapshot_threaded`] with one thread.
 pub fn encode_snapshot(lake: &MutableLake, net: &DomainNet, manifest: &Manifest) -> Vec<u8> {
-    let sections: Vec<(u32, Vec<u8>)> = vec![
-        (SECTION_MANIFEST, encode_manifest(manifest)),
-        (SECTION_LAKE, encode_lake(lake)),
-        (SECTION_GRAPH, encode_graph(net.graph(), net.components())),
-        (SECTION_NET, encode_net(&net.export_state())),
-    ];
+    encode_snapshot_threaded(lake, net, manifest, 1)
+}
 
-    let header_len = SNAPSHOT_MAGIC.len() + 4 + 4 + sections.len() * (4 + 8 + 8 + 4);
+/// [`encode_snapshot`] with the four section encodes (and their CRCs)
+/// spread over up to `threads` workers. The section table and payload
+/// assembly stay in fixed section order, so the output bytes are identical
+/// for every thread count — the `snapshot_round_trips_bit_exactly` test
+/// pins this.
+pub fn encode_snapshot_threaded(
+    lake: &MutableLake,
+    net: &DomainNet,
+    manifest: &Manifest,
+    threads: usize,
+) -> Vec<u8> {
+    let net_state = net.export_state();
+    let encoded: Vec<(u32, Vec<u8>, u32)> = dn_pool::Pool::new(threads).run(4, |i| {
+        let (id, payload) = match i {
+            0 => (SECTION_MANIFEST, encode_manifest(manifest)),
+            1 => (SECTION_LAKE, encode_lake(lake)),
+            2 => (SECTION_GRAPH, encode_graph(net.graph(), net.components())),
+            _ => (SECTION_NET, encode_net(&net_state)),
+        };
+        let crc = crc32(&payload);
+        (id, payload, crc)
+    });
+
+    let header_len = SNAPSHOT_MAGIC.len() + 4 + 4 + encoded.len() * (4 + 8 + 8 + 4);
     let mut w = ByteWriter::new();
     w.put_bytes(SNAPSHOT_MAGIC);
     w.put_u32(FORMAT_VERSION);
-    w.put_u32(sections.len() as u32);
+    w.put_u32(encoded.len() as u32);
     let mut offset = header_len as u64;
-    for (id, payload) in &sections {
+    for (id, payload, crc) in &encoded {
         w.put_u32(*id);
         w.put_u64(offset);
         w.put_u64(payload.len() as u64);
-        w.put_u32(crc32(payload));
+        w.put_u32(*crc);
         offset += payload.len() as u64;
     }
-    for (_, payload) in &sections {
+    for (_, payload, _) in &encoded {
         w.put_bytes(payload);
     }
     w.into_inner()
@@ -586,13 +606,63 @@ fn validate_lake_net_agreement(
     Ok(())
 }
 
-/// Decode and fully validate a snapshot from bytes.
+/// One snapshot section, CRC-verified and decoded — the unit of work
+/// [`decode_snapshot_threaded`] fans out.
+enum DecodedSection {
+    Manifest(Manifest),
+    Lake(Box<MutableLake>),
+    Graph(Box<(BipartiteGraph, Components)>),
+    Net(Box<NetState>),
+}
+
+/// Decode and fully validate a snapshot from bytes. Equivalent to
+/// [`decode_snapshot_threaded`] with one thread.
 pub fn decode_snapshot(bytes: &[u8]) -> Result<PersistedState> {
+    decode_snapshot_threaded(bytes, 1)
+}
+
+/// [`decode_snapshot`] with the per-section CRC checks and decodes spread
+/// over up to `threads` workers. Validation coverage is identical to the
+/// sequential path — every section is checked, and the cross-section
+/// validations run after the fan-in. Only the error *choice* can differ
+/// when several sections are corrupt at once (the sequential path reports
+/// the first in section order; this reports the first in fan-in order,
+/// which is the same order).
+pub fn decode_snapshot_threaded(bytes: &[u8], threads: usize) -> Result<PersistedState> {
     let sections = section_table(bytes)?;
-    let manifest = decode_manifest(section_payload(bytes, &sections, SECTION_MANIFEST)?)?;
-    let lake = decode_lake(section_payload(bytes, &sections, SECTION_LAKE)?)?;
-    let (graph, components) = decode_graph(section_payload(bytes, &sections, SECTION_GRAPH)?)?;
-    let state = decode_net_state(section_payload(bytes, &sections, SECTION_NET)?)?;
+    let decoded = dn_pool::Pool::new(threads).run(4, |i| -> Result<DecodedSection> {
+        match i {
+            0 => Ok(DecodedSection::Manifest(decode_manifest(section_payload(
+                bytes,
+                &sections,
+                SECTION_MANIFEST,
+            )?)?)),
+            1 => Ok(DecodedSection::Lake(Box::new(decode_lake(
+                section_payload(bytes, &sections, SECTION_LAKE)?,
+            )?))),
+            2 => Ok(DecodedSection::Graph(Box::new(decode_graph(
+                section_payload(bytes, &sections, SECTION_GRAPH)?,
+            )?))),
+            _ => Ok(DecodedSection::Net(Box::new(decode_net_state(
+                section_payload(bytes, &sections, SECTION_NET)?,
+            )?))),
+        }
+    });
+    let mut manifest = None;
+    let mut lake = None;
+    let mut graph_parts = None;
+    let mut state = None;
+    for section in decoded {
+        match section? {
+            DecodedSection::Manifest(m) => manifest = Some(m),
+            DecodedSection::Lake(l) => lake = Some(*l),
+            DecodedSection::Graph(g) => graph_parts = Some(*g),
+            DecodedSection::Net(s) => state = Some(*s),
+        }
+    }
+    let (manifest, lake) = (manifest.expect("task 0 ran"), lake.expect("task 1 ran"));
+    let (graph, components) = graph_parts.expect("task 2 ran");
+    let state = state.expect("task 3 ran");
     validate_lake_net_agreement(&lake, &graph, &state)?;
     let net = DomainNet::from_parts(graph, components, state)
         .map_err(|e| StoreError::corrupt(format!("net: {e}")))?;
@@ -611,7 +681,19 @@ pub fn write_snapshot(
     net: &DomainNet,
     manifest: &Manifest,
 ) -> Result<u64> {
-    let bytes = encode_snapshot(lake, net, manifest);
+    write_snapshot_threaded(path, lake, net, manifest, 1)
+}
+
+/// [`write_snapshot`] with the section encodes spread over up to `threads`
+/// workers (the file bytes are identical for every thread count).
+pub fn write_snapshot_threaded(
+    path: &Path,
+    lake: &MutableLake,
+    net: &DomainNet,
+    manifest: &Manifest,
+    threads: usize,
+) -> Result<u64> {
+    let bytes = encode_snapshot_threaded(lake, net, manifest, threads);
     let tmp = path.with_extension("tmp");
     {
         let mut file = fs::File::create(&tmp).map_err(|e| StoreError::io_with_path(e, &tmp))?;
@@ -626,8 +708,14 @@ pub fn write_snapshot(
 
 /// Read and fully validate a snapshot file.
 pub fn read_snapshot(path: &Path) -> Result<PersistedState> {
+    read_snapshot_threaded(path, 1)
+}
+
+/// [`read_snapshot`] with section decoding spread over up to `threads`
+/// workers.
+pub fn read_snapshot_threaded(path: &Path, threads: usize) -> Result<PersistedState> {
     let bytes = fs::read(path).map_err(|e| StoreError::io_with_path(e, path))?;
-    decode_snapshot(&bytes)
+    decode_snapshot_threaded(&bytes, threads)
 }
 
 #[cfg(test)]
@@ -701,6 +789,37 @@ mod tests {
             encode_snapshot(&restored.lake, &restored.net, &restored.manifest),
             bytes
         );
+    }
+
+    #[test]
+    fn threaded_codec_is_byte_identical_to_sequential() {
+        let (lake, net, manifest) = sample_state();
+        let sequential = encode_snapshot(&lake, &net, &manifest);
+        for threads in [2, 4, 8] {
+            let threaded = encode_snapshot_threaded(&lake, &net, &manifest, threads);
+            assert_eq!(threaded, sequential, "threads={threads}");
+            let restored = decode_snapshot_threaded(&sequential, threads).unwrap();
+            assert_eq!(restored.manifest, manifest, "threads={threads}");
+            assert_eq!(
+                restored.net.export_state(),
+                net.export_state(),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn threaded_decode_still_attributes_corruption_to_its_section() {
+        let (lake, net, manifest) = sample_state();
+        let bytes = encode_snapshot(&lake, &net, &manifest);
+        let sections = section_table(&bytes).unwrap();
+        let graph = sections.iter().find(|s| s.id == SECTION_GRAPH).unwrap();
+        let mut bad = bytes.clone();
+        bad[graph.offset + graph.len / 2] ^= 0xFF;
+        match decode_snapshot_threaded(&bad, 4).unwrap_err() {
+            StoreError::SectionCrc { section } => assert_eq!(section, "graph"),
+            other => panic!("expected a section CRC error, got {other:?}"),
+        }
     }
 
     #[test]

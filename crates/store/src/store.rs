@@ -29,7 +29,7 @@ use domainnet::{DomainNet, Measure};
 use lake::delta::{LakeDelta, MutableLake};
 
 use crate::error::{Result, StoreError};
-use crate::snapshot::{read_snapshot, write_snapshot, Manifest};
+use crate::snapshot::{read_snapshot_threaded, write_snapshot_threaded, Manifest};
 use crate::wal::{scan_wal, Wal};
 
 const SNAPSHOT_PREFIX: &str = "snapshot-";
@@ -46,6 +46,9 @@ pub struct Store {
     dir: PathBuf,
     wal: Wal,
     next_seq: u64,
+    /// Worker threads for snapshot section encode/decode (≥ 1). Runtime
+    /// only — the file format is identical for every width.
+    threads: usize,
 }
 
 /// Point-in-time size/progress counters of one store directory, exposed
@@ -210,12 +213,25 @@ impl Store {
             dir,
             wal,
             next_seq: 1,
+            threads: 1,
         })
     }
 
     /// The store directory.
     pub fn dir(&self) -> &Path {
         &self.dir
+    }
+
+    /// Set how many worker threads snapshot encoding and decoding may use
+    /// (clamped to at least 1). The on-disk bytes are identical for every
+    /// width, so this is safe to change between runs of the same store.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// The configured snapshot codec width (see [`Store::set_threads`]).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The sequence number the next appended batch will get.
@@ -406,7 +422,7 @@ impl Store {
             measures: measures.to_vec(),
         };
         let path = snapshot_path(&self.dir, manifest.last_seq);
-        let bytes = write_snapshot(&path, lake, net, &manifest)?;
+        let bytes = write_snapshot_threaded(&path, lake, net, &manifest, self.threads)?;
         self.wal.reset()?;
         for (_, old) in list_snapshots(&self.dir)?.into_iter().skip(SNAPSHOTS_KEPT) {
             fs::remove_file(&old).map_err(|e| StoreError::io_with_path(e, &old))?;
@@ -436,6 +452,15 @@ impl Store {
     /// newest snapshot, by contrast, means acknowledged batches vanished
     /// and stays a hard [`StoreError::Corrupt`].
     pub fn recover(dir: impl Into<PathBuf>) -> Result<(Store, Recovered)> {
+        Store::recover_threaded(dir, 1)
+    }
+
+    /// [`Store::recover`] with snapshot section decoding spread over up to
+    /// `threads` workers; the recovered state is identical for every width
+    /// (WAL replay itself stays sequential — the records are ordered). The
+    /// returned store keeps `threads` as its codec width.
+    pub fn recover_threaded(dir: impl Into<PathBuf>, threads: usize) -> Result<(Store, Recovered)> {
+        let threads = threads.max(1);
         let dir = dir.into();
         let snapshots = list_snapshots(&dir)?;
         if snapshots.is_empty() {
@@ -445,7 +470,7 @@ impl Store {
         let mut loaded = None;
         let mut last_error = None;
         for (_, path) in &snapshots {
-            match read_snapshot(path) {
+            match read_snapshot_threaded(path, threads) {
                 Ok(state) => {
                     loaded = Some(state);
                     break;
@@ -533,6 +558,7 @@ impl Store {
             dir,
             wal,
             next_seq: last_seq + 1,
+            threads,
         };
         let recovered = Recovered {
             lake,

@@ -58,6 +58,7 @@ struct Args {
     shards: usize,
     addr: String,
     workers: usize,
+    threads: usize,
     checkpoint_every: u64,
     cache_capacity: usize,
     max_body_bytes: usize,
@@ -74,6 +75,7 @@ impl Default for Args {
             shards: 1,
             addr: "127.0.0.1:8080".to_owned(),
             workers: 4,
+            threads: dn_pool::Pool::machine_wide().threads(),
             checkpoint_every: 8,
             cache_capacity: 64,
             max_body_bytes: 1 << 20,
@@ -86,7 +88,7 @@ impl Default for Args {
 }
 
 const USAGE: &str = "usage: dn-serve --data-dir DIR [--shards N] [--addr HOST:PORT] [--workers N] \
-[--checkpoint-every EPOCHS] [--cache-capacity N] [--max-body-bytes N]\n       \
+[--threads N] [--checkpoint-every EPOCHS] [--cache-capacity N] [--max-body-bytes N]\n       \
 dn-serve --data-dir DIR --follow http://HOST:PORT [--poll-ms MS]\n       \
 dn-serve --smoke HOST:PORT\n       \
 dn-serve --smoke-replica PRIMARY_HOST:PORT FOLLOWER_HOST:PORT";
@@ -120,6 +122,14 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|_| "--workers must be a positive integer".to_owned())?;
                 if out.workers == 0 {
                     return Err("--workers must be at least 1".to_owned());
+                }
+            }
+            "--threads" => {
+                out.threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be a positive integer".to_owned())?;
+                if out.threads == 0 {
+                    return Err("--threads must be at least 1".to_owned());
                 }
             }
             "--checkpoint-every" => {
@@ -219,6 +229,7 @@ fn run_server(args: &Args) -> Result<(), String> {
         measures: vec![Measure::lcc(), Measure::exact_bc()],
         cache_capacity: args.cache_capacity,
         prune_single_attribute_values: true,
+        threads: args.threads,
     };
     let policy = if args.checkpoint_every == 0 {
         CheckpointPolicy::manual()
@@ -285,10 +296,11 @@ reshard it in place (not supported)",
     .map_err(|e| format!("binding {}: {e}", args.addr))?;
 
     println!(
-        "dn-serve listening on http://{} epoch={epoch} shards={shards} workers={} \
+        "dn-serve listening on http://{} epoch={epoch} shards={shards} workers={} threads={} \
 data_dir={data_dir} ({})",
         server.local_addr(),
         args.workers,
+        args.threads,
         if recovering { "recovered" } else { "fresh" },
     );
 
@@ -326,6 +338,7 @@ fn run_follower(args: &Args, primary: &str) -> Result<(), String> {
         measures: vec![Measure::lcc(), Measure::exact_bc()],
         cache_capacity: args.cache_capacity,
         prune_single_attribute_values: true,
+        threads: args.threads,
     };
     // A follower's log grows only as fast as the primary's, so the same
     // policy keeps its disk bounded the same way.
@@ -389,10 +402,11 @@ fn run_follower(args: &Args, primary: &str) -> Result<(), String> {
     .map_err(|e| format!("binding {}: {e}", args.addr))?;
 
     println!(
-        "dn-serve listening on http://{} epoch={epoch} shards={shards} workers={} \
+        "dn-serve listening on http://{} epoch={epoch} shards={shards} workers={} threads={} \
 data_dir={data_dir} (follower of http://{primary_addr})",
         server.local_addr(),
         args.workers,
+        args.threads,
     );
 
     let stop = Arc::new(AtomicBool::new(false));

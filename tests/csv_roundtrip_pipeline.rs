@@ -41,13 +41,13 @@ fn csv_round_trip_preserves_the_homograph_ranking() {
     assert_eq!(net_a.edge_count(), net_b.edge_count());
 
     let top_a: Vec<String> = net_a
-        .rank(Measure::exact_bc_parallel(2))
+        .rank(Measure::exact_bc())
         .into_iter()
         .take(25)
         .map(|s| s.value)
         .collect();
     let top_b: Vec<String> = net_b
-        .rank(Measure::exact_bc_parallel(2))
+        .rank(Measure::exact_bc())
         .into_iter()
         .take(25)
         .map(|s| s.value)

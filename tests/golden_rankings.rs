@@ -62,7 +62,6 @@ fn sb_approx_bc() -> Measure {
         samples: 512,
         strategy: SamplingStrategy::Uniform,
         seed: 2021,
-        threads: 1,
     })
 }
 
@@ -273,6 +272,7 @@ fn single_shard_coordinator_serves_the_corpus_bit_identically() {
                 measures: measures.clone(),
                 cache_capacity: 8,
                 prune_single_attribute_values: prune,
+                threads: 1,
             },
             1,
         );

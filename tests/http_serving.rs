@@ -51,6 +51,7 @@ fn start_sharded_server(lake: MutableLake, shards: usize) -> Server {
             measures: measures(),
             cache_capacity: 32,
             prune_single_attribute_values: true,
+            threads: 1,
         },
         shards,
     );

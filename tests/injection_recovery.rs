@@ -20,7 +20,7 @@ fn recovery(clean: &datagen::GeneratedLake, config: InjectionConfig, top_k: usiz
     let net = DomainNetBuilder::new().build(&injected.lake.catalog);
     // Exact BC: the small test lake makes it affordable and removes sampling
     // noise from the assertion.
-    let ranked = net.rank(Measure::exact_bc_parallel(2));
+    let ranked = net.rank(Measure::exact_bc());
     let expected: BTreeSet<String> = injected.injected.iter().cloned().collect();
     recall_of_expected_in_top_k(&ranked, &expected, top_k)
 }

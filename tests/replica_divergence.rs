@@ -40,6 +40,7 @@ fn config() -> ServiceConfig {
         measures: vec![Measure::lcc(), Measure::exact_bc()],
         cache_capacity: 16,
         prune_single_attribute_values: true,
+        threads: 1,
     }
 }
 

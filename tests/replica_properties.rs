@@ -55,7 +55,6 @@ fn golden_measures() -> Vec<Measure> {
             samples: 512,
             strategy: SamplingStrategy::Uniform,
             seed: 2021,
-            threads: 1,
         }),
     ]
 }
@@ -65,6 +64,7 @@ fn config() -> ServiceConfig {
         measures: golden_measures(),
         cache_capacity: 8,
         prune_single_attribute_values: true,
+        threads: 1,
     }
 }
 

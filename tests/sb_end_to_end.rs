@@ -20,7 +20,7 @@ fn bc_beats_lcc_on_the_synthetic_benchmark() {
     let k = truth.len();
     let net = DomainNetBuilder::new().build(&generated.catalog);
 
-    let bc_eval = precision_recall_at_k(&net.rank(Measure::exact_bc_parallel(2)), &truth, k);
+    let bc_eval = precision_recall_at_k(&net.rank(Measure::exact_bc()), &truth, k);
     let lcc_eval = precision_recall_at_k(&net.rank(Measure::lcc()), &truth, k);
 
     // Figure 6 vs Figure 5: BC is the far better separator.
@@ -48,7 +48,7 @@ fn bc_beats_lcc_on_the_synthetic_benchmark() {
 fn canonical_homographs_rank_high_under_bc() {
     let (generated, truth) = setup();
     let net = DomainNetBuilder::new().build(&generated.catalog);
-    let ranked = net.rank(Measure::exact_bc_parallel(2));
+    let ranked = net.rank(Measure::exact_bc());
     let top_half: BTreeSet<&str> = ranked
         .iter()
         .take(ranked.len() / 2)
@@ -81,7 +81,7 @@ fn small_domain_homographs_are_the_hard_cases_for_bc() {
     // large-cardinality homographs.
     let (generated, _) = setup();
     let net = DomainNetBuilder::new().build(&generated.catalog);
-    let ranked = net.rank(Measure::exact_bc_parallel(2));
+    let ranked = net.rank(Measure::exact_bc());
     let score = |v: &str| {
         ranked
             .iter()
@@ -103,7 +103,7 @@ fn d4_baseline_trails_domainnet_on_sb() {
     let (generated, truth) = setup();
     let k = truth.len();
     let net = DomainNetBuilder::new().build(&generated.catalog);
-    let dn = precision_recall_at_k(&net.rank(Measure::exact_bc_parallel(2)), &truth, k);
+    let dn = precision_recall_at_k(&net.rank(Measure::exact_bc()), &truth, k);
 
     let d4_out = d4::discover(&generated.catalog, d4::D4Config::default());
     let found = d4_out.homographs();

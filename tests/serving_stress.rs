@@ -40,6 +40,7 @@ fn readers_always_observe_consistent_epochs() {
             measures: measures(),
             cache_capacity: 32,
             prune_single_attribute_values: true,
+            threads: 1,
         },
     );
 

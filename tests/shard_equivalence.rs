@@ -53,6 +53,7 @@ fn config() -> ServiceConfig {
         measures: measures(),
         cache_capacity: 16,
         prune_single_attribute_values: true,
+        threads: 1,
     }
 }
 

@@ -70,7 +70,6 @@ fn golden_measures() -> Vec<Measure> {
             samples: 512,
             strategy: SamplingStrategy::Uniform,
             seed: 2021,
-            threads: 1,
         }),
     ]
 }
@@ -80,6 +79,7 @@ fn config(measures: Vec<Measure>, prune: bool) -> ServiceConfig {
         measures,
         cache_capacity: 8,
         prune_single_attribute_values: prune,
+        threads: 1,
     }
 }
 
