@@ -14,7 +14,11 @@
 # dn-serve --smoke-replica: convergence, lag-gauge return to 0, and the
 # read-only 403 envelope — run twice, with a single-threaded and then a
 # 4-thread primary, so zero divergences proves the pooled compute core's
-# digests are bit-identical to the sequential replay). The
+# digests are bit-identical to the sequential replay), and a drop-folder
+# ingest smoke (dn-serve --ingest-dir tails a CSV folder while
+# --smoke-ingest writes three homograph-drift file generations into it and
+# asserts the served top-k reflects the drifted token and the dn_ingest_*
+# gauges moved). The
 # main `cargo test -q` pass skips the gated suites (they run once, in
 # their own labeled steps, so a ranking drift, a consistency violation,
 # or a recovery regression fails CI with an unambiguous gate name instead
@@ -30,8 +34,9 @@
 #
 # Usage: ./ci.sh [--quick]
 #   --quick   skip the criterion benches and the exp_serving/exp_http/
-#             exp_replica/exp_parallel smoke runs (keeps everything
-#             tier-1: build, tests, golden, stress, recovery, HTTP smoke)
+#             exp_replica/exp_parallel/exp_ingest smoke runs (keeps
+#             everything tier-1: build, tests, golden, stress, recovery,
+#             HTTP + replication + ingest smokes)
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -86,7 +91,7 @@ cargo test -q --test serving_stress -- --test-threads "${CORES}"
 # are the labeled corruption-hardening and crash-recovery regressions.
 # Clear residue a *previous* (possibly failed) run may have left so the
 # hygiene gate below judges only this run.
-rm -rf target/tmp/dn_store_* target/tmp/dn_replica_* target/tmp/dn_http_gate 2>/dev/null || true
+rm -rf target/tmp/dn_store_* target/tmp/dn_replica_* target/tmp/dn_http_gate target/tmp/dn_ingest_gate 2>/dev/null || true
 
 echo "==> gate: store corruption hardening (typed errors, no panics)"
 cargo test -q -p dn-store --test corruption
@@ -220,6 +225,49 @@ for REP_THREADS in 1 4; do
     rm -rf "${REP_DIR}"
 done
 
+# Drop-folder ingest smoke: a real dn-serve with --ingest-dir tails a CSV
+# drop-folder on loopback while dn-serve --smoke-ingest writes three
+# seeded homograph-drift file generations into it, waits until the served
+# top-k ranks the drifted token from the last generation, and asserts the
+# dn_ingest_* gauges in /metrics moved. The smoke shuts the server down
+# itself; self-cleaning under target/tmp.
+ingest_gate_fail() {
+    echo "ingest gate failed: $1" >&2
+    [[ -f "${ING_LOG}" ]] && sed 's/^/  server: /' "${ING_LOG}" >&2
+    kill -9 "${ING_PID:-0}" 2>/dev/null || true
+    exit 1
+}
+echo "==> gate: drop-folder ingest smoke (dn-serve --ingest-dir + --smoke-ingest)"
+ING_DIR="target/tmp/dn_ingest_gate"
+rm -rf "${ING_DIR}" 2>/dev/null || true
+mkdir -p "${ING_DIR}"
+ING_LOG="${ING_DIR}/server.log"
+./target/release/dn-serve \
+    --data-dir "${ING_DIR}/store" \
+    --addr 127.0.0.1:0 --workers 2 --threads 4 \
+    --ingest-dir "${ING_DIR}/drop" --ingest-poll-ms 50 >"${ING_LOG}" 2>&1 &
+ING_PID=$!
+ING_ADDR=""
+for _ in $(seq 1 100); do
+    ING_ADDR=$(sed -n 's#.*listening on http://\([0-9.:]*\) .*#\1#p' "${ING_LOG}" | head -1)
+    [[ -n "${ING_ADDR}" ]] && break
+    kill -0 "${ING_PID}" 2>/dev/null || ingest_gate_fail "server exited before binding"
+    sleep 0.1
+done
+[[ -n "${ING_ADDR}" ]] || ingest_gate_fail "server never logged its address"
+./target/release/dn-serve --smoke-ingest "${ING_ADDR}" "${ING_DIR}/drop" \
+    || ingest_gate_fail "smoke-ingest client reported failure"
+for _ in $(seq 1 200); do
+    kill -0 "${ING_PID}" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "${ING_PID}" 2>/dev/null; then
+    ingest_gate_fail "server did not shut down after the smoke"
+fi
+wait "${ING_PID}" || ingest_gate_fail "server exited non-zero"
+[[ -f "${ING_DIR}/store/ingest.journal" ]] || ingest_gate_fail "ingester wrote no resume journal"
+rm -rf "${ING_DIR}"
+
 if [[ "$QUICK" -eq 0 ]]; then
     echo "==> criterion benches (offline shim, indicative timings)"
     cargo bench -q
@@ -241,6 +289,20 @@ if [[ "$QUICK" -eq 0 ]]; then
         || { echo "BENCH_parallel.json does not record pass=true" >&2; exit 1; }
     grep -q '"cores":' BENCH_parallel.json \
         || { echo "BENCH_parallel.json does not record the machine's core count" >&2; exit 1; }
+    echo "==> exp_ingest smoke (--scale 0.3)"
+    cargo run --release -q -p dn-bench --bin exp_ingest -- --scale 0.3
+    # The ingest replay must have produced a well-formed baseline: the
+    # 1e-9 end-state equivalence verdict and the fault counters present.
+    echo "==> gate: BENCH_ingest.json well-formed"
+    [[ -f BENCH_ingest.json ]] || { echo "exp_ingest wrote no BENCH_ingest.json" >&2; exit 1; }
+    grep -q '"pass": *true' BENCH_ingest.json \
+        || { echo "BENCH_ingest.json does not record pass=true" >&2; exit 1; }
+    grep -q '"kill_restarts": *1' BENCH_ingest.json \
+        || { echo "BENCH_ingest.json does not record the injected kill/restart" >&2; exit 1; }
+    grep -q '"redelivered_batches": *1' BENCH_ingest.json \
+        || { echo "BENCH_ingest.json does not record the redelivered batch" >&2; exit 1; }
+    grep -q '"batches_applied":' BENCH_ingest.json \
+        || { echo "BENCH_ingest.json does not record batches_applied" >&2; exit 1; }
 else
     echo "==> --quick: skipping benches and the exp_serving/exp_http smoke runs"
 fi

@@ -1,0 +1,318 @@
+//! Drop-folder ingest replay: CDC cost & fidelity under faults.
+//!
+//! Replays a seeded homograph-drift file-generation sequence
+//! (`datagen::DriftStream`) through the `dn-ingest` watcher into a live
+//! sharded engine, the way `dn-serve --ingest-dir` runs it in production:
+//! each generation rewrites the drop-folder (value substitutions, drifting
+//! homograph tokens, table arrivals/retirements), the ingester fingerprints
+//! the folder, diffs changed files into minimal `LakeDelta` batches, and
+//! commits them through the coordinator with its exactly-once journal.
+//!
+//! Mid-sequence the replay injects the two faults the journal exists for:
+//! one **kill/restart** (the ingester is dropped after a batch was applied
+//! but before its commit reached the journal, then rebuilt from the
+//! journal) and one **redelivered batch** (the sink applies a batch but
+//! reports a transient failure, so the same intent is delivered twice).
+//!
+//! The acceptance gate is end-state equivalence: after the full replay the
+//! served rankings of every golden measure must match a cold build of the
+//! final folder contents to 1e-9 per value, with identical value sets.
+//! Timings (ingest wall-clock vs cold-build wall-clock, rows diffed,
+//! batches shipped) are written to `BENCH_ingest.json` in the workspace
+//! root so the cost of the CDC path is tracked per PR.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use bench::{print_header, print_row, timed, write_bench_report, ExpArgs};
+use datagen::{DriftConfig, DriftStream};
+use dn_ingest::{CoordinatorSink, DeltaSink, IngestConfig, IngestStats, Ingester, SinkError};
+use dn_service::{serve_sharded, Coordinator, CoordinatorHandle, ServiceConfig};
+use domainnet::Measure;
+use lake::delta::MutableLake;
+use lake::LakeDelta;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct IngestReport {
+    seed: u64,
+    scale: f64,
+    shards: usize,
+    generations: usize,
+    tables: usize,
+    rows_per_table: usize,
+    kill_restarts: u64,
+    redelivered_batches: u64,
+    files_seen: u64,
+    batches_applied: u64,
+    rows_diffed: u64,
+    retries: u64,
+    ingest_s: f64,
+    cold_build_s: f64,
+    ranked_values: usize,
+    max_abs_diff: f64,
+    pass: bool,
+}
+
+fn scratch_dir() -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/tmp")
+        .join(format!("dn_exp_ingest_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn service_config(threads: usize) -> ServiceConfig {
+    ServiceConfig {
+        measures: vec![Measure::lcc(), Measure::exact_bc()],
+        cache_capacity: 64,
+        prune_single_attribute_values: true,
+        threads,
+    }
+}
+
+fn ingest_config(dir: &Path) -> IngestConfig {
+    let mut config = IngestConfig::new(dir);
+    config.journal_path = dir.with_extension("journal");
+    config.poll_interval = std::time::Duration::from_millis(1);
+    config.max_attempts = 1;
+    config
+}
+
+/// Applies through the inner sink, then reports the chosen delivery as a
+/// transient failure — the applied-but-unacknowledged window the journal's
+/// exactly-once protocol has to absorb.
+struct CrashAfterApply<S> {
+    inner: S,
+    crash_on: Option<u64>,
+}
+
+impl<S: DeltaSink> DeltaSink for CrashAfterApply<S> {
+    fn deliver(&mut self, seq: u64, deltas: &[LakeDelta]) -> Result<(), SinkError> {
+        self.inner.deliver(seq, deltas)?;
+        if self.crash_on == Some(seq) {
+            self.crash_on = None;
+            return Err(SinkError::Transient("injected fault after apply".into()));
+        }
+        Ok(())
+    }
+
+    fn transient_means_unapplied(&self) -> bool {
+        false
+    }
+}
+
+fn drain<S: DeltaSink>(ingester: &mut Ingester<S>) {
+    for _ in 0..50 {
+        let report = ingester.poll_once().expect("poll");
+        if report.caught_up && !ingester.has_pending() {
+            return;
+        }
+    }
+    panic!("ingester did not catch up within 50 polls");
+}
+
+/// Poll until the injected fault surfaces as a transient error.
+fn poll_until_fault<S: DeltaSink>(ingester: &mut Ingester<S>) {
+    loop {
+        match ingester.poll_once() {
+            Ok(report) => assert!(!report.caught_up, "injected fault never fired"),
+            Err(e) => {
+                assert!(e.is_transient(), "injected fault is transient: {e}");
+                return;
+            }
+        }
+    }
+}
+
+fn ranking(handle: &CoordinatorHandle, measure: Measure) -> BTreeMap<String, f64> {
+    handle
+        .reader()
+        .top_k(measure, usize::MAX)
+        .expect("served measure")
+        .iter()
+        .map(|s| (s.value.clone(), s.score))
+        .collect()
+}
+
+fn main() {
+    let args = ExpArgs::parse();
+    let generations = args.scaled(12, 6);
+    let tables = args.scaled(6, 3);
+    let rows_per_table = args.scaled(48, 16);
+    let dir = scratch_dir();
+    let measures = [Measure::lcc(), Measure::exact_bc()];
+
+    println!(
+        "# exp_ingest: {generations} drift generations over {tables} tables x \
+{rows_per_table} rows (seed {}, shards {})\n",
+        args.seed, args.shards
+    );
+
+    let (handle, coordinator) = serve_sharded(MutableLake::new(), service_config(1), args.shards);
+    let coordinator: Arc<Mutex<Coordinator>> = Arc::new(Mutex::new(coordinator));
+    let stats = Arc::new(IngestStats::default());
+    let mut stream = DriftStream::new(DriftConfig {
+        seed: args.seed,
+        tables,
+        rows_per_table,
+        drifters: 3,
+        churn_per_generation: 2,
+    });
+
+    // Fault points: a kill/restart a third of the way in, one redelivered
+    // batch two thirds of the way in.
+    let kill_at = generations / 3;
+    let redeliver_at = (2 * generations) / 3;
+    let mut kill_restarts = 0u64;
+    let mut redelivered_batches = 0u64;
+
+    let (_, ingest_s) = timed(|| {
+        let mut ingester = Ingester::new(
+            ingest_config(&dir),
+            CrashAfterApply {
+                inner: CoordinatorSink::new(Arc::clone(&coordinator)),
+                crash_on: None,
+            },
+            Arc::clone(&stats),
+        )
+        .expect("ingester starts");
+        for generation in 0..generations {
+            stream
+                .write_next_generation(&dir)
+                .expect("write generation");
+            if generation == kill_at {
+                // Arm the fault, let the batch apply, then "kill -9" the
+                // ingester with the pending intent journaled and rebuild
+                // it from the journal.
+                ingester.sink_mut().crash_on = Some(ingester.last_seq() + 1);
+                poll_until_fault(&mut ingester);
+                assert!(ingester.has_pending(), "intent survives the kill");
+                drop(ingester);
+                kill_restarts += 1;
+                ingester = Ingester::new(
+                    ingest_config(&dir),
+                    CrashAfterApply {
+                        inner: CoordinatorSink::new(Arc::clone(&coordinator)),
+                        crash_on: None,
+                    },
+                    Arc::clone(&stats),
+                )
+                .expect("ingester restarts");
+            } else if generation == redeliver_at {
+                // Same fault without the kill: the next poll redelivers
+                // the pending batch through the same ingester.
+                ingester.sink_mut().crash_on = Some(ingester.last_seq() + 1);
+                poll_until_fault(&mut ingester);
+                redelivered_batches += 1;
+            }
+            drain(&mut ingester);
+        }
+    });
+
+    // Cold build: the final folder contents loaded from scratch.
+    let (cold_handle, cold_build_s) = {
+        let ((cold_handle, _cold_coordinator), cold_build_s) = timed(|| {
+            let catalog = lake::loader::load_dir(
+                &dir,
+                lake::loader::LoadOptions {
+                    strict: true,
+                    ..lake::loader::LoadOptions::default()
+                },
+            )
+            .expect("cold load");
+            serve_sharded(
+                MutableLake::from_catalog(&catalog),
+                service_config(1),
+                args.shards,
+            )
+        });
+        (cold_handle, cold_build_s)
+    };
+
+    // Gate: every golden measure agrees with the cold build to 1e-9.
+    let mut pass = true;
+    let mut max_abs_diff = 0.0f64;
+    let mut ranked_values = 0usize;
+    for measure in measures {
+        let warm = ranking(&handle, measure);
+        let cold = ranking(&cold_handle, measure);
+        ranked_values = ranked_values.max(warm.len());
+        if warm.len() != cold.len() || warm.keys().ne(cold.keys()) {
+            eprintln!(
+                "[{measure:?}] ranked value sets differ: warm {} vs cold {}",
+                warm.len(),
+                cold.len()
+            );
+            pass = false;
+            continue;
+        }
+        for (value, score) in &warm {
+            let diff = (score - cold[value]).abs();
+            max_abs_diff = max_abs_diff.max(diff);
+            if diff > 1e-9 {
+                eprintln!(
+                    "[{measure:?}] {value}: warm {score} vs cold {}",
+                    cold[value]
+                );
+                pass = false;
+            }
+        }
+    }
+
+    let snapshot = stats.snapshot();
+    print_header(&[
+        "generations",
+        "batches",
+        "rows_diffed",
+        "retries",
+        "kills",
+        "redelivered",
+        "ingest_s",
+        "cold_s",
+        "max_abs_diff",
+        "pass",
+    ]);
+    print_row(&[
+        generations.to_string(),
+        snapshot.batches_applied.to_string(),
+        snapshot.rows_diffed.to_string(),
+        snapshot.retries.to_string(),
+        kill_restarts.to_string(),
+        redelivered_batches.to_string(),
+        format!("{ingest_s:.3}"),
+        format!("{cold_build_s:.3}"),
+        format!("{max_abs_diff:.2e}"),
+        pass.to_string(),
+    ]);
+
+    let report = IngestReport {
+        seed: args.seed,
+        scale: args.scale,
+        shards: args.shards,
+        generations,
+        tables,
+        rows_per_table,
+        kill_restarts,
+        redelivered_batches,
+        files_seen: snapshot.files_seen,
+        batches_applied: snapshot.batches_applied,
+        rows_diffed: snapshot.rows_diffed,
+        retries: snapshot.retries,
+        ingest_s,
+        cold_build_s,
+        ranked_values,
+        max_abs_diff,
+        pass,
+    };
+    write_bench_report("ingest", &report);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_file(dir.with_extension("journal"));
+    if !pass {
+        eprintln!("\nexp_ingest: FAILED the 1e-9 end-state equivalence gate");
+        std::process::exit(1);
+    }
+    println!("\nexp_ingest: end state matches the cold build (<= 1e-9)");
+}

@@ -13,7 +13,10 @@
 //!
 //! For the incremental subsystem, [`mutate`] generates seeded streams of
 //! single-table lake mutations (arrivals, removals, cell rewrites) to replay
-//! against any of the generated lakes.
+//! against any of the generated lakes, plus [`mutate::DriftStream`]: numbered
+//! CSV file generations in which values drift across semantic domains over
+//! mutation epochs — the time-evolving homograph workload consumed by the
+//! `dn-ingest` drop-folder watcher.
 //!
 //! Ground truth is represented by [`truth::LakeTruth`]: a semantic class per
 //! attribute, from which homograph labels follow via the paper's
@@ -42,7 +45,7 @@ pub mod tus;
 pub mod vocab;
 
 pub use inject::{inject_homographs, remove_homographs, InjectionConfig, InjectionResult};
-pub use mutate::{MutationConfig, MutationStream};
+pub use mutate::{DriftConfig, DriftGeneration, DriftStream, MutationConfig, MutationStream};
 pub use sb::{SbConfig, SbGenerator};
 pub use scale::{ScaleConfig, ScaleGenerator};
 pub use truth::{GeneratedLake, LakeTruth};

@@ -259,6 +259,294 @@ impl MutationStream {
     }
 }
 
+/// Configuration for [`DriftStream`], the homograph-drift scenario.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct DriftConfig {
+    /// RNG seed; generations are fully deterministic given the seed.
+    pub seed: u64,
+    /// Base tables in the drop-folder.
+    pub tables: usize,
+    /// Rows per table.
+    pub rows_per_table: usize,
+    /// Number of drifting values (`Drifter0`, `Drifter1`, …). Each starts
+    /// with one semantic home and invades a new semantic context roughly
+    /// every `drifters` generations.
+    pub drifters: usize,
+    /// Ordinary value rewrites per generation, on top of the drift.
+    pub churn_per_generation: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            seed: 2021,
+            tables: 6,
+            rows_per_table: 40,
+            drifters: 3,
+            churn_per_generation: 2,
+        }
+    }
+}
+
+/// What one emitted generation changed on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriftGeneration {
+    /// 0-based generation index.
+    pub index: usize,
+    /// File names written this generation (every live table is rewritten,
+    /// so unchanged tables surface as content-identical rewrites — the
+    /// ingest watcher's fingerprint-only update path).
+    pub written: Vec<String>,
+    /// File names deleted this generation (retired extra tables).
+    pub removed: Vec<String>,
+}
+
+/// A deterministic emitter of numbered CSV file generations in which values
+/// *drift*: a `Drifter<i>` token starts out meaning one thing (it lives in,
+/// say, an `animal` column) and, generation by generation, invades columns
+/// of other semantic domains (a `brand` column of another table) — becoming
+/// a homograph not by construction of a static lake but by the passage of
+/// mutation epochs. This is the time-evolving scenario the ROADMAP's drift
+/// bullet asks for, shaped for the dn-ingest drop-folder: each
+/// [`DriftStream::write_next_generation`] call rewrites the folder to the
+/// next generation (adds, cell rewrites, occasional table arrivals and
+/// retirements) exactly like an upstream exporter would.
+///
+/// Besides the drifters, every generation applies
+/// [`DriftConfig::churn_per_generation`] ordinary value substitutions
+/// (`Churn<n>` values), so most diffs are expressible as minimal
+/// `ReplaceValue` deltas, while the periodic extra-table arrivals and
+/// retirements exercise the add/remove paths.
+#[derive(Debug, Clone)]
+pub struct DriftStream {
+    config: DriftConfig,
+    rng: StdRng,
+    tables: Vec<Table>,
+    /// Generations produced so far (0 = none yet).
+    produced: usize,
+    /// Per drifter: how many foreign tables it has invaded.
+    invasions: Vec<usize>,
+    /// Live extra tables, oldest first.
+    extras: Vec<String>,
+    next_extra: usize,
+    churned: usize,
+}
+
+impl DriftStream {
+    /// Create a stream with the given configuration.
+    pub fn new(config: DriftConfig) -> Self {
+        DriftStream {
+            rng: StdRng::seed_from_u64(config.seed),
+            invasions: vec![0; config.drifters],
+            config,
+            tables: Vec::new(),
+            produced: 0,
+            extras: Vec::new(),
+            next_extra: 0,
+            churned: 0,
+        }
+    }
+
+    /// The drifting tokens, in drifter order (raw form; normalize for
+    /// lookups against the engine).
+    pub fn drift_tokens(&self) -> Vec<String> {
+        (0..self.config.drifters)
+            .map(|d| format!("Drifter{d}"))
+            .collect()
+    }
+
+    /// Generations produced so far.
+    pub fn generations(&self) -> usize {
+        self.produced
+    }
+
+    /// The current generation's live tables.
+    pub fn live_tables(&self) -> &[Table] {
+        &self.tables
+    }
+
+    /// Advance to the next generation and rewrite `dir` to match: every
+    /// live table is written as `<name>.csv` and retired tables' files are
+    /// deleted.
+    ///
+    /// # Errors
+    /// Propagates I/O failures writing the folder.
+    pub fn write_next_generation(
+        &mut self,
+        dir: impl AsRef<std::path::Path>,
+    ) -> lake::Result<DriftGeneration> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| lake::LakeError::io_with_path(e, dir))?;
+        let removed = self.advance();
+        let mut written = Vec::with_capacity(self.tables.len());
+        for table in &self.tables {
+            let name = format!("{}.csv", table.name());
+            let path = dir.join(&name);
+            let file = std::fs::File::create(&path)
+                .map_err(|e| lake::LakeError::io_with_path(e, &path))?;
+            let mut writer = std::io::BufWriter::new(file);
+            lake::loader::write_table(&mut writer, table)?;
+            use std::io::Write as _;
+            writer
+                .flush()
+                .map_err(|e| lake::LakeError::io_with_path(e, &path))?;
+            written.push(name);
+        }
+        let mut removed_files = Vec::with_capacity(removed.len());
+        for name in removed {
+            let file_name = format!("{name}.csv");
+            let path = dir.join(&file_name);
+            match std::fs::remove_file(&path) {
+                Ok(()) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                Err(e) => return Err(lake::LakeError::io_with_path(e, &path)),
+            }
+            removed_files.push(file_name);
+        }
+        Ok(DriftGeneration {
+            index: self.produced - 1,
+            written,
+            removed: removed_files,
+        })
+    }
+
+    /// Advance the in-memory lake one generation; returns retired table
+    /// names.
+    fn advance(&mut self) -> Vec<String> {
+        if self.produced == 0 {
+            self.build_base();
+            self.produced = 1;
+            return Vec::new();
+        }
+        let generation = self.produced;
+        // One drifter invades a new semantic context per generation.
+        if self.config.drifters > 0 && self.config.tables > 1 {
+            let d = (generation - 1) % self.config.drifters;
+            self.invade(d);
+        }
+        // Ordinary churn: full substitutions of one distinct value.
+        for _ in 0..self.config.churn_per_generation {
+            self.churn();
+        }
+        // Structural churn: arrivals every 3rd generation, retirements once
+        // more than two extras are live.
+        let mut removed = Vec::new();
+        if generation % 3 == 0 {
+            let table = self.build_extra();
+            self.extras.push(table.name().to_owned());
+            self.tables.push(table);
+        }
+        if self.extras.len() > 2 {
+            let name = self.extras.remove(0);
+            self.tables.retain(|t| t.name() != name);
+            removed.push(name);
+        }
+        self.produced += 1;
+        removed
+    }
+
+    fn build_base(&mut self) {
+        let rows = self.config.rows_per_table.max(4);
+        let n_pools = COLUMN_POOLS.len();
+        for i in 0..self.config.tables.max(1) {
+            let (name_a, pool_a) = COLUMN_POOLS[i % n_pools];
+            let (name_b, pool_b) = COLUMN_POOLS[(i + 3) % n_pools];
+            let mut cells_a: Vec<String> = (0..rows)
+                .map(|_| pool_a[self.rng.gen_range(0..pool_a.len())].to_owned())
+                .collect();
+            let cells_b: Vec<String> = (0..rows)
+                .map(|_| pool_b[self.rng.gen_range(0..pool_b.len())].to_owned())
+                .collect();
+            // Plant each drifter in its home column (its original meaning).
+            for d in 0..self.config.drifters {
+                if d % self.config.tables.max(1) == i {
+                    let token = format!("Drifter{d}");
+                    for k in 0..3usize {
+                        let row = (d + 7 * k + 1) % rows;
+                        cells_a[row] = token.clone();
+                    }
+                }
+            }
+            let table = TableBuilder::new(format!("drift_{i:02}"))
+                .column(name_a, cells_a)
+                .column(name_b, cells_b)
+                .build()
+                .expect("rectangular by construction");
+            self.tables.push(table);
+        }
+    }
+
+    fn build_extra(&mut self) -> Table {
+        let rows = self.config.rows_per_table.max(4);
+        let id = self.next_extra;
+        self.next_extra += 1;
+        let n_pools = COLUMN_POOLS.len();
+        let a = self.rng.gen_range(0..n_pools);
+        let b = (a + self.rng.gen_range(1..n_pools)) % n_pools;
+        let (name_a, pool_a) = COLUMN_POOLS[a];
+        let (name_b, pool_b) = COLUMN_POOLS[b];
+        let cells_a: Vec<String> = (0..rows)
+            .map(|_| pool_a[self.rng.gen_range(0..pool_a.len())].to_owned())
+            .collect();
+        let cells_b: Vec<String> = (0..rows)
+            .map(|_| pool_b[self.rng.gen_range(0..pool_b.len())].to_owned())
+            .collect();
+        TableBuilder::new(format!("drift_extra_{id}"))
+            .column(name_a, cells_a)
+            .column(name_b, cells_b)
+            .build()
+            .expect("rectangular by construction")
+    }
+
+    /// Drifter `d` replaces one ordinary value in the *second* column of a
+    /// table other than its home — the token now also means whatever that
+    /// column's domain means.
+    fn invade(&mut self, d: usize) {
+        let tables = self.config.tables;
+        let home = d % tables;
+        let mut idx = (home + 1 + self.invasions[d]) % tables;
+        if idx == home {
+            idx = (idx + 1) % tables;
+        }
+        let token = format!("Drifter{d}");
+        let table = &mut self.tables[idx];
+        let column = &mut table.columns_mut()[1];
+        let victim = column
+            .distinct_values()
+            .find(|v| !v.starts_with("DRIFTER") && !v.starts_with("CHURN"))
+            .map(str::to_owned);
+        if let Some(victim) = victim {
+            column.replace_value(&victim, &token);
+            self.invasions[d] += 1;
+        }
+    }
+
+    /// Replace every cell of one randomly chosen distinct value with a
+    /// fresh `Churn<n>` value — a consistent substitution, expressible by
+    /// the ingest differ as a single `ReplaceValue` op.
+    fn churn(&mut self) {
+        for _ in 0..8 {
+            let t = self.rng.gen_range(0..self.tables.len());
+            let table = &mut self.tables[t];
+            let c = self.rng.gen_range(0..table.column_count());
+            let column = &mut table.columns_mut()[c];
+            let distinct: Vec<String> = column
+                .distinct_values()
+                .filter(|v| !v.starts_with("DRIFTER") && !v.starts_with("CHURN"))
+                .map(str::to_owned)
+                .collect();
+            if distinct.is_empty() {
+                continue;
+            }
+            let victim = &distinct[self.rng.gen_range(0..distinct.len())];
+            let replacement = format!("Churn{}", self.churned);
+            self.churned += 1;
+            column.replace_value(victim, &replacement);
+            return;
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -380,5 +668,153 @@ mod tests {
             seen_readd,
             "60 mutations should re-add at least one parked table"
         );
+    }
+
+    fn drift_config() -> DriftConfig {
+        DriftConfig {
+            seed: 99,
+            tables: 4,
+            rows_per_table: 24,
+            drifters: 2,
+            churn_per_generation: 2,
+        }
+    }
+
+    #[test]
+    fn drift_stream_is_deterministic_per_seed() {
+        let render = |config: DriftConfig, generations: usize| {
+            let mut stream = DriftStream::new(config);
+            let mut out = String::new();
+            for _ in 0..generations {
+                let removed = stream.advance();
+                for table in stream.live_tables() {
+                    out.push_str(&format!("{table:?}\n"));
+                }
+                out.push_str(&format!("removed: {removed:?}\n"));
+            }
+            out
+        };
+        assert_eq!(render(drift_config(), 8), render(drift_config(), 8));
+        assert_ne!(
+            render(drift_config(), 8),
+            render(
+                DriftConfig {
+                    seed: 100,
+                    ..drift_config()
+                },
+                8
+            )
+        );
+    }
+
+    #[test]
+    fn drifters_become_homographs_across_generations() {
+        let mut stream = DriftStream::new(drift_config());
+        stream.advance();
+        // Generation 0: each drifter lives in exactly one column semantic.
+        let homes: Vec<usize> = stream
+            .drift_tokens()
+            .iter()
+            .map(|token| {
+                let normalized = lake::normalize(token);
+                stream
+                    .live_tables()
+                    .iter()
+                    .flat_map(|t| t.columns())
+                    .filter(|c| c.contains_normalized(&normalized))
+                    .count()
+            })
+            .collect();
+        assert!(homes.iter().all(|&n| n == 1), "homes: {homes:?}");
+        // After enough generations every drifter occupies >= 2 columns of
+        // different semantic names — a homograph by meaning change.
+        for _ in 0..6 {
+            stream.advance();
+        }
+        for token in stream.drift_tokens() {
+            let normalized = lake::normalize(&token);
+            let hosts: std::collections::HashSet<&str> = stream
+                .live_tables()
+                .iter()
+                .flat_map(|t| t.columns())
+                .filter(|c| c.contains_normalized(&normalized))
+                .map(|c| c.name())
+                .collect();
+            assert!(
+                hosts.len() >= 2,
+                "{token} should span >=2 column semantics, got {hosts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_generations_write_and_retire_files() {
+        let dir = std::env::temp_dir().join(format!("dn_drift_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut stream = DriftStream::new(drift_config());
+        let mut saw_removal = false;
+        for i in 0..10 {
+            let generation = stream.write_next_generation(&dir).unwrap();
+            assert_eq!(generation.index, i);
+            saw_removal |= !generation.removed.is_empty();
+            // The folder holds exactly the live tables.
+            let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+                .collect();
+            on_disk.sort();
+            let mut expected: Vec<String> = stream
+                .live_tables()
+                .iter()
+                .map(|t| format!("{}.csv", t.name()))
+                .collect();
+            expected.sort();
+            assert_eq!(on_disk, expected);
+            // Every file round-trips through the strict loader.
+            for name in &expected {
+                let table = lake::loader::load_table(
+                    &dir.join(name),
+                    lake::loader::LoadOptions {
+                        strict: true,
+                        ..lake::loader::LoadOptions::default()
+                    },
+                )
+                .unwrap();
+                assert_eq!(table.row_count(), 24);
+            }
+        }
+        assert!(saw_removal, "10 generations should retire an extra table");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn drift_churn_is_a_consistent_substitution() {
+        // Consecutive generations of the same table differ only by full
+        // value substitutions (plus drift), never partial rewrites: every
+        // churned-away value disappears entirely.
+        let mut stream = DriftStream::new(drift_config());
+        stream.advance();
+        let before: Vec<Table> = stream.live_tables().to_vec();
+        stream.advance();
+        for old in &before {
+            let Some(new) = stream.live_tables().iter().find(|t| t.name() == old.name()) else {
+                continue;
+            };
+            for (oc, nc) in old.columns().iter().zip(new.columns()) {
+                for value in oc.distinct_values() {
+                    let survives = nc.contains_normalized(value);
+                    if !survives {
+                        // Vanished entirely: no cell may still hold it.
+                        assert_eq!(
+                            nc.cells()
+                                .iter()
+                                .filter(|c| lake::normalize(c) == value)
+                                .count(),
+                            0
+                        );
+                    }
+                }
+            }
+        }
     }
 }

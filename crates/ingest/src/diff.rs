@@ -1,0 +1,259 @@
+//! Table differ: turn (old generation, new generation) of one table into a
+//! minimal [`LakeDelta`].
+//!
+//! The differ prefers value-granularity [`lake::delta::LakeOp::ReplaceValue`] ops because
+//! they are cheap for the engine (dictionary rewrite + component-scoped
+//! repair instead of a full table rebuild) and — crucially for exactly-once
+//! delivery — idempotent: redelivering a `ReplaceValue` whose target is
+//! already gone rewrites zero cells. A positional cell diff is only
+//! expressible as `ReplaceValue` ops when it behaves like a consistent
+//! value-level substitution; anything more structural falls back to a
+//! `RemoveTable` + `AddTable` rewrite (state-equivalent on redelivery).
+//!
+//! Expressibility conditions, checked per column:
+//! - same column names in the same order, and the same row count;
+//! - the changed positions form a function `old value → new value`
+//!   (no old value maps to two different new values);
+//! - every occurrence of a replaced value changes (a `ReplaceValue` rewrites
+//!   *all* cells holding the target, so a half-changed value is structural);
+//! - targets and replacements are disjoint sets (no chains or swaps, whose
+//!   sequential application would cascade);
+//! - no change involves a missing (empty-normalized) cell on either side.
+
+use std::collections::BTreeSet;
+
+use lake::{normalize, LakeDelta, Table};
+
+/// Outcome of diffing one table across two generations.
+#[derive(Debug)]
+pub struct TableDiff {
+    /// Ops that transform the old table into the new one. Empty when the
+    /// tables are value-identical (e.g. an mtime-only rewrite).
+    pub delta: LakeDelta,
+    /// Rows examined to synthesize the delta (metrics fuel).
+    pub rows_diffed: u64,
+    /// Whether the differ fell back to a remove+add rewrite.
+    pub full_rewrite: bool,
+}
+
+/// Diff `old` → `new`, preferring minimal `ReplaceValue` ops.
+///
+/// Both tables must carry the same name (they come from the same file); the
+/// delta is expressed against that name.
+pub fn diff_tables(old: &Table, new: &Table) -> TableDiff {
+    let rows_diffed = old.row_count().max(new.row_count()) as u64;
+    if let Some(delta) = try_replace_diff(old, new) {
+        let full_rewrite = false;
+        return TableDiff {
+            delta,
+            rows_diffed,
+            full_rewrite,
+        };
+    }
+    TableDiff {
+        delta: rewrite_delta(old.name(), new),
+        rows_diffed,
+        full_rewrite: true,
+    }
+}
+
+/// The structural fallback: drop the old table and add the new content.
+pub fn rewrite_delta(old_name: &str, new: &Table) -> LakeDelta {
+    let remove = LakeDelta::new().remove_table(old_name);
+    let add = LakeDelta::new().add_table(new.clone());
+    remove.merge(add)
+}
+
+fn try_replace_diff(old: &Table, new: &Table) -> Option<LakeDelta> {
+    if old.row_count() != new.row_count() || old.column_count() != new.column_count() {
+        return None;
+    }
+    for (oc, nc) in old.columns().iter().zip(new.columns()) {
+        if oc.name() != nc.name() {
+            return None;
+        }
+    }
+    let mut delta = LakeDelta::new();
+    for (oc, nc) in old.columns().iter().zip(new.columns()) {
+        let old_cells = oc.cells();
+        let new_cells = nc.cells();
+        // First-seen-order mapping of normalized target → raw replacement.
+        let mut mapping: Vec<(String, String)> = Vec::new();
+        for (old_raw, new_raw) in old_cells.iter().zip(new_cells) {
+            let old_norm = normalize(old_raw);
+            let new_norm = normalize(new_raw);
+            if old_norm == new_norm {
+                continue;
+            }
+            if old_norm.is_empty() || new_norm.is_empty() {
+                // Transitions to/from missing cells have no value-level op.
+                return None;
+            }
+            match mapping.iter().find(|(t, _)| *t == old_norm) {
+                Some((_, repl)) if normalize(repl) == new_norm => {}
+                Some(_) => return None, // inconsistent: one old value, two new ones
+                None => mapping.push((old_norm, new_raw.clone())),
+            }
+        }
+        if mapping.is_empty() {
+            continue;
+        }
+        let targets: BTreeSet<&str> = mapping.iter().map(|(t, _)| t.as_str()).collect();
+        // No chains/swaps: a replacement that is itself a target would make
+        // sequential application cascade through both rewrites.
+        if mapping
+            .iter()
+            .any(|(_, r)| targets.contains(normalize(r).as_str()))
+        {
+            return None;
+        }
+        // Completeness: every surviving occurrence of a target must have
+        // changed, because ReplaceValue rewrites all of them.
+        for (old_raw, new_raw) in old_cells.iter().zip(new_cells) {
+            let old_norm = normalize(old_raw);
+            if let Some((_, repl)) = mapping.iter().find(|(t, _)| *t == old_norm) {
+                if normalize(new_raw) != normalize(repl) {
+                    return None;
+                }
+            }
+        }
+        for (target, replacement) in mapping {
+            delta = delta.replace_value(old.name(), oc.name(), &target, replacement);
+        }
+    }
+    Some(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lake::{LakeOp, TableBuilder};
+
+    fn table(name: &str, col: &str, cells: &[&str]) -> Table {
+        TableBuilder::new(name)
+            .column(col, cells.iter().map(|c| c.to_string()).collect::<Vec<_>>())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_tables_yield_empty_delta() {
+        let a = table("t", "c", &["x", "y", "x"]);
+        let b = table("t", "c", &["x", "y", "x"]);
+        let diff = diff_tables(&a, &b);
+        assert!(diff.delta.is_empty());
+        assert!(!diff.full_rewrite);
+        assert_eq!(diff.rows_diffed, 3);
+    }
+
+    #[test]
+    fn consistent_substitution_becomes_replace_ops() {
+        let a = table("t", "c", &["Jaguar", "Okapi", "Jaguar"]);
+        let b = table("t", "c", &["Panther", "Okapi", "Panther"]);
+        let diff = diff_tables(&a, &b);
+        assert!(!diff.full_rewrite);
+        assert_eq!(diff.delta.len(), 1);
+        match &diff.delta.ops()[0] {
+            LakeOp::ReplaceValue {
+                table,
+                column,
+                target,
+                replacement,
+            } => {
+                assert_eq!(table, "t");
+                assert_eq!(column, "c");
+                assert_eq!(target, "JAGUAR");
+                assert_eq!(replacement, "Panther");
+            }
+            other => panic!("expected ReplaceValue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn partial_change_of_a_value_falls_back_to_rewrite() {
+        // Only one of the two Jaguar cells changes: not expressible as
+        // ReplaceValue (which rewrites every occurrence).
+        let a = table("t", "c", &["Jaguar", "Okapi", "Jaguar"]);
+        let b = table("t", "c", &["Panther", "Okapi", "Jaguar"]);
+        let diff = diff_tables(&a, &b);
+        assert!(diff.full_rewrite);
+        assert!(matches!(diff.delta.ops()[0], LakeOp::RemoveTable(_)));
+        assert!(matches!(diff.delta.ops()[1], LakeOp::AddTable(_)));
+    }
+
+    #[test]
+    fn swap_falls_back_to_rewrite() {
+        let a = table("t", "c", &["a", "b"]);
+        let b = table("t", "c", &["b", "a"]);
+        assert!(diff_tables(&a, &b).full_rewrite);
+    }
+
+    #[test]
+    fn inconsistent_mapping_falls_back_to_rewrite() {
+        let a = table("t", "c", &["x", "x", "y"]);
+        let b = table("t", "c", &["p", "q", "y"]);
+        assert!(diff_tables(&a, &b).full_rewrite);
+    }
+
+    #[test]
+    fn chain_falls_back_to_rewrite() {
+        // a → b while b → c: applying "replace a with b" first would sweep
+        // the new b cells into c.
+        let a = table("t", "c", &["a", "b"]);
+        let b = table("t", "c", &["b", "c"]);
+        assert!(diff_tables(&a, &b).full_rewrite);
+    }
+
+    #[test]
+    fn missing_cell_transitions_fall_back_to_rewrite() {
+        let a = table("t", "c", &["x", ""]);
+        let b = table("t", "c", &["x", "y"]);
+        assert!(diff_tables(&a, &b).full_rewrite);
+    }
+
+    #[test]
+    fn row_count_change_falls_back_to_rewrite() {
+        let a = table("t", "c", &["x", "y"]);
+        let b = table("t", "c", &["x", "y", "z"]);
+        assert!(diff_tables(&a, &b).full_rewrite);
+    }
+
+    #[test]
+    fn multi_column_substitutions_scope_per_column() {
+        let a = TableBuilder::new("t")
+            .column("c1", ["x", "y"])
+            .column("c2", ["x", "z"])
+            .build()
+            .unwrap();
+        let b = TableBuilder::new("t")
+            .column("c1", ["w", "y"])
+            .column("c2", ["x", "z"])
+            .build()
+            .unwrap();
+        let diff = diff_tables(&a, &b);
+        assert!(!diff.full_rewrite);
+        assert_eq!(diff.delta.len(), 1, "only c1 changed");
+    }
+
+    #[test]
+    fn replace_diff_applies_to_equivalence() {
+        // Property-style check: applying the synthesized delta to a lake
+        // holding the old table yields the new table's distinct values.
+        let a = table("t", "c", &["Jaguar", "Okapi", "Jaguar", "Kudu"]);
+        let b = table("t", "c", &["Panther", "Okapi", "Panther", "Zebu"]);
+        let diff = diff_tables(&a, &b);
+        assert!(!diff.full_rewrite);
+        let mut lake = lake::MutableLake::new();
+        lake.apply(&LakeDelta::new().add_table(a)).unwrap();
+        lake.apply(&diff.delta).unwrap();
+        let got: Vec<String> = lake.table("t").unwrap().columns()[0]
+            .distinct_values()
+            .map(str::to_string)
+            .collect();
+        let want: Vec<String> = b.columns()[0]
+            .distinct_values()
+            .map(str::to_string)
+            .collect();
+        assert_eq!(got, want);
+    }
+}

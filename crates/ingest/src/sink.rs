@@ -1,0 +1,91 @@
+//! Delivery sinks: where synthesized delta batches go.
+//!
+//! The ingester is sink-agnostic. [`CoordinatorSink`] delivers in-process to
+//! a shared [`Coordinator`] writer (the `dn-serve --ingest-dir` path);
+//! dn-server provides an `HttpSink` that POSTs to a remote primary's
+//! `/v1/mutations` (the standalone `dn-ingest` CLI path). Tests wrap sinks
+//! to inject crashes and duplicate deliveries.
+
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use dn_service::{Coordinator, ServiceError};
+use lake::LakeDelta;
+
+/// How a delivery failed. The distinction drives the exactly-once protocol:
+/// `Transient` failures are retried with backoff (the batch may or may not
+/// have been applied — the journal remembers it as pending), while
+/// `Rejected` means the engine evaluated the batch and refused it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SinkError {
+    /// Delivery may not have reached (or may not have been acknowledged by)
+    /// the engine: connection failure, timeout, 5xx, lock poisoning.
+    Transient(String),
+    /// The engine evaluated the batch and refused it (invalid delta, 4xx).
+    Rejected(String),
+}
+
+impl fmt::Display for SinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinkError::Transient(m) => write!(f, "transient delivery failure: {m}"),
+            SinkError::Rejected(m) => write!(f, "batch rejected: {m}"),
+        }
+    }
+}
+
+/// A destination for delta batches. `seq` is the journal sequence number of
+/// the batch — stable across redeliveries of the same batch, so sinks that
+/// can deduplicate have the key to do it with.
+pub trait DeltaSink {
+    fn deliver(&mut self, seq: u64, deltas: &[LakeDelta]) -> Result<(), SinkError>;
+
+    /// Whether a `Transient` failure from this sink guarantees the batch was
+    /// NOT applied. In-process sinks return `true` (a failed commit resyncs
+    /// the engine), which lets the ingester treat a later `Rejected` on the
+    /// same fresh batch as a genuine rejection instead of evidence of a
+    /// prior application. Network sinks must keep the default `false`: a
+    /// timed-out POST may have committed server-side.
+    fn transient_means_unapplied(&self) -> bool {
+        false
+    }
+}
+
+/// In-process sink: stage → commit → publish on a shared [`Coordinator`].
+///
+/// Holds an `Arc` clone of the coordinator that dn-serve also hands to the
+/// HTTP layer, so ingested batches are immediately visible to readers via
+/// the published epoch.
+pub struct CoordinatorSink {
+    coordinator: Arc<Mutex<Coordinator>>,
+}
+
+impl CoordinatorSink {
+    pub fn new(coordinator: Arc<Mutex<Coordinator>>) -> Self {
+        Self { coordinator }
+    }
+}
+
+impl DeltaSink for CoordinatorSink {
+    fn transient_means_unapplied(&self) -> bool {
+        true
+    }
+
+    fn deliver(&mut self, _seq: u64, deltas: &[LakeDelta]) -> Result<(), SinkError> {
+        let mut guard = self
+            .coordinator
+            .lock()
+            .map_err(|_| SinkError::Transient("coordinator lock poisoned".to_string()))?;
+        for delta in deltas {
+            guard.stage(delta.clone());
+        }
+        match guard.commit() {
+            Ok(_) => {
+                guard.publish();
+                Ok(())
+            }
+            Err(ServiceError::Lake(e)) => Err(SinkError::Rejected(e.to_string())),
+            Err(other) => Err(SinkError::Transient(other.to_string())),
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! The HTTP delivery sink for dn-ingest: ships delta batches to a remote
+//! primary's `POST /v1/mutations`.
+//!
+//! This is the transport behind the standalone `dn-ingest` CLI. Error
+//! mapping follows the exactly-once contract in `dn_ingest::sink`:
+//! transport failures and 5xx responses are [`SinkError::Transient`] (the
+//! batch *may* have committed server-side — the client never auto-retries
+//! POSTs, and a timed-out request can still have landed), while 4xx
+//! responses are [`SinkError::Rejected`] (the server evaluated the batch
+//! and refused it). The sink keeps the default
+//! `transient_means_unapplied() == false`, which tells the ingester that a
+//! rejection following a transient failure may just be the first delivery
+//! showing through.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use dn_ingest::{DeltaSink, SinkError};
+use lake::LakeDelta;
+
+use crate::api::MutationRequest;
+use crate::client::Client;
+
+/// [`DeltaSink`] that POSTs batches to a primary's `/v1/mutations`.
+#[derive(Debug)]
+pub struct HttpSink {
+    client: Client,
+}
+
+impl HttpSink {
+    /// A sink for the primary at `addr` with the client's default timeout.
+    pub fn new(addr: SocketAddr) -> HttpSink {
+        HttpSink {
+            client: Client::new(addr),
+        }
+    }
+
+    /// Override the connect/read timeout.
+    pub fn with_timeout(addr: SocketAddr, timeout: Duration) -> HttpSink {
+        HttpSink {
+            client: Client::new(addr).with_timeout(timeout),
+        }
+    }
+}
+
+impl DeltaSink for HttpSink {
+    fn deliver(&mut self, _seq: u64, deltas: &[LakeDelta]) -> Result<(), SinkError> {
+        let request = MutationRequest {
+            deltas: deltas.to_vec(),
+        };
+        let body = serde_json::to_string(&request)
+            .map_err(|e| SinkError::Rejected(format!("unserializable batch: {e}")))?;
+        match self.client.post_json("/v1/mutations", &body) {
+            Ok(response) if response.status == 200 => Ok(()),
+            Ok(response) if (400..500).contains(&response.status) => Err(SinkError::Rejected(
+                format!("HTTP {}: {}", response.status, clip(&response.body)),
+            )),
+            Ok(response) => Err(SinkError::Transient(format!(
+                "HTTP {}: {}",
+                response.status,
+                clip(&response.body)
+            ))),
+            Err(e) => Err(SinkError::Transient(e.to_string())),
+        }
+    }
+}
+
+fn clip(body: &str) -> &str {
+    let end = body
+        .char_indices()
+        .nth(200)
+        .map(|(i, _)| i)
+        .unwrap_or(body.len());
+    &body[..end]
+}

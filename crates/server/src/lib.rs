@@ -57,6 +57,7 @@ pub mod api;
 pub mod client;
 pub mod error;
 pub mod http;
+pub mod ingest_sink;
 pub mod metrics;
 pub mod replica_source;
 mod router;
@@ -65,6 +66,10 @@ pub mod server;
 pub use client::{Client, ClientResponse};
 pub use error::ApiError;
 pub use http::{percent_encode, Limits};
+pub use ingest_sink::HttpSink;
 pub use metrics::{Metrics, Route};
 pub use replica_source::HttpReplicaSource;
-pub use server::{serve_http, serve_http_follower, ReplicaContext, Server, ServerConfig};
+pub use server::{
+    serve_http, serve_http_follower, serve_http_ingest, IngestContext, ReplicaContext, Server,
+    ServerConfig,
+};

@@ -163,6 +163,25 @@ pub struct ReplicaGauges {
     pub divergence_total: u64,
 }
 
+/// Drop-folder ingest gauges (absent unless the server runs with
+/// `--ingest-dir`). Sampled from the ingester's shared
+/// [`dn_ingest::IngestStats`] at render time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestGauges {
+    /// Drop-folder files scanned, cumulative across polls.
+    pub files_seen: u64,
+    /// Delta batches delivered and journal-committed.
+    pub batches_applied: u64,
+    /// Rows compared or loaded while synthesizing deltas.
+    pub rows_diffed: u64,
+    /// Transient delivery failures retried.
+    pub retries: u64,
+    /// Files skipped because they failed to parse (torn input).
+    pub torn_files: u64,
+    /// Age in seconds of the oldest observed-but-unapplied change.
+    pub lag_seconds: f64,
+}
+
 /// Engine-level gauges the handler samples at render time and passes in.
 #[derive(Debug, Clone, Default)]
 pub struct EngineGauges {
@@ -186,6 +205,8 @@ pub struct EngineGauges {
     pub shards: Vec<ShardGauges>,
     /// Follower-mode replication gauges (`None` on a primary).
     pub replica: Option<ReplicaGauges>,
+    /// Drop-folder ingest gauges (`None` without `--ingest-dir`).
+    pub ingest: Option<IngestGauges>,
 }
 
 /// The server-wide metrics registry.
@@ -312,6 +333,35 @@ impl Metrics {
                 replica.divergence_total
             ));
         }
+        if let Some(ingest) = gauges.ingest {
+            out.push_str("# TYPE dn_ingest_files_seen_total counter\n");
+            out.push_str(&format!(
+                "dn_ingest_files_seen_total {}\n",
+                ingest.files_seen
+            ));
+            out.push_str("# TYPE dn_ingest_batches_applied_total counter\n");
+            out.push_str(&format!(
+                "dn_ingest_batches_applied_total {}\n",
+                ingest.batches_applied
+            ));
+            out.push_str("# TYPE dn_ingest_rows_diffed_total counter\n");
+            out.push_str(&format!(
+                "dn_ingest_rows_diffed_total {}\n",
+                ingest.rows_diffed
+            ));
+            out.push_str("# TYPE dn_ingest_retries_total counter\n");
+            out.push_str(&format!("dn_ingest_retries_total {}\n", ingest.retries));
+            out.push_str("# TYPE dn_ingest_torn_files_total counter\n");
+            out.push_str(&format!(
+                "dn_ingest_torn_files_total {}\n",
+                ingest.torn_files
+            ));
+            out.push_str("# TYPE dn_ingest_lag_seconds gauge\n");
+            out.push_str(&format!(
+                "dn_ingest_lag_seconds {:.3}\n",
+                ingest.lag_seconds
+            ));
+        }
         if !gauges.shards.is_empty() {
             out.push_str("# TYPE dn_shard_epoch gauge\n");
             for (i, shard) in gauges.shards.iter().enumerate() {
@@ -403,6 +453,14 @@ mod tests {
                 lag_epochs: 2,
                 divergence_total: 1,
             }),
+            ingest: Some(IngestGauges {
+                files_seen: 12,
+                batches_applied: 4,
+                rows_diffed: 320,
+                retries: 1,
+                torn_files: 2,
+                lag_seconds: 0.25,
+            }),
         });
         assert!(text.contains("dn_http_requests_total{route=\"top_k\",class=\"2xx\"} 2"));
         assert!(text.contains("dn_http_requests_total{route=\"score\",class=\"4xx\"} 1"));
@@ -427,6 +485,12 @@ mod tests {
         assert!(text.contains("dn_shard_store_snapshots{shard=\"0\"} 1\n"));
         assert!(text.contains("dn_replica_lag_epochs 2\n"));
         assert!(text.contains("dn_replica_divergence_total 1\n"));
+        assert!(text.contains("dn_ingest_files_seen_total 12\n"));
+        assert!(text.contains("dn_ingest_batches_applied_total 4\n"));
+        assert!(text.contains("dn_ingest_rows_diffed_total 320\n"));
+        assert!(text.contains("dn_ingest_retries_total 1\n"));
+        assert!(text.contains("dn_ingest_torn_files_total 2\n"));
+        assert!(text.contains("dn_ingest_lag_seconds 0.250\n"));
     }
 
     #[test]
@@ -439,6 +503,10 @@ mod tests {
         assert!(
             !text.contains("dn_replica_lag_epochs"),
             "a primary exposes no replica gauges"
+        );
+        assert!(
+            !text.contains("dn_ingest_"),
+            "a server without --ingest-dir exposes no ingest gauges"
         );
         assert!(text.contains("dn_server_epoch 0\n"));
     }

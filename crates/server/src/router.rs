@@ -19,7 +19,7 @@ use crate::api::{
 };
 use crate::error::ApiError;
 use crate::http::{percent_decode, Request, Response};
-use crate::metrics::{EngineGauges, ReplicaGauges, Route, ShardGauges};
+use crate::metrics::{EngineGauges, IngestGauges, ReplicaGauges, Route, ShardGauges};
 use crate::server::ServerState;
 
 /// Default `k` when the query string does not pass one.
@@ -200,6 +200,17 @@ fn metrics(state: &ServerState) -> Result<Response, ApiError> {
         replica: state.replica.as_ref().map(|r| ReplicaGauges {
             lag_epochs: r.shared.lag_epochs(),
             divergence_total: r.shared.divergence_total(),
+        }),
+        ingest: state.ingest.as_ref().map(|c| {
+            let snap = c.shared.snapshot();
+            IngestGauges {
+                files_seen: snap.files_seen,
+                batches_applied: snap.batches_applied,
+                rows_diffed: snap.rows_diffed,
+                retries: snap.retries,
+                torn_files: snap.torn_files,
+                lag_seconds: snap.lag_seconds,
+            }
         }),
     };
     // Sample store/cache gauges opportunistically: /metrics must never

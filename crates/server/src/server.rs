@@ -85,6 +85,14 @@ pub struct ReplicaContext {
     pub shared: Arc<ReplicaShared>,
 }
 
+/// What makes a server an ingesting primary: the stats block shared with
+/// the drop-folder ingest loop, sampled into `dn_ingest_*` gauges at
+/// /metrics render time.
+pub struct IngestContext {
+    /// Counters/gauges shared with the ingest thread.
+    pub shared: Arc<dn_ingest::IngestStats>,
+}
+
 /// Shared state every worker sees.
 pub(crate) struct ServerState {
     pub(crate) service: CoordinatorHandle,
@@ -94,6 +102,7 @@ pub(crate) struct ServerState {
     pub(crate) limits: Limits,
     pub(crate) max_requests_per_connection: usize,
     pub(crate) replica: Option<ReplicaContext>,
+    pub(crate) ingest: Option<IngestContext>,
     local_addr: SocketAddr,
 }
 
@@ -138,7 +147,31 @@ pub fn serve_http(
     coordinator: Coordinator,
     config: ServerConfig,
 ) -> std::io::Result<Server> {
-    serve_http_inner(service, Arc::new(Mutex::new(coordinator)), config, None)
+    serve_http_inner(
+        service,
+        Arc::new(Mutex::new(coordinator)),
+        config,
+        None,
+        None,
+    )
+}
+
+/// Like [`serve_http`], but for a primary that also runs an in-process
+/// drop-folder ingester: the coordinator is *shared* with the ingest loop
+/// (which stages/commits/publishes behind the same mutex the mutation
+/// handler uses), and the ingester's stats surface as `dn_ingest_*` gauges
+/// in /metrics. The ingest thread must drop its `Arc` clone before
+/// [`Server::join`] is called.
+///
+/// # Errors
+/// Binding the listener may fail (address in use, permission).
+pub fn serve_http_ingest(
+    service: CoordinatorHandle,
+    coordinator: Arc<Mutex<Coordinator>>,
+    config: ServerConfig,
+    ingest: IngestContext,
+) -> std::io::Result<Server> {
+    serve_http_inner(service, coordinator, config, None, Some(ingest))
 }
 
 /// Like [`serve_http`], but as a read-only follower: the coordinator is
@@ -155,7 +188,7 @@ pub fn serve_http_follower(
     config: ServerConfig,
     replica: ReplicaContext,
 ) -> std::io::Result<Server> {
-    serve_http_inner(service, coordinator, config, Some(replica))
+    serve_http_inner(service, coordinator, config, Some(replica), None)
 }
 
 fn serve_http_inner(
@@ -163,6 +196,7 @@ fn serve_http_inner(
     coordinator: Arc<Mutex<Coordinator>>,
     config: ServerConfig,
     replica: Option<ReplicaContext>,
+    ingest: Option<IngestContext>,
 ) -> std::io::Result<Server> {
     let listener = TcpListener::bind(&config.addr)?;
     let local_addr = listener.local_addr()?;
@@ -174,6 +208,7 @@ fn serve_http_inner(
         limits: config.limits,
         max_requests_per_connection: config.max_requests_per_connection.max(1),
         replica,
+        ingest,
         local_addr,
     });
 

@@ -1,0 +1,184 @@
+//! `dn-ingest` — tail a CSV drop-folder into a remote DomainNet primary.
+//!
+//! ```text
+//! dn-ingest --watch-dir DIR --primary http://HOST:PORT
+//!           [--journal PATH] [--poll-ms 500] [--once]
+//! ```
+//!
+//! The standalone companion to `dn-serve --ingest-dir`: where that flag
+//! runs the ingester in-process against the server's own coordinator,
+//! this binary runs it anywhere a drop-folder lives and ships the
+//! synthesized delta batches over HTTP via `POST /v1/mutations`. The
+//! resume journal (default `<watch-dir>/.dn-ingest.journal`) carries the
+//! exactly-once state across restarts: a killed-and-restarted `dn-ingest`
+//! resumes without duplicating or losing a batch, as long as it is the
+//! folder's only writer to that primary.
+//!
+//! `--once` catches the primary up with the folder's current contents
+//! and exits (useful in scripts and cron-style setups): it polls every
+//! `--poll-ms` until a cycle reports caught-up with nothing pending —
+//! at least two polls, because a file only becomes ingestable once its
+//! fingerprint holds still across two consecutive polls, and that
+//! stability state lives in the process, not the journal. The default
+//! is a polling loop every `--poll-ms` until SIGINT/kill.
+
+use std::process::ExitCode;
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use dn_ingest::{IngestConfig, IngestStats, Ingester};
+use dn_server::HttpSink;
+
+#[derive(Debug)]
+struct Args {
+    watch_dir: Option<String>,
+    primary: Option<String>,
+    journal: Option<String>,
+    poll_ms: u64,
+    once: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            watch_dir: None,
+            primary: None,
+            journal: None,
+            poll_ms: 500,
+            once: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage: dn-ingest --watch-dir DIR --primary http://HOST:PORT \
+[--journal PATH] [--poll-ms MS] [--once]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut out = Args::default();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--watch-dir" => out.watch_dir = Some(value("--watch-dir")?),
+            "--primary" => out.primary = Some(value("--primary")?),
+            "--journal" => out.journal = Some(value("--journal")?),
+            "--poll-ms" => {
+                out.poll_ms = value("--poll-ms")?
+                    .parse()
+                    .map_err(|_| "--poll-ms must be an integer".to_owned())?;
+                if out.poll_ms == 0 {
+                    return Err("--poll-ms must be at least 1".to_owned());
+                }
+            }
+            "--once" => out.once = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+        i += 1;
+    }
+    if out.watch_dir.is_none() {
+        return Err("--watch-dir is required".to_owned());
+    }
+    if out.primary.is_none() {
+        return Err("--primary is required".to_owned());
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("dn-ingest: {message}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("dn-ingest: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let watch_dir = args.watch_dir.as_deref().expect("checked in parse_args");
+    let primary = args.primary.as_deref().expect("checked in parse_args");
+    let addr: std::net::SocketAddr = primary
+        .trim_start_matches("http://")
+        .trim_end_matches('/')
+        .parse()
+        .map_err(|e| format!("bad primary address {primary:?}: {e}"))?;
+
+    let mut config = IngestConfig::new(watch_dir);
+    if let Some(journal) = &args.journal {
+        config.journal_path = journal.into();
+    }
+    config.poll_interval = Duration::from_millis(args.poll_ms);
+    let journal_path = config.journal_path.clone();
+
+    let stats = Arc::new(IngestStats::default());
+    let sink = HttpSink::with_timeout(addr, Duration::from_secs(10));
+    let mut ingester = Ingester::new(config, sink, Arc::clone(&stats))
+        .map_err(|e| format!("starting ingester on {watch_dir}: {e}"))?;
+
+    println!(
+        "dn-ingest watching {watch_dir} -> http://{addr} (journal {}, resume seq {})",
+        journal_path.display(),
+        ingester.last_seq(),
+    );
+
+    if args.once {
+        // One catch-up cycle, not one poll: the two-poll stability guard
+        // is in-process state, so the first poll after a fresh start only
+        // observes fingerprints — keep polling until a cycle reports
+        // caught-up with nothing pending, then exit.
+        let mut polls = 0u64;
+        let (mut batches, mut ops, mut torn) = (0u64, 0u64, 0u64);
+        loop {
+            let report = ingester
+                .poll_once()
+                .map_err(|e| format!("poll failed: {e}"))?;
+            polls += 1;
+            batches += report.batches_delivered as u64;
+            ops += report.ops_delivered as u64;
+            torn += report.torn_skipped as u64;
+            if report.caught_up && !ingester.has_pending() {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(args.poll_ms));
+        }
+        let snapshot = stats.snapshot();
+        println!(
+            "dn-ingest: caught up in {polls} poll(s): delivered {batches} batch(es) / \
+{ops} op(s), {torn} torn skipped",
+        );
+        println!(
+            "dn-ingest: totals: {} batches applied, {} rows diffed, {} retries",
+            snapshot.batches_applied, snapshot.rows_diffed, snapshot.retries,
+        );
+        return Ok(());
+    }
+
+    // Poll until killed. Transient errors (primary unreachable, torn
+    // folder I/O) are logged and retried next cycle; only a corrupt
+    // journal is fatal — resuming past it could double-apply a batch.
+    let stop = AtomicBool::new(false);
+    ingester
+        .run(&stop, |e| {
+            eprintln!("dn-ingest: error (will retry next poll): {e}");
+        })
+        .map_err(|e| format!("halted: {e}"))
+}

@@ -3,9 +3,11 @@
 //! ```text
 //! dn-serve --data-dir DIR [--shards N] [--addr 127.0.0.1:8080] [--workers 4]
 //!          [--checkpoint-every 8] [--cache-capacity 64] [--max-body-bytes N]
+//!          [--ingest-dir DIR [--ingest-poll-ms 500]]
 //! dn-serve --data-dir DIR --follow http://PRIMARY [--poll-ms 100] [...]
 //! dn-serve --smoke ADDR
 //! dn-serve --smoke-replica PRIMARY_ADDR FOLLOWER_ADDR
+//! dn-serve --smoke-ingest ADDR DROP_DIR
 //! ```
 //!
 //! Server mode: if `--data-dir` already holds a sharded store, the
@@ -28,13 +30,23 @@
 //! the primary's URL; a digest mismatch halts the replica (reads answer
 //! `503`) rather than serving wrong rankings.
 //!
+//! Ingest mode (`--ingest-dir DIR`): the server additionally tails `DIR`
+//! as a CDC-style CSV drop-folder — a background `dn_ingest::Ingester`
+//! polls it every `--ingest-poll-ms`, diffs changed files into minimal
+//! deltas, and commits them through the same coordinator mutex the HTTP
+//! mutation handler uses. The resume journal lives at
+//! `<data-dir>/ingest.journal`; `dn_ingest_*` gauges appear in /metrics.
+//!
 //! Smoke mode (`--smoke ADDR`): a client-only self-check against a
 //! running server — healthz → mutation → top-k → checkpoint → shutdown —
 //! exiting non-zero on the first unexpected answer. This is the curl-free
 //! probe `ci.sh` drives. `--smoke-replica PRIMARY FOLLOWER` is the
 //! replication variant: mutate via the primary, wait for the follower to
 //! converge, assert the lag gauge returns to zero and writes are refused,
-//! then drain both.
+//! then drain both. `--smoke-ingest ADDR DIR` is the drop-folder variant:
+//! write three drift generations into the watched `DIR`, wait until top-k
+//! reflects the last one, assert the `dn_ingest_*` gauges moved, then
+//! drain the server.
 
 use std::process::ExitCode;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -66,6 +78,9 @@ struct Args {
     follow: Option<String>,
     poll_ms: u64,
     smoke_replica: Option<(String, String)>,
+    ingest_dir: Option<String>,
+    ingest_poll_ms: u64,
+    smoke_ingest: Option<(String, String)>,
 }
 
 impl Default for Args {
@@ -83,15 +98,20 @@ impl Default for Args {
             follow: None,
             poll_ms: 100,
             smoke_replica: None,
+            ingest_dir: None,
+            ingest_poll_ms: 500,
+            smoke_ingest: None,
         }
     }
 }
 
 const USAGE: &str = "usage: dn-serve --data-dir DIR [--shards N] [--addr HOST:PORT] [--workers N] \
-[--threads N] [--checkpoint-every EPOCHS] [--cache-capacity N] [--max-body-bytes N]\n       \
+[--threads N] [--checkpoint-every EPOCHS] [--cache-capacity N] [--max-body-bytes N] \
+[--ingest-dir DIR] [--ingest-poll-ms MS]\n       \
 dn-serve --data-dir DIR --follow http://HOST:PORT [--poll-ms MS]\n       \
 dn-serve --smoke HOST:PORT\n       \
-dn-serve --smoke-replica PRIMARY_HOST:PORT FOLLOWER_HOST:PORT";
+dn-serve --smoke-replica PRIMARY_HOST:PORT FOLLOWER_HOST:PORT\n       \
+dn-serve --smoke-ingest HOST:PORT DROP_DIR";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args::default();
@@ -162,6 +182,20 @@ fn parse_args() -> Result<Args, String> {
                 let follower = value("--smoke-replica")?;
                 out.smoke_replica = Some((primary, follower));
             }
+            "--ingest-dir" => out.ingest_dir = Some(value("--ingest-dir")?),
+            "--ingest-poll-ms" => {
+                out.ingest_poll_ms = value("--ingest-poll-ms")?
+                    .parse()
+                    .map_err(|_| "--ingest-poll-ms must be an integer".to_owned())?;
+                if out.ingest_poll_ms == 0 {
+                    return Err("--ingest-poll-ms must be at least 1".to_owned());
+                }
+            }
+            "--smoke-ingest" => {
+                let addr = value("--smoke-ingest")?;
+                let dir = value("--smoke-ingest")?;
+                out.smoke_ingest = Some((addr, dir));
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -170,11 +204,18 @@ fn parse_args() -> Result<Args, String> {
         }
         i += 1;
     }
-    if out.smoke.is_none() && out.smoke_replica.is_none() && out.data_dir.is_none() {
+    if out.smoke.is_none()
+        && out.smoke_replica.is_none()
+        && out.smoke_ingest.is_none()
+        && out.data_dir.is_none()
+    {
         return Err("--data-dir is required in server mode".to_owned());
     }
     if out.follow.is_some() && out.shards != 1 {
         return Err("--shards is meaningless with --follow (the primary's manifest rules)".into());
+    }
+    if out.follow.is_some() && out.ingest_dir.is_some() {
+        return Err("--ingest-dir needs a writable primary, not a --follow replica".to_owned());
     }
     Ok(out)
 }
@@ -201,6 +242,15 @@ fn main() -> ExitCode {
             Ok(()) => ExitCode::SUCCESS,
             Err(message) => {
                 eprintln!("dn-serve --smoke-replica FAILED: {message}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if let Some((addr, dir)) = &args.smoke_ingest {
+        return match run_ingest_smoke(addr, dir) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(message) => {
+                eprintln!("dn-serve --smoke-ingest FAILED: {message}");
                 ExitCode::FAILURE
             }
         };
@@ -280,33 +330,79 @@ reshard it in place (not supported)",
     let shards = coordinator.shard_count();
     let epoch = service.epoch();
 
-    let server = serve_http(
-        service,
-        coordinator,
-        ServerConfig {
-            addr: args.addr.clone(),
-            workers: args.workers,
-            limits: Limits {
-                max_body_bytes: args.max_body_bytes,
-                ..Limits::default()
-            },
-            ..ServerConfig::default()
+    let server_config = ServerConfig {
+        addr: args.addr.clone(),
+        workers: args.workers,
+        limits: Limits {
+            max_body_bytes: args.max_body_bytes,
+            ..Limits::default()
         },
-    )
-    .map_err(|e| format!("binding {}: {e}", args.addr))?;
+        ..ServerConfig::default()
+    };
+
+    // With --ingest-dir the coordinator is shared between the HTTP write
+    // handlers and a background drop-folder ingester; the ingest thread
+    // must release its Arc clone before Server::join can reclaim it.
+    let (server, ingest_thread, ingest_stop) = if let Some(ingest_dir) = &args.ingest_dir {
+        let coordinator = Arc::new(std::sync::Mutex::new(coordinator));
+        let stats = Arc::new(dn_ingest::IngestStats::default());
+        let mut config = dn_ingest::IngestConfig::new(ingest_dir);
+        config.journal_path = root.join("ingest.journal");
+        config.poll_interval = Duration::from_millis(args.ingest_poll_ms);
+        let sink = dn_ingest::CoordinatorSink::new(Arc::clone(&coordinator));
+        let mut ingester = dn_ingest::Ingester::new(config, sink, Arc::clone(&stats))
+            .map_err(|e| format!("starting ingester on {ingest_dir}: {e}"))?;
+        let server = dn_server::serve_http_ingest(
+            service,
+            coordinator,
+            server_config,
+            dn_server::IngestContext { shared: stats },
+        )
+        .map_err(|e| format!("binding {}: {e}", args.addr))?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("dn-ingest".to_owned())
+            .spawn(move || {
+                if let Err(e) = ingester.run(&thread_stop, |e| {
+                    eprintln!("dn-serve: ingest error (will retry next poll): {e}");
+                }) {
+                    eprintln!("dn-serve: ingester halted: {e}");
+                }
+            })
+            .map_err(|e| format!("spawning ingest thread: {e}"))?;
+        (server, Some(thread), Some(stop))
+    } else {
+        let server = serve_http(service, coordinator, server_config)
+            .map_err(|e| format!("binding {}: {e}", args.addr))?;
+        (server, None, None)
+    };
 
     println!(
         "dn-serve listening on http://{} epoch={epoch} shards={shards} workers={} threads={} \
-data_dir={data_dir} ({})",
+data_dir={data_dir} ({}{})",
         server.local_addr(),
         args.workers,
         args.threads,
         if recovering { "recovered" } else { "fresh" },
+        if let Some(dir) = &args.ingest_dir {
+            format!(", ingesting {dir}")
+        } else {
+            String::new()
+        },
     );
 
     // Block until a graceful shutdown (POST /v1/admin/shutdown) drains
     // the workers, then checkpoint the final state so the next start
-    // recovers without a WAL replay.
+    // recovers without a WAL replay. The ingest thread (if any) is
+    // stopped first so its coordinator Arc is released before join().
+    if let (Some(thread), Some(stop)) = (ingest_thread, ingest_stop) {
+        while !server.is_shutting_down() {
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        stop.store(true, Ordering::SeqCst);
+        let _ = thread.join();
+    }
     let mut coordinator = server.join();
     match coordinator.checkpoint_now() {
         Ok(true) => println!("dn-serve: final checkpoint written, exiting"),
@@ -692,5 +788,99 @@ fn run_replica_smoke(primary: &str, follower: &str) -> Result<(), String> {
     }
 
     println!("smoke-replica: all checks passed");
+    Ok(())
+}
+
+/// The `ci.sh` drop-folder probe: a server with `--ingest-dir DIR` is
+/// already running; write three homograph-drift file generations into
+/// `DIR`, wait until the served top-k reflects the drifted token from the
+/// last generation, assert the `dn_ingest_*` gauges moved, then drain.
+fn run_ingest_smoke(addr: &str, dir: &str) -> Result<(), String> {
+    use dn_server::api::{ShutdownResponse, TopKResponse};
+
+    let addr = parse_server_addr(addr)?;
+    let mut client = Client::new(addr).with_timeout(Duration::from_secs(10));
+
+    let health = client
+        .get("/healthz")
+        .map_err(|e| format!("healthz: {e}"))?;
+    check(health.status == 200, "healthz answers 200")?;
+
+    // Three generations of the drift workload: generation 0 plants each
+    // Drifter token in one semantic home; later generations migrate it
+    // into foreign columns, making it a served homograph.
+    let mut stream = datagen::DriftStream::new(datagen::DriftConfig {
+        seed: 42,
+        tables: 4,
+        rows_per_table: 24,
+        drifters: 2,
+        churn_per_generation: 1,
+    });
+    for _ in 0..3 {
+        let generation = stream
+            .write_next_generation(dir)
+            .map_err(|e| format!("writing drift generation: {e}"))?;
+        println!(
+            "smoke-ingest: wrote generation {} ({} files, {} removed)",
+            generation.index,
+            generation.written.len(),
+            generation.removed.len()
+        );
+        // Give the watcher's two-poll stability guard distinct mtimes and
+        // room to pick each generation up before the next lands on top.
+        std::thread::sleep(Duration::from_millis(300));
+    }
+    let token = lake::normalize(&stream.drift_tokens()[0]);
+
+    // Converge: the drifted token from the final generation ranks.
+    let deadline = Instant::now() + Duration::from_secs(20);
+    loop {
+        let top = client
+            .get("/v1/top-k?measure=bc&k=10")
+            .map_err(|e| format!("top-k: {e}"))?;
+        check(top.status == 200, "top-k answers 200")?;
+        let top: TopKResponse = top.json().map_err(|e| format!("top-k body: {e}"))?;
+        if top.results.iter().any(|s| s.value == token) {
+            println!(
+                "smoke-ingest: drifted homograph {token} ranked at epoch {}: ok",
+                top.epoch
+            );
+            break;
+        }
+        if Instant::now() >= deadline {
+            return Err(format!(
+                "server never ranked the drifted homograph {token} (epoch {})",
+                top.epoch
+            ));
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    // The ingest gauges are live and moved.
+    let metrics = client
+        .get("/metrics")
+        .map_err(|e| format!("metrics: {e}"))?;
+    check(metrics.status == 200, "metrics answers 200")?;
+    check(
+        metrics.body.contains("dn_ingest_batches_applied_total"),
+        "metrics expose dn_ingest_batches_applied_total",
+    )?;
+    check(
+        !metrics.body.contains("dn_ingest_batches_applied_total 0\n"),
+        "at least one ingest batch was applied",
+    )?;
+    check(
+        metrics.body.contains("dn_ingest_files_seen_total"),
+        "metrics expose dn_ingest_files_seen_total",
+    )?;
+
+    let response = client
+        .post_json("/v1/admin/shutdown", "")
+        .map_err(|e| format!("shutdown: {e}"))?;
+    check(response.status == 200, "shutdown answers 200")?;
+    let shutdown: ShutdownResponse = response.json().map_err(|e| format!("shutdown body: {e}"))?;
+    check(shutdown.status == "shutting down", "shutdown acknowledged")?;
+
+    println!("smoke-ingest: all checks passed");
     Ok(())
 }
