@@ -9,7 +9,10 @@
 # tempdir-hygiene check, an end-to-end HTTP smoke (dn-serve started on
 # a loopback port and driven through the dn-server client module — once
 # single-shard, once with --shards 2 through the coordinator — both with
-# --threads 4 so the pooled compute core is what gets smoked), and a
+# --threads 4 so the pooled compute core is what gets smoked, and with
+# --trace-sample 1 --slow-query-us 0 so the smoke also asserts the
+# /v1/debug/traces ring serves the request's own span tree and the
+# slow-query JSON log fires), and a
 # replication smoke (a 2-shard primary plus a --follow follower driven by
 # dn-serve --smoke-replica: convergence, lag-gauge return to 0, and the
 # read-only 403 envelope — run twice, with a single-threaded and then a
@@ -34,7 +37,7 @@
 #
 # Usage: ./ci.sh [--quick]
 #   --quick   skip the criterion benches and the exp_serving/exp_http/
-#             exp_replica/exp_parallel/exp_ingest smoke runs (keeps
+#             exp_replica/exp_parallel/exp_ingest/exp_trace smoke runs (keeps
 #             everything tier-1: build, tests, golden, stress, recovery,
 #             HTTP + replication + ingest smokes)
 set -euo pipefail
@@ -131,10 +134,14 @@ for HTTP_MODE in single sharded; do
     rm -rf "${HTTP_DIR}" 2>/dev/null || true
     mkdir -p "${HTTP_DIR}"
     HTTP_LOG="${HTTP_DIR}/server.log"
+    # --trace-sample 1 makes the smoke's per-trace ring assertions
+    # mandatory; --slow-query-us 0 makes every request emit a slow-query
+    # JSON line, asserted below.
     # shellcheck disable=SC2086  # HTTP_FLAGS is intentionally word-split
     ./target/release/dn-serve \
         --data-dir "${HTTP_DIR}/store" \
-        --addr 127.0.0.1:0 --workers 2 --threads 4 ${HTTP_FLAGS} >"${HTTP_LOG}" 2>&1 &
+        --addr 127.0.0.1:0 --workers 2 --threads 4 \
+        --trace-sample 1 --slow-query-us 0 ${HTTP_FLAGS} >"${HTTP_LOG}" 2>&1 &
     HTTP_PID=$!
     HTTP_ADDR=""
     for _ in $(seq 1 100); do
@@ -155,6 +162,10 @@ for HTTP_MODE in single sharded; do
         http_gate_fail "server did not shut down after the smoke"
     fi
     wait "${HTTP_PID}" || http_gate_fail "server exited non-zero"
+    grep -q '"event":"slow_query"' "${HTTP_LOG}" \
+        || http_gate_fail "no slow-query JSON line despite --slow-query-us 0"
+    grep -q '"trace_id":"' "${HTTP_LOG}" \
+        || http_gate_fail "slow-query lines carry no trace IDs despite --trace-sample 1"
     if [[ "${HTTP_MODE}" == "sharded" ]]; then
         [[ -f "${HTTP_DIR}/store/shards.json" ]] || http_gate_fail "sharded store wrote no manifest"
         [[ -d "${HTTP_DIR}/store/shard-1" ]] || http_gate_fail "sharded store wrote no shard-1 directory"
@@ -303,6 +314,18 @@ if [[ "$QUICK" -eq 0 ]]; then
         || { echo "BENCH_ingest.json does not record the redelivered batch" >&2; exit 1; }
     grep -q '"batches_applied":' BENCH_ingest.json \
         || { echo "BENCH_ingest.json does not record batches_applied" >&2; exit 1; }
+    echo "==> exp_trace smoke (--scale 0.3)"
+    cargo run --release -q -p dn-bench --bin exp_trace -- --scale 0.3
+    # The overhead gate must have produced a well-formed baseline: the
+    # <5% p99 verdict plus proof the instrumentation was live.
+    echo "==> gate: BENCH_trace.json well-formed"
+    [[ -f BENCH_trace.json ]] || { echo "exp_trace wrote no BENCH_trace.json" >&2; exit 1; }
+    grep -q '"pass": *true' BENCH_trace.json \
+        || { echo "BENCH_trace.json does not record pass=true" >&2; exit 1; }
+    grep -q '"overhead_p99_pct":' BENCH_trace.json \
+        || { echo "BENCH_trace.json does not record the p99 overhead" >&2; exit 1; }
+    grep -q '"traces_published_during_sampled":' BENCH_trace.json \
+        || { echo "BENCH_trace.json does not prove the instrumentation was live" >&2; exit 1; }
 else
     echo "==> --quick: skipping benches and the exp_serving/exp_http smoke runs"
 fi

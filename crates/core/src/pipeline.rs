@@ -320,6 +320,7 @@ impl DomainNet {
     }
 
     fn compute_raw_scores(&self, measure: Measure) -> Vec<f64> {
+        let _compute = dn_trace::span_labeled(dn_trace::Phase::MeasureCompute, measure.name());
         match measure {
             Measure::Lcc(method) => {
                 let targets: Vec<u32> = self.graph.value_nodes().collect();

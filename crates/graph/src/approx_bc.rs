@@ -212,7 +212,13 @@ fn accumulate_weighted_sources(
 ) -> Vec<f64> {
     let n = graph.node_count();
     let chunks = canonical_chunks(weighted_sources.len());
+    let ctx = dn_trace::current();
     let partials = dn_pool::Pool::new(threads).run(chunks.len(), |c| {
+        let _chunk = if ctx.is_active() {
+            ctx.enter(dn_trace::Phase::PoolBcChunks, &format!("chunk{c}"))
+        } else {
+            dn_trace::SpanGuard::noop()
+        };
         let mut acc = vec![0.0; n];
         let mut workspace = BrandesWorkspace::new(n);
         for &(s, w) in &weighted_sources[chunks[c].clone()] {

@@ -191,7 +191,13 @@ pub(crate) fn accumulate_sources_parallel(
 ) -> Vec<f64> {
     let n = graph.node_count();
     let chunks = canonical_chunks(sources.len());
+    let ctx = dn_trace::current();
     let partials = dn_pool::Pool::new(threads).run(chunks.len(), |c| {
+        let _chunk = if ctx.is_active() {
+            ctx.enter(dn_trace::Phase::PoolBcChunks, &format!("chunk{c}"))
+        } else {
+            dn_trace::SpanGuard::noop()
+        };
         let mut acc = vec![0.0; n];
         let mut workspace = BrandesWorkspace::new(n);
         for &s in &sources[chunks[c].clone()] {

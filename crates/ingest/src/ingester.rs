@@ -223,10 +223,15 @@ impl<S: DeltaSink> Ingester<S> {
 
     /// Run one watch → diff → deliver → journal cycle.
     pub fn poll_once(&mut self) -> Result<PollReport, IngestError> {
+        // One trace per poll cycle (subject to the sampling draw). While
+        // active, the sink's HTTP deliveries forward the trace ID, so the
+        // server's ring shows this cycle's mutations under the same ID.
+        let _trace = dn_trace::start_trace("ingest_poll", None);
         self.stats.add_polls(1);
         let mut report = PollReport::default();
         self.recover_pending(&mut report)?;
 
+        let scan_span = dn_trace::span(dn_trace::Phase::IngestScan);
         let names = self.scan()?;
         report.files_scanned = names.len();
         self.stats.add_files_seen(names.len() as u64);
@@ -250,7 +255,9 @@ impl<S: DeltaSink> Ingester<S> {
             self.observed
                 .insert(name.clone(), Observation { fp, stable });
         }
+        drop(scan_span);
 
+        let diff_span = dn_trace::span(dn_trace::Phase::IngestDiff);
         let mut actions: Vec<FileAction> = Vec::new();
 
         // Deletions: journaled files no longer on disk.
@@ -346,6 +353,8 @@ impl<S: DeltaSink> Ingester<S> {
                 table: Some(table),
             });
         }
+
+        drop(diff_span);
 
         // Deliver in bounded batches; deletions lead so renames
         // (delete old + add new) always remove before re-adding.
@@ -501,6 +510,7 @@ impl<S: DeltaSink> Ingester<S> {
         deltas: &[LakeDelta],
         fresh: bool,
     ) -> Result<(), IngestError> {
+        let _deliver = dn_trace::span(dn_trace::Phase::IngestDeliver);
         let mut backoff = self.config.backoff;
         let attempts = self.config.max_attempts.max(1);
         for attempt in 1..=attempts {

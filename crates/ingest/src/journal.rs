@@ -133,6 +133,7 @@ impl Journal {
 
     /// Atomically persist `state`: tmp sibling + fsync + rename + dir fsync.
     pub fn save(&self, state: &JournalState) -> Result<(), IngestError> {
+        let _journal = dn_trace::span(dn_trace::Phase::IngestJournal);
         let bytes = encode(state);
         if let Some(parent) = self.path.parent() {
             fs::create_dir_all(parent).map_err(|e| IngestError::io(parent, e))?;

@@ -171,6 +171,81 @@ pub struct ShutdownResponse {
     pub status: String,
 }
 
+/// One span in a `GET /v1/debug/traces/{id}` response: flat records that
+/// encode the tree through `parent` (the root span has id `0` and no
+/// parent). Timings are microsecond offsets from the trace start.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SpanDto {
+    /// Span ID, unique within the trace; `0` is the root.
+    pub id: u64,
+    /// Parent span ID (`None` only on the root).
+    pub parent: Option<u64>,
+    /// The phase name (`route`, `coord_scatter`, `shard_query`, ...).
+    pub name: String,
+    /// Free-form detail label (`shard1`, the route, ...); often empty.
+    pub label: String,
+    /// Start offset from trace start, microseconds.
+    pub start_us: u64,
+    /// End offset from trace start, microseconds.
+    pub end_us: u64,
+    /// Wall duration (`end_us - start_us`).
+    pub duration_us: u64,
+    /// Self time: duration minus the summed durations of direct children.
+    pub self_us: u64,
+}
+
+/// One entry in the `GET /v1/debug/traces` list.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceSummary {
+    /// The trace ID, 16 lowercase hex chars (the `X-Dn-Trace-Id` value).
+    pub id: String,
+    /// The trace name (`http`, `ingest_poll`, ...).
+    pub name: String,
+    /// The edge's display label (route + status for HTTP traces).
+    pub label: String,
+    /// Wall-clock start, ISO-8601 UTC.
+    pub started: String,
+    /// Root span duration, microseconds.
+    pub duration_us: u64,
+    /// Whether the ID was forwarded from another process.
+    pub forwarded: bool,
+    /// Number of spans recorded (including the root).
+    pub spans: usize,
+}
+
+/// `GET /v1/debug/traces` response: the most recent completed traces,
+/// newest first.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceListResponse {
+    /// The active sampling rate (`0` = tracing disabled).
+    pub sample_every: u64,
+    /// Traces published into the ring since startup.
+    pub published: u64,
+    /// Traces dropped at publish time (contended ring slot).
+    pub dropped: u64,
+    /// The retained traces, newest first.
+    pub traces: Vec<TraceSummary>,
+}
+
+/// `GET /v1/debug/traces/{id}` response: one trace's full span tree.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TraceResponse {
+    /// The trace ID, 16 lowercase hex chars.
+    pub id: String,
+    /// The trace name.
+    pub name: String,
+    /// The edge's display label.
+    pub label: String,
+    /// Wall-clock start, ISO-8601 UTC.
+    pub started: String,
+    /// Root span duration, microseconds.
+    pub duration_us: u64,
+    /// Whether the ID was forwarded from another process.
+    pub forwarded: bool,
+    /// All spans, sorted by `(start_us, id)`.
+    pub spans: Vec<SpanDto>,
+}
+
 /// The JSON error envelope every non-2xx response carries.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct ErrorBody {

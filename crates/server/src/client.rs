@@ -23,6 +23,9 @@ pub struct ClientResponse {
     pub body: String,
     /// Whether the server kept the connection open.
     pub keep_alive: bool,
+    /// The `X-Dn-Trace-Id` the server echoed, when the request was
+    /// traced (fetch its span tree at `/v1/debug/traces/{id}`).
+    pub trace_id: Option<u64>,
 }
 
 impl ClientResponse {
@@ -41,6 +44,7 @@ pub struct Client {
     addr: SocketAddr,
     timeout: Duration,
     stream: Option<TcpStream>,
+    forward_trace: bool,
 }
 
 impl Client {
@@ -50,12 +54,21 @@ impl Client {
             addr,
             timeout: Duration::from_secs(10),
             stream: None,
+            forward_trace: true,
         }
     }
 
     /// Override the connect/read timeout (default 10s).
     pub fn with_timeout(mut self, timeout: Duration) -> Client {
         self.timeout = timeout;
+        self
+    }
+
+    /// Disable trace-ID forwarding: by default, when the calling thread
+    /// is inside an active trace, every request carries its ID as
+    /// `X-Dn-Trace-Id` so the far server's spans join this trace.
+    pub fn without_trace_forwarding(mut self) -> Client {
+        self.forward_trace = false;
         self
     }
 
@@ -124,8 +137,16 @@ impl Client {
         path: &str,
         body: Option<&str>,
     ) -> std::io::Result<ClientResponse> {
+        let trace_header = match self
+            .forward_trace
+            .then(dn_trace::current_trace_id)
+            .flatten()
+        {
+            Some(id) => format!("X-Dn-Trace-Id: {}\r\n", dn_trace::format_trace_id(id)),
+            None => String::new(),
+        };
         let head = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n{}Connection: keep-alive\r\n\r\n",
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Length: {}\r\n{}{trace_header}Connection: keep-alive\r\n\r\n",
             self.addr,
             body.map_or(0, str::len),
             if body.is_some() {
@@ -210,6 +231,7 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> {
     let mut content_length = 0usize;
     let mut content_type = String::new();
     let mut keep_alive = true;
+    let mut trace_id = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             continue;
@@ -223,6 +245,7 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> {
             }
             "content-type" => content_type = value.trim().to_owned(),
             "connection" => keep_alive = !value.trim().eq_ignore_ascii_case("close"),
+            "x-dn-trace-id" => trace_id = dn_trace::parse_trace_id(value.trim()),
             _ => {}
         }
     }
@@ -247,5 +270,6 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<ClientResponse> {
         content_type,
         body: String::from_utf8(body).map_err(|_| bad_data("non-UTF-8 body"))?,
         keep_alive,
+        trace_id,
     })
 }

@@ -49,6 +49,9 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Whether the client asked to keep the connection open.
     pub keep_alive: bool,
+    /// A forwarded trace ID from an `X-Dn-Trace-Id` header (16 hex
+    /// chars); malformed values are treated as absent.
+    pub trace_id: Option<u64>,
 }
 
 impl Request {
@@ -155,6 +158,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
     let mut content_length = 0usize;
     // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
     let mut keep_alive = version == "HTTP/1.1";
+    let mut trace_id = None;
     for line in lines {
         let Some((name, value)) = line.split_once(':') else {
             return Err(ReadError::Malformed(format!("bad header line: {line:?}")));
@@ -178,6 +182,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
                     keep_alive = true;
                 }
             }
+            "x-dn-trace-id" => trace_id = dn_trace::parse_trace_id(value),
             _ => {}
         }
     }
@@ -215,6 +220,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
         query: parse_query(query_raw),
         body,
         keep_alive,
+        trace_id,
     })
 }
 
@@ -231,6 +237,10 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body bytes.
     pub body: Vec<u8>,
+    /// When the request was traced, its ID — echoed back to the client
+    /// as an `X-Dn-Trace-Id` header so callers can fetch the span tree
+    /// from `/v1/debug/traces/{id}`.
+    pub trace_id: Option<u64>,
 }
 
 impl Response {
@@ -240,6 +250,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into_bytes(),
+            trace_id: None,
         }
     }
 
@@ -249,6 +260,7 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into_bytes(),
+            trace_id: None,
         }
     }
 }
@@ -278,8 +290,12 @@ pub fn write_response(
     response: &Response,
     keep_alive: bool,
 ) -> std::io::Result<()> {
+    let trace_header = match response.trace_id {
+        Some(id) => format!("X-Dn-Trace-Id: {}\r\n", dn_trace::format_trace_id(id)),
+        None => String::new(),
+    };
     let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n{trace_header}Connection: {}\r\n\r\n",
         response.status,
         reason_phrase(response.status),
         response.content_type,

@@ -8,6 +8,7 @@
 //! is also trivially greppable by eye.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 /// Histogram bucket upper bounds, in microseconds. The last implicit
 /// bucket is `+Inf`.
@@ -45,12 +46,16 @@ pub enum Route {
     Checkpoint,
     /// `POST /v1/admin/shutdown`
     Shutdown,
+    /// `GET /v1/debug/traces`
+    DebugTraces,
+    /// `GET /v1/debug/traces/{id}`
+    DebugTrace,
     /// Anything that matched no route (404s, 405s, parse failures).
     Other,
 }
 
 /// All routes, in exposition order.
-pub const ROUTES: [Route; 14] = [
+pub const ROUTES: [Route; 16] = [
     Route::Healthz,
     Route::Metrics,
     Route::TopK,
@@ -64,6 +69,8 @@ pub const ROUTES: [Route; 14] = [
     Route::Digest,
     Route::Checkpoint,
     Route::Shutdown,
+    Route::DebugTraces,
+    Route::DebugTrace,
     Route::Other,
 ];
 
@@ -84,6 +91,8 @@ impl Route {
             Route::Digest => "digest",
             Route::Checkpoint => "checkpoint",
             Route::Shutdown => "shutdown",
+            Route::DebugTraces => "debug_traces",
+            Route::DebugTrace => "debug_trace",
             Route::Other => "other",
         }
     }
@@ -214,6 +223,9 @@ pub struct EngineGauges {
 pub struct Metrics {
     routes: Vec<RouteMetrics>,
     connections_accepted: AtomicU64,
+    /// When this registry was created (= server start), for
+    /// `dn_uptime_seconds`.
+    started: Instant,
 }
 
 impl Default for Metrics {
@@ -228,6 +240,7 @@ impl Metrics {
         Metrics {
             routes: ROUTES.iter().map(|_| RouteMetrics::new()).collect(),
             connections_accepted: AtomicU64::new(0),
+            started: Instant::now(),
         }
     }
 
@@ -303,6 +316,62 @@ impl Metrics {
             "dn_http_connections_accepted_total {}\n",
             self.connections_accepted.load(Ordering::Relaxed)
         ));
+        out.push_str("# TYPE dn_build_info gauge\n");
+        out.push_str(&format!(
+            "dn_build_info{{version=\"{}\",crate=\"dn-server\",rust_edition=\"2021\"}} 1\n",
+            env!("CARGO_PKG_VERSION")
+        ));
+        out.push_str("# TYPE dn_uptime_seconds gauge\n");
+        out.push_str(&format!(
+            "dn_uptime_seconds {:.3}\n",
+            self.started.elapsed().as_secs_f64()
+        ));
+        out.push_str("# TYPE dn_trace_sample_every gauge\n");
+        out.push_str(&format!(
+            "dn_trace_sample_every {}\n",
+            dn_trace::sample_every()
+        ));
+        out.push_str("# TYPE dn_traces_published_total counter\n");
+        out.push_str(&format!(
+            "dn_traces_published_total {}\n",
+            dn_trace::traces_published()
+        ));
+        out.push_str("# TYPE dn_traces_dropped_total counter\n");
+        out.push_str(&format!(
+            "dn_traces_dropped_total {}\n",
+            dn_trace::traces_dropped()
+        ));
+        // Per-phase duration histograms, fed by the span layer. Phases
+        // with no observations yet are omitted (they appear once traced).
+        let phases = dn_trace::phase_snapshot();
+        if phases.iter().any(|p| p.count > 0) {
+            out.push_str("# TYPE dn_phase_duration_us histogram\n");
+            for snap in &phases {
+                if snap.count == 0 {
+                    continue;
+                }
+                let phase = snap.phase;
+                let mut cumulative = 0u64;
+                for (b, bound) in dn_trace::PHASE_BUCKET_BOUNDS_US.iter().enumerate() {
+                    cumulative += snap.buckets[b];
+                    out.push_str(&format!(
+                        "dn_phase_duration_us_bucket{{phase=\"{phase}\",le=\"{bound}\"}} {cumulative}\n"
+                    ));
+                }
+                cumulative += snap.buckets[dn_trace::PHASE_BUCKET_BOUNDS_US.len()];
+                out.push_str(&format!(
+                    "dn_phase_duration_us_bucket{{phase=\"{phase}\",le=\"+Inf\"}} {cumulative}\n"
+                ));
+                out.push_str(&format!(
+                    "dn_phase_duration_us_sum{{phase=\"{phase}\"}} {}\n",
+                    snap.sum_us
+                ));
+                out.push_str(&format!(
+                    "dn_phase_duration_us_count{{phase=\"{phase}\"}} {}\n",
+                    snap.count
+                ));
+            }
+        }
         out.push_str("# TYPE dn_server_epoch gauge\n");
         out.push_str(&format!("dn_server_epoch {}\n", gauges.epoch));
         out.push_str("# TYPE dn_server_epochs_published_total counter\n");
@@ -509,6 +578,32 @@ mod tests {
             "a server without --ingest-dir exposes no ingest gauges"
         );
         assert!(text.contains("dn_server_epoch 0\n"));
+    }
+
+    #[test]
+    fn build_info_uptime_and_trace_gauges_always_render() {
+        let metrics = Metrics::new();
+        let text = metrics.render(&EngineGauges::default());
+        assert!(text.contains(&format!(
+            "dn_build_info{{version=\"{}\",crate=\"dn-server\",rust_edition=\"2021\"}} 1\n",
+            env!("CARGO_PKG_VERSION")
+        )));
+        assert!(text.contains("dn_uptime_seconds "));
+        assert!(text.contains("dn_trace_sample_every "));
+        assert!(text.contains("dn_traces_published_total "));
+        assert!(text.contains("dn_traces_dropped_total "));
+    }
+
+    #[test]
+    fn phase_histograms_render_once_observed() {
+        // The phase registry is process-global; observe directly rather
+        // than via spans so this test needs no sampling state.
+        dn_trace::observe(dn_trace::Phase::CoordScatter, 120);
+        let metrics = Metrics::new();
+        let text = metrics.render(&EngineGauges::default());
+        assert!(text.contains("# TYPE dn_phase_duration_us histogram\n"));
+        assert!(text.contains("dn_phase_duration_us_count{phase=\"coord_scatter\"} "));
+        assert!(text.contains("dn_phase_duration_us_bucket{phase=\"coord_scatter\",le=\"+Inf\"} "));
     }
 
     #[test]

@@ -14,8 +14,9 @@ use domainnet::Measure;
 
 use crate::api::{
     CheckpointResponse, DigestResponse, ExplainResponse, HealthResponse, MutationRequest,
-    MutationResponse, ScoreResponse, ShardDigest, ShutdownResponse, SnapshotResponse,
-    TableSummaryResponse, TablesResponse, TopKResponse, WalRecordDto, WalResponse,
+    MutationResponse, ScoreResponse, ShardDigest, ShutdownResponse, SnapshotResponse, SpanDto,
+    TableSummaryResponse, TablesResponse, TopKResponse, TraceListResponse, TraceResponse,
+    TraceSummary, WalRecordDto, WalResponse,
 };
 use crate::error::ApiError;
 use crate::http::{percent_decode, Request, Response};
@@ -46,6 +47,8 @@ pub(crate) fn handle(state: &ServerState, req: &Request) -> (Route, Response) {
         ["v1", "digest"] => Some((Route::Digest, "GET")),
         ["v1", "admin", "checkpoint"] => Some((Route::Checkpoint, "POST")),
         ["v1", "admin", "shutdown"] => Some((Route::Shutdown, "POST")),
+        ["v1", "debug", "traces"] => Some((Route::DebugTraces, "GET")),
+        ["v1", "debug", "traces", _] => Some((Route::DebugTrace, "GET")),
         _ => None,
     };
     let Some((route, allowed)) = resolved else {
@@ -68,6 +71,7 @@ pub(crate) fn handle(state: &ServerState, req: &Request) -> (Route, Response) {
     if let Some(refusal) = follower_gate(state, route) {
         return (route, refusal.into_response());
     }
+    let _route_span = dn_trace::span_labeled(dn_trace::Phase::Route, route.label());
     let result = match route {
         Route::Healthz => healthz(state),
         Route::Metrics => metrics(state),
@@ -82,6 +86,8 @@ pub(crate) fn handle(state: &ServerState, req: &Request) -> (Route, Response) {
         Route::Digest => digest(state),
         Route::Checkpoint => checkpoint(state),
         Route::Shutdown => shutdown(state),
+        Route::DebugTraces => debug_traces(req),
+        Route::DebugTrace => debug_trace(segments[3]),
         Route::Other => unreachable!("resolved routes are concrete"),
     };
     (
@@ -106,7 +112,15 @@ fn follower_gate(state: &ServerState, route: Route) -> Option<ApiError> {
                 replica.primary_url
             ),
         )),
-        Route::Healthz | Route::Metrics | Route::Shutdown | Route::Other => None,
+        // Debug/trace introspection stays reachable on a halted follower
+        // for the same reason /metrics does: it is how an operator sees
+        // what the replica was doing when it diverged.
+        Route::Healthz
+        | Route::Metrics
+        | Route::Shutdown
+        | Route::DebugTraces
+        | Route::DebugTrace
+        | Route::Other => None,
         _ => replica.shared.halted().map(|reason| {
             ApiError::unavailable(
                 "replica_diverged",
@@ -512,6 +526,83 @@ fn shutdown(state: &ServerState) -> Result<Response, ApiError> {
     state.begin_shutdown();
     ok_json(&ShutdownResponse {
         status: "shutting down".to_owned(),
+    })
+}
+
+/// Default and maximum `limit` for the trace list.
+const DEFAULT_TRACE_LIMIT: usize = 50;
+
+fn trace_summary(trace: &dn_trace::FinishedTrace) -> TraceSummary {
+    TraceSummary {
+        id: dn_trace::format_trace_id(trace.id),
+        name: trace.name.to_owned(),
+        label: trace.label.clone(),
+        started: dn_trace::format_unix_ms(trace.started_unix_ms),
+        duration_us: trace.duration_us,
+        forwarded: trace.forwarded,
+        spans: trace.spans.len(),
+    }
+}
+
+fn debug_traces(req: &Request) -> Result<Response, ApiError> {
+    let limit = match req.query_value("limit") {
+        None => DEFAULT_TRACE_LIMIT,
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| {
+                ApiError::bad_request(format!("limit must be a non-negative integer, got {raw:?}"))
+            })?
+            .min(dn_trace::RING_CAPACITY),
+    };
+    let traces = dn_trace::recent_traces(limit);
+    ok_json(&TraceListResponse {
+        sample_every: dn_trace::sample_every() as u64,
+        published: dn_trace::traces_published(),
+        dropped: dn_trace::traces_dropped(),
+        traces: traces.iter().map(|t| trace_summary(t)).collect(),
+    })
+}
+
+fn debug_trace(raw_id: &str) -> Result<Response, ApiError> {
+    let id = dn_trace::parse_trace_id(raw_id)
+        .ok_or_else(|| ApiError::bad_request(format!("invalid trace id {raw_id:?}")))?;
+    let trace = dn_trace::trace_by_id(id).ok_or_else(|| {
+        ApiError::not_found(format!(
+            "no retained trace {raw_id} (the ring holds the newest {}; was the request sampled?)",
+            dn_trace::RING_CAPACITY
+        ))
+    })?;
+    // Self time = own duration minus the direct children's durations.
+    let mut child_sum = std::collections::HashMap::new();
+    for span in &trace.spans {
+        if let Some(parent) = span.parent {
+            *child_sum.entry(parent).or_insert(0u64) += span.duration_us();
+        }
+    }
+    let spans = trace
+        .spans
+        .iter()
+        .map(|s| SpanDto {
+            id: s.id as u64,
+            parent: s.parent.map(|p| p as u64),
+            name: s.name.to_owned(),
+            label: s.label.clone(),
+            start_us: s.start_us,
+            end_us: s.end_us,
+            duration_us: s.duration_us(),
+            self_us: s
+                .duration_us()
+                .saturating_sub(child_sum.get(&s.id).copied().unwrap_or(0)),
+        })
+        .collect();
+    ok_json(&TraceResponse {
+        id: dn_trace::format_trace_id(trace.id),
+        name: trace.name.to_owned(),
+        label: trace.label.clone(),
+        started: dn_trace::format_unix_ms(trace.started_unix_ms),
+        duration_us: trace.duration_us,
+        forwarded: trace.forwarded,
+        spans,
     })
 }
 

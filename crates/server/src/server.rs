@@ -589,9 +589,27 @@ fn serve_one(conn: &mut Conn, state: &Arc<ServerState>) -> bool {
         };
 
         let started = Instant::now();
-        let (route, response) = router::handle(state, &request);
+        // Sampling decision for this request: a forwarded X-Dn-Trace-Id
+        // bypasses the 1-in-N draw so cross-process traces always stitch.
+        let trace = dn_trace::start_trace("http", request.trace_id);
+        let trace_id = trace.as_ref().map(|t| t.id());
+        let (route, mut response) = router::handle(state, &request);
+        if let Some(trace) = &trace {
+            trace.set_label(format!("{} {}", route.label(), response.status));
+        }
+        // Close the root span (and publish to the ring) before the
+        // response is written: by the time a client asks for its trace,
+        // the trace is retrievable.
+        drop(trace);
         let micros = started.elapsed().as_micros() as u64;
         state.metrics.record(route, response.status, micros);
+        // Slow-query detection is independent of sampling: `micros` is
+        // always measured, so an unsampled slow request still logs (just
+        // without a trace ID to follow up on).
+        if micros >= dn_trace::slow_query_us() {
+            dn_trace::slow_query(route.label(), response.status, micros, trace_id);
+        }
+        response.trace_id = trace_id;
 
         let keep_alive = request.keep_alive
             && conn.served + 1 < state.max_requests_per_connection

@@ -176,8 +176,14 @@ pub fn serve_sharded_from_dir(
             root.display()
         )))
     })?;
+    let ctx = dn_trace::current();
     let writers = dn_pool::Pool::new(config.threads.max(1))
         .run(manifest.shards, |i| {
+            let _replay = if ctx.is_active() {
+                ctx.enter(dn_trace::Phase::PoolWalReplay, &format!("shard{i}"))
+            } else {
+                dn_trace::SpanGuard::noop()
+            };
             recover_shard_writer(dn_store::shard_dir(&root, i), &config, policy)
         })
         .into_iter()
@@ -213,8 +219,14 @@ pub(crate) fn recover_shards_lenient(
             root.display()
         )))
     })?;
+    let ctx = dn_trace::current();
     let writers = dn_pool::Pool::new(config.threads.max(1))
         .run(manifest.shards, |i| {
+            let _replay = if ctx.is_active() {
+                ctx.enter(dn_trace::Phase::PoolWalReplay, &format!("shard{i}"))
+            } else {
+                dn_trace::SpanGuard::noop()
+            };
             recover_shard_writer(dn_store::shard_dir(&root, i), &config, policy)
         })
         .into_iter()
@@ -486,7 +498,18 @@ impl MultiView {
     /// degenerates to an inline sequential loop for one shard or one
     /// thread, so the answers (and their order) are identical either way.
     fn scatter<'a, T: Send>(&'a self, probe: impl Fn(&'a Snapshot) -> T + Sync) -> Vec<T> {
-        dn_pool::Pool::new(self.threads).run(self.shards.len(), |i| probe(&self.shards[i]))
+        let _scatter = dn_trace::span(dn_trace::Phase::CoordScatter);
+        // Pool workers run on their own threads; carry the trace across
+        // explicitly so the per-shard probe spans nest under the scatter.
+        let ctx = dn_trace::current();
+        dn_pool::Pool::new(self.threads).run(self.shards.len(), |i| {
+            let _probe = if ctx.is_active() {
+                ctx.enter(dn_trace::Phase::ShardQuery, &format!("shard{i}"))
+            } else {
+                dn_trace::SpanGuard::noop()
+            };
+            probe(&self.shards[i])
+        })
     }
 
     /// The measures every shard serves (all shards share one config).
@@ -532,6 +555,7 @@ impl MultiView {
         if rankings.len() == 1 {
             return Some(rankings[0].iter().take(k).cloned().collect());
         }
+        let _merge = dn_trace::span(dn_trace::Phase::CoordMerge);
         let higher_first = measure.higher_is_more_homograph_like();
         let mut heads = vec![0usize; rankings.len()];
         let mut out = Vec::with_capacity(k.min(rankings.iter().map(|r| r.len()).sum()));
@@ -841,6 +865,7 @@ impl Coordinator {
     /// so recovery (or the next commit touching the same values) finishes
     /// the move.
     pub fn commit(&mut self) -> Result<DeltaStats, ServiceError> {
+        let _commit = dn_trace::span(dn_trace::Phase::CoordCommit);
         let staged = std::mem::take(&mut self.staged);
         if staged.is_empty() {
             return Ok(DeltaStats::default());

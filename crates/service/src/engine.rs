@@ -473,6 +473,7 @@ impl Writer {
     /// leaves the lake untouched — nothing was applied that was not first
     /// made durable.
     pub fn commit(&mut self) -> Result<DeltaStats, ServiceError> {
+        let _apply = dn_trace::span(dn_trace::Phase::ShardApply);
         let staged = std::mem::take(&mut self.staged);
         if staged.is_empty() {
             return Ok(DeltaStats::default());
@@ -511,6 +512,7 @@ impl Writer {
     /// Extract a snapshot of the net's current state and swap it in as the
     /// new epoch, invalidating the top-k cache. Returns the new epoch.
     pub fn publish(&mut self) -> u64 {
+        let _publish = dn_trace::span(dn_trace::Phase::ShardPublish);
         self.epoch += 1;
         let snapshot = Arc::new(Snapshot::extract(
             &self.net,

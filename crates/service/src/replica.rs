@@ -363,6 +363,12 @@ impl Follower {
         if let Some(reason) = self.shared.halted() {
             return Err(ReplicaError::Diverged(reason));
         }
+        // Each sync cycle is its own trace (subject to the sampling
+        // draw). While it is active, the HTTP replica source forwards the
+        // trace ID on its fetches, so the primary's ring shows the
+        // follower's tail reads under the same ID.
+        let _trace = dn_trace::start_trace("replica_sync", None);
+        let _sync = dn_trace::span(dn_trace::Phase::ReplicaSync);
         let status = source.fetch_status()?;
         let mut report = SyncReport::default();
         {

@@ -1,0 +1,201 @@
+//! Per-phase duration histograms.
+//!
+//! Every closed span also lands one observation in a fixed-bucket
+//! histogram keyed by its [`Phase`], giving `/metrics` an aggregate
+//! per-phase latency view (`dn_phase_duration_us{phase=...}`) that stays
+//! useful even when individual traces have rotated out of the ring.
+//! Recording is a few relaxed atomic increments; the histograms fill at
+//! the sampling rate (a phase observed under 1-in-16 sampling represents
+//! roughly 16× its count of real occurrences).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Histogram bucket upper bounds, in microseconds; the implicit last
+/// bucket is `+Inf`. Matches the server's HTTP latency buckets so the two
+/// families line up in dashboards.
+pub const PHASE_BUCKET_BOUNDS_US: [u64; 10] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 50_000, 250_000,
+];
+
+/// The fixed vocabulary of instrumented phases across the stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Router dispatch: method/path match through handler return.
+    Route,
+    /// Coordinator mutation commit: routing deltas + per-shard applies.
+    CoordCommit,
+    /// Coordinator read fan-out over the shard snapshots.
+    CoordScatter,
+    /// Coordinator k-way merge of per-shard ranked results.
+    CoordMerge,
+    /// One shard engine applying a delta batch (WAL append, lake apply,
+    /// graph delta, ranking warm).
+    ShardApply,
+    /// One shard engine extracting + swapping in a published snapshot.
+    ShardPublish,
+    /// One shard snapshot answering a read probe.
+    ShardQuery,
+    /// `dn-pool` batch: exact/approx BC canonical chunk accumulation.
+    PoolBcChunks,
+    /// `dn-pool` batch: per-section snapshot encode.
+    PoolSnapshotEncode,
+    /// `dn-pool` batch: per-section snapshot decode.
+    PoolSnapshotDecode,
+    /// `dn-pool` batch: per-shard WAL replay during recovery.
+    PoolWalReplay,
+    /// One measure computed over the graph (BC, LCC, ...).
+    MeasureCompute,
+    /// Ingest cycle: scanning + fingerprinting the drop folder.
+    IngestScan,
+    /// Ingest cycle: diffing file generations into minimal deltas.
+    IngestDiff,
+    /// Ingest cycle: delivering a delta batch to the sink.
+    IngestDeliver,
+    /// Ingest cycle: committing the exactly-once resume journal.
+    IngestJournal,
+    /// One follower tail-and-verify pass against the primary.
+    ReplicaSync,
+}
+
+/// All phases, in exposition order.
+pub const PHASES: [Phase; 17] = [
+    Phase::Route,
+    Phase::CoordCommit,
+    Phase::CoordScatter,
+    Phase::CoordMerge,
+    Phase::ShardApply,
+    Phase::ShardPublish,
+    Phase::ShardQuery,
+    Phase::PoolBcChunks,
+    Phase::PoolSnapshotEncode,
+    Phase::PoolSnapshotDecode,
+    Phase::PoolWalReplay,
+    Phase::MeasureCompute,
+    Phase::IngestScan,
+    Phase::IngestDiff,
+    Phase::IngestDeliver,
+    Phase::IngestJournal,
+    Phase::ReplicaSync,
+];
+
+impl Phase {
+    /// The span name / metric label for this phase.
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Route => "route",
+            Phase::CoordCommit => "coord_commit",
+            Phase::CoordScatter => "coord_scatter",
+            Phase::CoordMerge => "coord_merge",
+            Phase::ShardApply => "shard_apply",
+            Phase::ShardPublish => "shard_publish",
+            Phase::ShardQuery => "shard_query",
+            Phase::PoolBcChunks => "pool_bc_chunks",
+            Phase::PoolSnapshotEncode => "pool_snapshot_encode",
+            Phase::PoolSnapshotDecode => "pool_snapshot_decode",
+            Phase::PoolWalReplay => "pool_wal_replay",
+            Phase::MeasureCompute => "measure_compute",
+            Phase::IngestScan => "ingest_scan",
+            Phase::IngestDiff => "ingest_diff",
+            Phase::IngestDeliver => "ingest_deliver",
+            Phase::IngestJournal => "ingest_journal",
+            Phase::ReplicaSync => "replica_sync",
+        }
+    }
+
+    fn index(self) -> usize {
+        PHASES.iter().position(|&p| p == self).expect("known phase")
+    }
+}
+
+struct PhaseHist {
+    /// Per-bucket counts (stored per-bucket, accumulated at render time)
+    /// + the `+Inf` bucket.
+    buckets: [AtomicU64; PHASE_BUCKET_BOUNDS_US.len() + 1],
+    sum_us: AtomicU64,
+}
+
+impl PhaseHist {
+    fn new() -> PhaseHist {
+        PhaseHist {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+fn hists() -> &'static [PhaseHist] {
+    static HISTS: OnceLock<Vec<PhaseHist>> = OnceLock::new();
+    HISTS.get_or_init(|| PHASES.iter().map(|_| PhaseHist::new()).collect())
+}
+
+/// Record one phase observation. Called by the span machinery on close;
+/// callable directly for timings measured without an active trace.
+pub fn observe(phase: Phase, duration_us: u64) {
+    let hist = &hists()[phase.index()];
+    let bucket = PHASE_BUCKET_BOUNDS_US
+        .iter()
+        .position(|&bound| duration_us <= bound)
+        .unwrap_or(PHASE_BUCKET_BOUNDS_US.len());
+    hist.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+    hist.sum_us.fetch_add(duration_us, Ordering::Relaxed);
+}
+
+/// Point-in-time copy of one phase's histogram.
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseSnapshot {
+    /// The phase label (`dn_phase_duration_us{phase="<this>"}`).
+    pub phase: &'static str,
+    /// Per-bucket (non-cumulative) counts; the last entry is `+Inf`.
+    pub buckets: [u64; PHASE_BUCKET_BOUNDS_US.len() + 1],
+    /// Sum of observed durations, microseconds.
+    pub sum_us: u64,
+    /// Total observations.
+    pub count: u64,
+}
+
+/// Sample every phase histogram at once, in [`PHASES`] order. Phases with
+/// zero observations are included (the renderer decides what to omit).
+pub fn phase_snapshot() -> Vec<PhaseSnapshot> {
+    let hists = hists();
+    PHASES
+        .iter()
+        .enumerate()
+        .map(|(i, phase)| {
+            let buckets: [u64; PHASE_BUCKET_BOUNDS_US.len() + 1] =
+                std::array::from_fn(|b| hists[i].buckets[b].load(Ordering::Relaxed));
+            PhaseSnapshot {
+                phase: phase.label(),
+                buckets,
+                sum_us: hists[i].sum_us.load(Ordering::Relaxed),
+                count: buckets.iter().sum(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phase_labels_are_unique() {
+        let labels: std::collections::HashSet<&str> = PHASES.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), PHASES.len());
+    }
+
+    #[test]
+    fn observations_land_in_the_right_bucket() {
+        observe(Phase::PoolWalReplay, 40); // <= 50
+        observe(Phase::PoolWalReplay, 40);
+        observe(Phase::PoolWalReplay, 1_000_000); // +Inf
+        let snap = phase_snapshot()
+            .into_iter()
+            .find(|s| s.phase == "pool_wal_replay")
+            .expect("known phase");
+        assert!(snap.buckets[0] >= 2);
+        assert!(snap.buckets[PHASE_BUCKET_BOUNDS_US.len()] >= 1);
+        assert!(snap.count >= 3);
+        assert!(snap.sum_us >= 1_000_080);
+    }
+}

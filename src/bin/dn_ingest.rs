@@ -3,6 +3,7 @@
 //! ```text
 //! dn-ingest --watch-dir DIR --primary http://HOST:PORT
 //!           [--journal PATH] [--poll-ms 500] [--once]
+//!           [--stats-every-s 60] [--trace-sample 16] [--log-format text|json]
 //! ```
 //!
 //! The standalone companion to `dn-serve --ingest-dir`: where that flag
@@ -14,6 +15,13 @@
 //! resumes without duplicating or losing a batch, as long as it is the
 //! folder's only writer to that primary.
 //!
+//! A remote ingester has no `/metrics` endpoint, so the polling loop
+//! emits a one-line JSON stats event every `--stats-every-s` seconds
+//! (files seen, batches applied, journal seq, caught-up — `0` disables).
+//! While `--trace-sample` is non-zero, sampled poll cycles forward their
+//! trace ID on every delivery, so the primary's `/v1/debug/traces` ring
+//! shows this ingester's mutations under the cycle's ID.
+//!
 //! `--once` catches the primary up with the folder's current contents
 //! and exits (useful in scripts and cron-style setups): it polls every
 //! `--poll-ms` until a cycle reports caught-up with nothing pending —
@@ -23,12 +31,12 @@
 //! is a polling loop every `--poll-ms` until SIGINT/kill.
 
 use std::process::ExitCode;
-use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use dn_ingest::{IngestConfig, IngestStats, Ingester};
+use dn_ingest::{IngestConfig, IngestError, IngestStats, Ingester};
 use dn_server::HttpSink;
+use dn_trace::{EventValue, Level};
 
 #[derive(Debug)]
 struct Args {
@@ -37,6 +45,9 @@ struct Args {
     journal: Option<String>,
     poll_ms: u64,
     once: bool,
+    stats_every_s: u64,
+    trace_sample: u32,
+    log_json: bool,
 }
 
 impl Default for Args {
@@ -47,12 +58,16 @@ impl Default for Args {
             journal: None,
             poll_ms: 500,
             once: false,
+            stats_every_s: 60,
+            trace_sample: 16,
+            log_json: false,
         }
     }
 }
 
 const USAGE: &str = "usage: dn-ingest --watch-dir DIR --primary http://HOST:PORT \
-[--journal PATH] [--poll-ms MS] [--once]";
+[--journal PATH] [--poll-ms MS] [--once] [--stats-every-s SECS] [--trace-sample N] \
+[--log-format text|json]";
 
 fn parse_args() -> Result<Args, String> {
     let mut out = Args::default();
@@ -79,6 +94,22 @@ fn parse_args() -> Result<Args, String> {
                 }
             }
             "--once" => out.once = true,
+            "--stats-every-s" => {
+                // 0 disables the periodic stats line.
+                out.stats_every_s = value("--stats-every-s")?
+                    .parse()
+                    .map_err(|_| "--stats-every-s must be an integer".to_owned())?;
+            }
+            "--trace-sample" => {
+                out.trace_sample = value("--trace-sample")?
+                    .parse()
+                    .map_err(|_| "--trace-sample must be a non-negative integer".to_owned())?;
+            }
+            "--log-format" => match value("--log-format")?.as_str() {
+                "text" => out.log_json = false,
+                "json" => out.log_json = true,
+                other => return Err(format!("--log-format must be text or json, not {other:?}")),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -104,6 +135,8 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    dn_trace::set_log_format_json(args.log_json);
+    dn_trace::set_sample_every(args.trace_sample);
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
         Err(message) => {
@@ -111,6 +144,27 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
     }
+}
+
+/// The periodic observability line for a remote ingester: always one JSON
+/// object per line, machine-parsed by whatever tails this process.
+fn emit_stats(stats: &IngestStats, journal_seq: u64, pending: bool, caught_up: bool) {
+    let snapshot = stats.snapshot();
+    dn_trace::json_event(
+        Level::Info,
+        "ingest_stats",
+        &[
+            ("files_seen", EventValue::U64(snapshot.files_seen)),
+            ("batches_applied", EventValue::U64(snapshot.batches_applied)),
+            ("rows_diffed", EventValue::U64(snapshot.rows_diffed)),
+            ("retries", EventValue::U64(snapshot.retries)),
+            ("torn_files", EventValue::U64(snapshot.torn_files)),
+            ("polls", EventValue::U64(snapshot.polls)),
+            ("journal_seq", EventValue::U64(journal_seq)),
+            ("pending", EventValue::Bool(pending)),
+            ("caught_up", EventValue::Bool(caught_up)),
+        ],
+    );
 }
 
 fn run(args: &Args) -> Result<(), String> {
@@ -134,10 +188,18 @@ fn run(args: &Args) -> Result<(), String> {
     let mut ingester = Ingester::new(config, sink, Arc::clone(&stats))
         .map_err(|e| format!("starting ingester on {watch_dir}: {e}"))?;
 
-    println!(
-        "dn-ingest watching {watch_dir} -> http://{addr} (journal {}, resume seq {})",
-        journal_path.display(),
-        ingester.last_seq(),
+    dn_trace::event(
+        Level::Info,
+        "ingest_started",
+        &[
+            ("watch_dir", EventValue::Str(watch_dir)),
+            ("primary", EventValue::Str(&format!("http://{addr}"))),
+            (
+                "journal",
+                EventValue::Str(&journal_path.display().to_string()),
+            ),
+            ("resume_seq", EventValue::U64(ingester.last_seq())),
+        ],
     );
 
     if args.once {
@@ -160,25 +222,47 @@ fn run(args: &Args) -> Result<(), String> {
             }
             std::thread::sleep(Duration::from_millis(args.poll_ms));
         }
-        let snapshot = stats.snapshot();
-        println!(
-            "dn-ingest: caught up in {polls} poll(s): delivered {batches} batch(es) / \
-{ops} op(s), {torn} torn skipped",
+        dn_trace::event(
+            Level::Info,
+            "ingest_caught_up",
+            &[
+                ("polls", EventValue::U64(polls)),
+                ("batches_delivered", EventValue::U64(batches)),
+                ("ops_delivered", EventValue::U64(ops)),
+                ("torn_skipped", EventValue::U64(torn)),
+            ],
         );
-        println!(
-            "dn-ingest: totals: {} batches applied, {} rows diffed, {} retries",
-            snapshot.batches_applied, snapshot.rows_diffed, snapshot.retries,
-        );
+        emit_stats(&stats, ingester.last_seq(), ingester.has_pending(), true);
         return Ok(());
     }
 
     // Poll until killed. Transient errors (primary unreachable, torn
     // folder I/O) are logged and retried next cycle; only a corrupt
     // journal is fatal — resuming past it could double-apply a batch.
-    let stop = AtomicBool::new(false);
-    ingester
-        .run(&stop, |e| {
-            eprintln!("dn-ingest: error (will retry next poll): {e}");
-        })
-        .map_err(|e| format!("halted: {e}"))
+    // The loop is hand-rolled (rather than `Ingester::run`) so the stats
+    // cadence can interleave with the poll cadence.
+    let stats_every = Duration::from_secs(args.stats_every_s);
+    let mut last_stats = Instant::now();
+    let mut caught_up = false;
+    loop {
+        match ingester.poll_once() {
+            Ok(report) => caught_up = report.caught_up,
+            Err(e @ IngestError::Journal { .. }) => return Err(format!("halted: {e}")),
+            Err(e) => dn_trace::event(
+                Level::Warn,
+                "ingest_retry",
+                &[("error", EventValue::Str(&e.to_string()))],
+            ),
+        }
+        if args.stats_every_s > 0 && last_stats.elapsed() >= stats_every {
+            emit_stats(
+                &stats,
+                ingester.last_seq(),
+                ingester.has_pending(),
+                caught_up,
+            );
+            last_stats = Instant::now();
+        }
+        std::thread::sleep(Duration::from_millis(args.poll_ms));
+    }
 }

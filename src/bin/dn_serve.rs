@@ -4,6 +4,7 @@
 //! dn-serve --data-dir DIR [--shards N] [--addr 127.0.0.1:8080] [--workers 4]
 //!          [--checkpoint-every 8] [--cache-capacity 64] [--max-body-bytes N]
 //!          [--ingest-dir DIR [--ingest-poll-ms 500]]
+//!          [--trace-sample 16] [--slow-query-us US] [--log-format text|json]
 //! dn-serve --data-dir DIR --follow http://PRIMARY [--poll-ms 100] [...]
 //! dn-serve --smoke ADDR
 //! dn-serve --smoke-replica PRIMARY_ADDR FOLLOWER_ADDR
@@ -81,6 +82,9 @@ struct Args {
     ingest_dir: Option<String>,
     ingest_poll_ms: u64,
     smoke_ingest: Option<(String, String)>,
+    trace_sample: u32,
+    slow_query_us: Option<u64>,
+    log_json: bool,
 }
 
 impl Default for Args {
@@ -101,13 +105,17 @@ impl Default for Args {
             ingest_dir: None,
             ingest_poll_ms: 500,
             smoke_ingest: None,
+            trace_sample: 16,
+            slow_query_us: None,
+            log_json: false,
         }
     }
 }
 
 const USAGE: &str = "usage: dn-serve --data-dir DIR [--shards N] [--addr HOST:PORT] [--workers N] \
 [--threads N] [--checkpoint-every EPOCHS] [--cache-capacity N] [--max-body-bytes N] \
-[--ingest-dir DIR] [--ingest-poll-ms MS]\n       \
+[--ingest-dir DIR] [--ingest-poll-ms MS] [--trace-sample N] [--slow-query-us US] \
+[--log-format text|json]\n       \
 dn-serve --data-dir DIR --follow http://HOST:PORT [--poll-ms MS]\n       \
 dn-serve --smoke HOST:PORT\n       \
 dn-serve --smoke-replica PRIMARY_HOST:PORT FOLLOWER_HOST:PORT\n       \
@@ -196,6 +204,24 @@ fn parse_args() -> Result<Args, String> {
                 let dir = value("--smoke-ingest")?;
                 out.smoke_ingest = Some((addr, dir));
             }
+            "--trace-sample" => {
+                // 0 disables tracing outright; N samples one request in N.
+                out.trace_sample = value("--trace-sample")?
+                    .parse()
+                    .map_err(|_| "--trace-sample must be a non-negative integer".to_owned())?;
+            }
+            "--slow-query-us" => {
+                out.slow_query_us = Some(
+                    value("--slow-query-us")?
+                        .parse()
+                        .map_err(|_| "--slow-query-us must be an integer".to_owned())?,
+                );
+            }
+            "--log-format" => match value("--log-format")?.as_str() {
+                "text" => out.log_json = false,
+                "json" => out.log_json = true,
+                other => return Err(format!("--log-format must be text or json, not {other:?}")),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);
@@ -228,6 +254,11 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    dn_trace::set_log_format_json(args.log_json);
+    dn_trace::set_sample_every(args.trace_sample);
+    if let Some(us) = args.slow_query_us {
+        dn_trace::set_slow_query_us(us);
+    }
     if let Some(addr) = &args.smoke {
         return match run_smoke(addr) {
             Ok(()) => ExitCode::SUCCESS,
@@ -270,6 +301,45 @@ fn main() -> ExitCode {
             eprintln!("dn-serve: {message}");
             ExitCode::FAILURE
         }
+    }
+}
+
+/// The startup line. `ci.sh` seds the bound address out of the text form
+/// (`dn-serve listening on http://ADDR ...`), so that exact shape is
+/// load-bearing; JSON mode renders the same facts as one `server_started`
+/// event on stdout instead.
+#[allow(clippy::too_many_arguments)]
+fn log_listening(
+    addr: impl std::fmt::Display,
+    epoch: u64,
+    shards: usize,
+    workers: usize,
+    threads: usize,
+    data_dir: &str,
+    mode: &str,
+) {
+    if dn_trace::log_format_json() {
+        println!(
+            "{}",
+            dn_trace::render_json(
+                dn_trace::Level::Info,
+                "server_started",
+                &[
+                    ("addr", dn_trace::EventValue::Str(&addr.to_string())),
+                    ("epoch", dn_trace::EventValue::U64(epoch)),
+                    ("shards", dn_trace::EventValue::U64(shards as u64)),
+                    ("workers", dn_trace::EventValue::U64(workers as u64)),
+                    ("threads", dn_trace::EventValue::U64(threads as u64)),
+                    ("data_dir", dn_trace::EventValue::Str(data_dir)),
+                    ("mode", dn_trace::EventValue::Str(mode)),
+                ],
+            )
+        );
+    } else {
+        println!(
+            "dn-serve listening on http://{addr} epoch={epoch} shards={shards} \
+workers={workers} threads={threads} data_dir={data_dir} ({mode})"
+        );
     }
 }
 
@@ -365,9 +435,17 @@ reshard it in place (not supported)",
             .name("dn-ingest".to_owned())
             .spawn(move || {
                 if let Err(e) = ingester.run(&thread_stop, |e| {
-                    eprintln!("dn-serve: ingest error (will retry next poll): {e}");
+                    dn_trace::event(
+                        dn_trace::Level::Warn,
+                        "ingest_retry",
+                        &[("error", dn_trace::EventValue::Str(&e.to_string()))],
+                    );
                 }) {
-                    eprintln!("dn-serve: ingester halted: {e}");
+                    dn_trace::event(
+                        dn_trace::Level::Error,
+                        "ingest_halted",
+                        &[("error", dn_trace::EventValue::Str(&e.to_string()))],
+                    );
                 }
             })
             .map_err(|e| format!("spawning ingest thread: {e}"))?;
@@ -378,18 +456,22 @@ reshard it in place (not supported)",
         (server, None, None)
     };
 
-    println!(
-        "dn-serve listening on http://{} epoch={epoch} shards={shards} workers={} threads={} \
-data_dir={data_dir} ({}{})",
+    log_listening(
         server.local_addr(),
+        epoch,
+        shards,
         args.workers,
         args.threads,
-        if recovering { "recovered" } else { "fresh" },
-        if let Some(dir) = &args.ingest_dir {
-            format!(", ingesting {dir}")
-        } else {
-            String::new()
-        },
+        data_dir,
+        &format!(
+            "{}{}",
+            if recovering { "recovered" } else { "fresh" },
+            if let Some(dir) = &args.ingest_dir {
+                format!(", ingesting {dir}")
+            } else {
+                String::new()
+            },
+        ),
     );
 
     // Block until a graceful shutdown (POST /v1/admin/shutdown) drains
@@ -405,9 +487,16 @@ data_dir={data_dir} ({}{})",
     }
     let mut coordinator = server.join();
     match coordinator.checkpoint_now() {
-        Ok(true) => println!("dn-serve: final checkpoint written, exiting"),
-        Ok(false) => println!("dn-serve: exiting"),
-        Err(e) => eprintln!("dn-serve: final checkpoint failed: {e}"),
+        Ok(checkpointed) => dn_trace::event(
+            dn_trace::Level::Info,
+            "server_drained",
+            &[("final_checkpoint", dn_trace::EventValue::Bool(checkpointed))],
+        ),
+        Err(e) => dn_trace::event(
+            dn_trace::Level::Error,
+            "final_checkpoint_failed",
+            &[("error", dn_trace::EventValue::Str(&e.to_string()))],
+        ),
     }
     Ok(())
 }
@@ -459,7 +548,17 @@ fn run_follower(args: &Args, primary: &str) -> Result<(), String> {
                     if attempt > 120 {
                         return Err(format!("primary unreachable, giving up: {message}"));
                     }
-                    eprintln!("dn-serve: waiting for primary at {primary_addr}: {message}");
+                    dn_trace::event(
+                        dn_trace::Level::Warn,
+                        "primary_wait",
+                        &[
+                            (
+                                "primary",
+                                dn_trace::EventValue::Str(&primary_addr.to_string()),
+                            ),
+                            ("error", dn_trace::EventValue::Str(&message)),
+                        ],
+                    );
                     std::thread::sleep(Duration::from_millis(250).saturating_mul(attempt.min(8)));
                 }
                 Err(e) => return Err(format!("bootstrapping {data_dir}: {e}")),
@@ -497,12 +596,14 @@ fn run_follower(args: &Args, primary: &str) -> Result<(), String> {
     )
     .map_err(|e| format!("binding {}: {e}", args.addr))?;
 
-    println!(
-        "dn-serve listening on http://{} epoch={epoch} shards={shards} workers={} threads={} \
-data_dir={data_dir} (follower of http://{primary_addr})",
+    log_listening(
         server.local_addr(),
+        epoch,
+        shards,
         args.workers,
         args.threads,
+        data_dir,
+        &format!("follower of http://{primary_addr}"),
     );
 
     let stop = Arc::new(AtomicBool::new(false));
@@ -519,7 +620,11 @@ data_dir={data_dir} (follower of http://{primary_addr})",
                         std::thread::sleep(poll);
                     }
                     Err(ReplicaError::Source(message)) => {
-                        eprintln!("dn-serve: primary unreachable, retrying: {message}");
+                        dn_trace::event(
+                            dn_trace::Level::Warn,
+                            "primary_unreachable",
+                            &[("error", dn_trace::EventValue::Str(&message))],
+                        );
                         std::thread::sleep(backoff);
                         backoff = (backoff * 2).min(Duration::from_secs(5));
                     }
@@ -528,7 +633,11 @@ data_dir={data_dir} (follower of http://{primary_addr})",
                         // latch is set, the router refuses reads. Idle
                         // until the operator drains us — tailing further
                         // WAL onto untrusted state helps nobody.
-                        eprintln!("dn-serve: replication halted: {e}");
+                        dn_trace::event(
+                            dn_trace::Level::Error,
+                            "replication_halted",
+                            &[("error", dn_trace::EventValue::Str(&e.to_string()))],
+                        );
                         while !tail_stop.load(Ordering::SeqCst) {
                             std::thread::sleep(Duration::from_millis(100));
                         }
@@ -541,7 +650,7 @@ data_dir={data_dir} (follower of http://{primary_addr})",
     server.join_follower();
     stop.store(true, Ordering::SeqCst);
     let _ = tail.join();
-    println!("dn-serve: follower exiting");
+    dn_trace::event(dn_trace::Level::Info, "follower_drained", &[]);
     Ok(())
 }
 
@@ -563,7 +672,7 @@ fn check(condition: bool, message: &str) -> Result<(), String> {
 fn run_smoke(addr: &str) -> Result<(), String> {
     use dn_server::api::{
         CheckpointResponse, HealthResponse, MutationRequest, MutationResponse, ShutdownResponse,
-        TopKResponse,
+        TopKResponse, TraceResponse,
     };
     use lake::table::TableBuilder;
 
@@ -605,12 +714,45 @@ fn run_smoke(addr: &str) -> Result<(), String> {
         .post_json("/v1/mutations", &body)
         .map_err(|e| format!("mutations: {e}"))?;
     check(response.status == 200, "mutation batch answers 200")?;
+    let trace_id = response.trace_id;
     let mutation: MutationResponse = response.json().map_err(|e| format!("mutation body: {e}"))?;
     check(
         mutation.epoch > health.epoch,
         "mutation published a new epoch",
     )?;
     check(mutation.stats.edges_added > 0, "mutation added graph edges")?;
+
+    // 2b. The debug trace ring serves the mutation's own span tree. The
+    // ID comes from the echoed X-Dn-Trace-Id; when the server samples at
+    // less than 1-in-1 the request may legitimately be untraced, so the
+    // per-ID assertions only run when the header was present (ci.sh runs
+    // this gate with --trace-sample 1, making them mandatory there).
+    let listing = client
+        .get("/v1/debug/traces")
+        .map_err(|e| format!("debug traces: {e}"))?;
+    check(listing.status == 200, "debug traces list answers 200")?;
+    match trace_id {
+        Some(id) => {
+            let hex = dn_trace::format_trace_id(id);
+            let fetched = client
+                .get(&format!("/v1/debug/traces/{hex}"))
+                .map_err(|e| format!("debug trace {hex}: {e}"))?;
+            check(
+                fetched.status == 200,
+                "mutation trace is retained in the ring",
+            )?;
+            let trace: TraceResponse = fetched
+                .json()
+                .map_err(|e| format!("debug trace body: {e}"))?;
+            check(trace.id == hex, "trace endpoint answers the requested ID")?;
+            check(!trace.spans.is_empty(), "mutation trace carries spans")?;
+            check(
+                listing.body.contains(&hex),
+                "trace list includes the mutation trace",
+            )?;
+        }
+        None => println!("smoke: mutation was not sampled, per-trace checks skipped"),
+    }
 
     // 3. top-k reflects the ingested homograph
     let top = client
